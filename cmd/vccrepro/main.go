@@ -1,0 +1,86 @@
+// Command vccrepro regenerates the tables and figures of the paper's
+// evaluation from the simulation stack in this repository.
+//
+// Usage:
+//
+//	vccrepro -list                 # enumerate experiments
+//	vccrepro -run fig7             # one experiment (quick mode)
+//	vccrepro -run fig7 -mode full  # paper-scale configuration
+//	vccrepro -run all -csv out/    # everything, also as CSV files
+//
+// Experiment ids follow the paper's numbering (fig1..fig13, table1,
+// table2) plus the ablations (ablate-*). Output tables carry notes
+// stating the paper claim each experiment is expected to reproduce and
+// any substitution involved (see DESIGN.md and EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		mode   = flag.String("mode", "quick", "quick or full")
+		seed   = flag.Uint64("seed", 1, "master seed")
+		csvDir = flag.String("csv", "", "also write results as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-16s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "vccrepro: nothing to do; use -list or -run <id>")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m experiments.Mode
+	switch *mode {
+	case "quick":
+		m = experiments.Quick
+	case "full":
+		m = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "vccrepro: unknown mode %q (quick|full)\n", *mode)
+		os.Exit(2)
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, m, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Table())
+		fmt.Printf("(%s mode, seed %d, %.1fs)\n\n", m, *seed, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

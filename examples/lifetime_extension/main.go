@@ -1,0 +1,44 @@
+// Lifetime extension: age an endurance-limited MLC PCM memory under a
+// skewed writeback stream and compare how long each protection technique
+// keeps it serviceable — a miniature of the paper's Fig. 11.
+//
+// Run with: go run ./examples/lifetime_extension
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lifetime"
+	"repro/internal/trace"
+)
+
+func main() {
+	bm, err := trace.SpecByName("mcf_s") // pointer-chasing, hot-spot heavy
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := lifetime.DefaultParams(bm, 1)
+	params.Rows = 128        // scaled memory
+	params.MeanWrites = 1200 // scaled endurance (wear units)
+
+	fmt.Printf("aging %d rows (mean endurance %.0f wear units) on %s writebacks\n",
+		params.Rows, params.MeanWrites, bm.Name)
+	fmt.Printf("%-10s  %12s  %18s\n", "technique", "row writes", "vs unencoded")
+
+	seeds := []uint64{10, 20, 30}
+	var base float64
+	for _, tech := range []lifetime.Technique{
+		lifetime.Unencoded, lifetime.Flipcy, lifetime.SECDED,
+		lifetime.ECP3, lifetime.DBIFNW, lifetime.VCC, lifetime.RCC,
+	} {
+		mean, _ := lifetime.RunSeeds(tech, params, seeds)
+		if tech == lifetime.Unencoded {
+			base = mean
+		}
+		fmt.Printf("%-10s  %12.0f  %17.0f%%\n", tech, mean, 100*(mean/base-1))
+	}
+	fmt.Println("\nVCC/RCC survive more dead cells per word (coset masking) and wear")
+	fmt.Println("cells slower (energy-aware candidates avoid the costly intermediate")
+	fmt.Println("states), which is where the paper's >=50% lifetime extension comes from.")
+}

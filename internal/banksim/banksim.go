@@ -1,0 +1,134 @@
+// Package banksim is a discrete-event model of the PCM main-memory
+// backend of Table II: channels x banks with per-bank occupancy, serving
+// the read and writeback streams of a benchmark. It provides a
+// mechanistic cross-check of the closed-form IPC model in
+// internal/perf: writebacks are read-modify-write operations whose bank
+// occupancy includes the coset encoder's latency, and the slowdown
+// emerges from bank conflicts rather than from an analytic exposure
+// factor.
+//
+// The core model is deliberately simple (the paper's Sniper substitute,
+// DESIGN.md #3): a 1-IPC-when-unstalled core issuing reads that stall it
+// when their bank is busy beyond an out-of-order hiding window, and
+// writebacks that never stall directly but keep banks busy. What the
+// experiments check is relative IPC across encoder latencies, which this
+// structure captures.
+package banksim
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the backend.
+type Config struct {
+	// Banks is the total number of independent banks (Table II: 2
+	// channels x 1 rank x 8 banks = 16).
+	Banks int
+	// ReadNS / WriteNS are the array access occupancies.
+	ReadNS, WriteNS float64
+	// EncodeNS is the coset encoder latency added to every writeback's
+	// occupancy (read-modify-write: read, encode, program).
+	EncodeNS float64
+	// HideNS is the out-of-order window: read latency below this is
+	// hidden; only the excess stalls the core.
+	HideNS float64
+	// FreqGHz converts core cycles to nanoseconds.
+	FreqGHz float64
+	// ReadsPerKI / WritesPerKI are memory accesses per kilo-instruction.
+	ReadsPerKI, WritesPerKI float64
+}
+
+// DefaultConfig derives a backend from Table II numbers for a benchmark
+// write intensity (reads modeled at 2x the writeback rate, a typical
+// LLC-miss-to-writeback ratio for writeback caches).
+func DefaultConfig(encodeNS, writesPerKI float64) Config {
+	return Config{
+		Banks:       16,
+		ReadNS:      84,
+		WriteNS:     150, // PCM writes are slower than reads
+		EncodeNS:    encodeNS,
+		HideNS:      60,
+		FreqGHz:     1.0,
+		ReadsPerKI:  2 * writesPerKI,
+		WritesPerKI: writesPerKI,
+	}
+}
+
+// Result reports one simulation.
+type Result struct {
+	Instructions int64
+	TotalNS      float64
+	IPC          float64
+	ReadStallNS  float64
+	BankConflict int64 // accesses that found their bank busy
+}
+
+// Run simulates `instructions` instructions of the benchmark address
+// stream through the backend and returns timing. Deterministic per seed.
+func Run(cfg Config, bm trace.Spec, instructions int64, seed uint64) Result {
+	if cfg.Banks <= 0 || cfg.FreqGHz <= 0 {
+		panic(fmt.Sprintf("banksim: bad config %+v", cfg))
+	}
+	gen := trace.NewGenerator(bm, seed)
+	rng := prng.NewFrom(seed, "banksim")
+	bankFree := make([]float64, cfg.Banks)
+
+	cycleNS := 1 / cfg.FreqGHz
+	// Events per kilo-instruction, spread uniformly.
+	evPerKI := cfg.ReadsPerKI + cfg.WritesPerKI
+	if evPerKI <= 0 {
+		return Result{Instructions: instructions,
+			TotalNS: float64(instructions) * cycleNS,
+			IPC:     1}
+	}
+	instrPerEvent := 1000 / evPerKI
+	pRead := cfg.ReadsPerKI / evPerKI
+
+	var now, stall float64
+	var conflicts int64
+	var rec trace.Record
+	var executed float64
+	for executed = 0; executed < float64(instructions); executed += instrPerEvent {
+		// Core executes the gap between memory events at 1 IPC.
+		now += instrPerEvent * cycleNS
+		gen.Next(&rec)
+		bank := int(rec.Line % uint64(cfg.Banks))
+		start := now
+		if bankFree[bank] > now {
+			conflicts++
+			start = bankFree[bank]
+		}
+		if rng.Float64() < pRead {
+			done := start + cfg.ReadNS
+			// The OoO window hides HideNS of latency; the rest stalls.
+			if s := done - now - cfg.HideNS; s > 0 {
+				stall += s
+				now += s
+			}
+			bankFree[bank] = done
+		} else {
+			// Writeback: read-modify-write occupies the bank; the core
+			// does not wait for it.
+			bankFree[bank] = start + cfg.ReadNS + cfg.EncodeNS + cfg.WriteNS
+		}
+	}
+	total := now
+	return Result{
+		Instructions: instructions,
+		TotalNS:      total,
+		IPC:          float64(instructions) / (total / cycleNS),
+		ReadStallNS:  stall,
+		BankConflict: conflicts,
+	}
+}
+
+// NormalizedIPC runs the benchmark with and without encoder latency and
+// returns the ratio — the quantity Fig. 13 plots.
+func NormalizedIPC(encodeNS float64, bm trace.Spec, instructions int64, seed uint64) float64 {
+	base := Run(DefaultConfig(0, bm.WriteIntensity), bm, instructions, seed)
+	enc := Run(DefaultConfig(encodeNS, bm.WriteIntensity), bm, instructions, seed)
+	return enc.IPC / base.IPC
+}

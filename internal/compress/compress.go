@@ -1,0 +1,184 @@
+// Package compress implements a frequent-pattern word compressor in the
+// style used by restricted coset coding (Seyedzadeh et al., HPCA 2018 —
+// the paper's reference [38]): lightweight compression opens a few bits
+// of slack inside each 64-bit word, enough to store the coset auxiliary
+// index inline instead of in dedicated spare cells.
+//
+// The catch — and the reason the VCC paper stores auxiliary bits in the
+// ECC spare region instead — is encryption: AES-CTR ciphertext is
+// incompressible, so inline aux space is essentially never available on
+// the encrypted path. The ablate-compress experiment quantifies exactly
+// that: biased plaintext words compress readily; the same words after
+// encryption almost never do.
+package compress
+
+import "fmt"
+
+// Pattern tags, ordered from most to least compact.
+type Pattern uint8
+
+const (
+	// Zero: the whole word is zero.
+	Zero Pattern = iota
+	// RepByte: all eight bytes equal.
+	RepByte
+	// Sext8: the word is a sign-extended 8-bit integer.
+	Sext8
+	// Sext16: sign-extended 16-bit integer.
+	Sext16
+	// Sext32: sign-extended 32-bit integer.
+	Sext32
+	// HalfRep: upper 32 bits equal lower 32 bits.
+	HalfRep
+	// Uncompressed: no pattern matched.
+	Uncompressed
+)
+
+// TagBits is the per-word pattern tag width (7 patterns fit in 3 bits).
+const TagBits = 3
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Zero:
+		return "zero"
+	case RepByte:
+		return "repbyte"
+	case Sext8:
+		return "sext8"
+	case Sext16:
+		return "sext16"
+	case Sext32:
+		return "sext32"
+	case HalfRep:
+		return "halfrep"
+	case Uncompressed:
+		return "raw"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// payloadBits per pattern.
+var payloadBits = map[Pattern]int{
+	Zero: 0, RepByte: 8, Sext8: 8, Sext16: 16, Sext32: 32,
+	HalfRep: 32, Uncompressed: 64,
+}
+
+// Classify returns the most compact pattern matching w.
+func Classify(w uint64) Pattern {
+	switch {
+	case w == 0:
+		return Zero
+	case isRepByte(w):
+		return RepByte
+	case isSext(w, 8):
+		return Sext8
+	case isSext(w, 16):
+		return Sext16
+	case isSext(w, 32):
+		return Sext32
+	case w>>32 == w&0xFFFFFFFF:
+		return HalfRep
+	default:
+		return Uncompressed
+	}
+}
+
+func isRepByte(w uint64) bool {
+	b := w & 0xFF
+	return w == b*0x0101010101010101
+}
+
+// isSext reports whether w is the two's-complement sign extension of its
+// low k bits.
+func isSext(w uint64, k int) bool {
+	shifted := int64(w) << uint(64-k) >> uint(64-k)
+	return uint64(shifted) == w
+}
+
+// CompressedBits returns the encoded size of w in bits (tag + payload).
+func CompressedBits(w uint64) int {
+	return TagBits + payloadBits[Classify(w)]
+}
+
+// Slack returns how many bits compression frees inside the 64-bit slot
+// (0 for incompressible words).
+func Slack(w uint64) int {
+	s := 64 - CompressedBits(w)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// CanHostAux reports whether the word's slack can hold auxBits of coset
+// index inline — the restricted-coset-coding eligibility test.
+func CanHostAux(w uint64, auxBits int) bool { return Slack(w) >= auxBits }
+
+// Encode packs w into (pattern, payload). Decode inverts it. Together
+// they prove the classification is information-preserving (payload is
+// the minimal field the pattern implies).
+func Encode(w uint64) (Pattern, uint64) {
+	p := Classify(w)
+	switch p {
+	case Zero:
+		return p, 0
+	case RepByte, Sext8:
+		return p, w & 0xFF
+	case Sext16:
+		return p, w & 0xFFFF
+	case Sext32, HalfRep:
+		return p, w & 0xFFFFFFFF
+	default:
+		return p, w
+	}
+}
+
+// Decode reconstructs the word from (pattern, payload).
+func Decode(p Pattern, payload uint64) uint64 {
+	switch p {
+	case Zero:
+		return 0
+	case RepByte:
+		return (payload & 0xFF) * 0x0101010101010101
+	case Sext8:
+		return uint64(int64(payload<<56) >> 56)
+	case Sext16:
+		return uint64(int64(payload<<48) >> 48)
+	case Sext32:
+		return uint64(int64(payload<<32) >> 32)
+	case HalfRep:
+		lo := payload & 0xFFFFFFFF
+		return lo<<32 | lo
+	case Uncompressed:
+		return payload
+	default:
+		panic(fmt.Sprintf("compress: bad pattern %d", p))
+	}
+}
+
+// LineStats summarizes compressibility of a sequence of words.
+type LineStats struct {
+	Words        int
+	Compressible int // words with any slack
+	AuxEligible  int // words whose slack fits the given aux width
+	TotalSlack   int // bits
+}
+
+// Analyze scans words for slack against auxBits.
+func Analyze(words []uint64, auxBits int) LineStats {
+	var s LineStats
+	s.Words = len(words)
+	for _, w := range words {
+		sl := Slack(w)
+		s.TotalSlack += sl
+		if sl > 0 {
+			s.Compressible++
+		}
+		if sl >= auxBits {
+			s.AuxEligible++
+		}
+	}
+	return s
+}

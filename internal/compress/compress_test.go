@@ -1,0 +1,153 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestClassifyKnownPatterns(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		want Pattern
+	}{
+		{0, Zero},
+		{0xFFFFFFFFFFFFFFFF, RepByte}, // -1 matches repbyte before sext8
+		{0x7F, Sext8},
+		{0xFFFFFFFFFFFFFF80, RepByte&0 + Sext8}, // -128: sign-extended byte
+		{0x7FFF, Sext16},
+		{0xFFFFFFFFFFFF8000, Sext16},
+		{0x7FFFFFFF, Sext32},
+		{0xFFFFFFFF80000000, Sext32},
+		{0x1234567812345678, HalfRep},
+		{0xDEADBEEFCAFEF00D, Uncompressed},
+		{0x4242424242424242, RepByte},
+	}
+	for _, c := range cases {
+		if got := Classify(c.w); got != c.want {
+			t.Errorf("Classify(%#x) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(w uint64) bool {
+		p, payload := Encode(w)
+		return Decode(p, payload) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// And the special values.
+	for _, w := range []uint64{0, 1, ^uint64(0), 0x80, 0xFFFFFFFFFFFFFF80,
+		0x1234567812345678, 42} {
+		p, payload := Encode(w)
+		if Decode(p, payload) != w {
+			t.Errorf("round trip failed for %#x (pattern %v)", w, p)
+		}
+	}
+}
+
+func TestCompressedBits(t *testing.T) {
+	if got := CompressedBits(0); got != TagBits {
+		t.Errorf("zero word = %d bits", got)
+	}
+	if got := CompressedBits(0xDEADBEEFCAFEF00D); got != TagBits+64 {
+		t.Errorf("raw word = %d bits", got)
+	}
+	if got := CompressedBits(42); got != TagBits+8 {
+		t.Errorf("small int = %d bits", got)
+	}
+}
+
+func TestSlackNeverNegative(t *testing.T) {
+	f := func(w uint64) bool { return Slack(w) >= 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Incompressible words get zero slack even though tag+64 > 64.
+	if Slack(0xDEADBEEFCAFEF00D) != 0 {
+		t.Error("raw word should have no slack")
+	}
+}
+
+func TestCanHostAux(t *testing.T) {
+	if !CanHostAux(0, 8) {
+		t.Error("zero word has 61 bits of slack")
+	}
+	if CanHostAux(0xDEADBEEFCAFEF00D, 1) {
+		t.Error("incompressible word cannot host aux")
+	}
+	// sext32: slack = 64-35 = 29 >= 8.
+	if !CanHostAux(0x7FFFFFFF, 8) {
+		t.Error("sext32 should host 8 aux bits")
+	}
+}
+
+// TestCiphertextIncompressible is the punchline: random (encrypted)
+// words essentially never have slack, which is why the paper stores aux
+// bits in the ECC spare region rather than inline.
+func TestCiphertextIncompressible(t *testing.T) {
+	rng := prng.New(1)
+	words := rng.Words(100_000)
+	s := Analyze(words, 8)
+	frac := float64(s.AuxEligible) / float64(s.Words)
+	if frac > 1e-3 {
+		t.Errorf("%.4f%% of random words can host aux; should be ~0", 100*frac)
+	}
+}
+
+func TestBiasedDataCompressible(t *testing.T) {
+	// Small integers (typical unencrypted workload content).
+	var words []uint64
+	for i := 0; i < 1000; i++ {
+		words = append(words, uint64(i%256))
+	}
+	s := Analyze(words, 8)
+	if s.AuxEligible < 900 {
+		t.Errorf("only %d/1000 small-int words aux-eligible", s.AuxEligible)
+	}
+	if s.TotalSlack == 0 {
+		t.Error("no slack found in biased data")
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	s := Analyze([]uint64{0, 0xDEADBEEFCAFEF00D}, 8)
+	if s.Words != 2 || s.Compressible != 1 || s.AuxEligible != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p := Zero; p <= Uncompressed; p++ {
+		if p.String() == "" {
+			t.Errorf("pattern %d has no name", p)
+		}
+	}
+	if Pattern(99).String() == "" {
+		t.Error("unknown pattern should print")
+	}
+}
+
+func TestDecodePanicsOnBadPattern(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Decode(Pattern(99), 0)
+}
+
+func TestIsSextBoundaries(t *testing.T) {
+	if !isSext(0xFFFFFFFFFFFFFFFF, 8) {
+		t.Error("-1 is sign-extendable from 8 bits")
+	}
+	if isSext(0x100, 8) {
+		t.Error("0x100 is not an 8-bit value")
+	}
+	if !isSext(0x80, 16) {
+		t.Error("0x80 sign-extends from 16 bits")
+	}
+}

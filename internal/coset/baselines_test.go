@@ -1,0 +1,264 @@
+package coset
+
+import (
+	"testing"
+
+	"repro/internal/bitutil"
+	"repro/internal/pcm"
+	"repro/internal/prng"
+)
+
+func allCodecs() []Codec {
+	return []Codec{
+		NewIdentity(64),
+		NewIdentity(32),
+		NewFNW(64, 16),
+		NewFNW(32, 16),
+		NewFNW(64, 8),
+		NewFlipcy(64),
+		NewFlipcy(32),
+		NewRCC(64, 16, 1),
+		NewRCC(64, 256, 2),
+		NewRCC(32, 64, 3),
+		NewVCCStored(64, 16, 256, 4),
+		NewVCCGenerated(16, 256),
+	}
+}
+
+// TestAllCodecsRoundTrip: Decode(Encode(x)) == x for every codec under
+// random data and contexts, for all objectives.
+func TestAllCodecsRoundTrip(t *testing.T) {
+	rng := prng.New(41)
+	for _, c := range allCodecs() {
+		n := c.PlaneBits()
+		for trial := 0; trial < 50; trial++ {
+			data := rng.Uint64() & bitutil.Mask(n)
+			ctx := randCtx(rng, n == 32)
+			left := ctx.NewLeft
+			for _, obj := range []Objective{ObjFlips, ObjOnes, ObjEnergySAW, ObjSAWEnergy} {
+				ev := NewEvaluator(ctx, obj)
+				enc, aux := c.Encode(data, ev)
+				if aux >= 1<<uint(c.AuxBits()) {
+					t.Fatalf("%s: aux %d exceeds %d bits", c.Name(), aux, c.AuxBits())
+				}
+				if got := c.Decode(enc, aux, left); got != data {
+					t.Fatalf("%s obj %v: round trip %x -> (%x,%x) -> %x",
+						c.Name(), obj, data, enc, aux, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecsNeverExceedPlane: encoded output must fit in the plane.
+func TestCodecsNeverExceedPlane(t *testing.T) {
+	rng := prng.New(43)
+	for _, c := range allCodecs() {
+		n := c.PlaneBits()
+		ev := NewEvaluator(Ctx{N: n, Mode: pcm.SLC, MLCPlane: n == 32}, ObjOnes)
+		for trial := 0; trial < 20; trial++ {
+			enc, _ := c.Encode(rng.Uint64()&bitutil.Mask(n), ev)
+			if enc&^bitutil.Mask(n) != 0 {
+				t.Fatalf("%s: encoded value overflows plane", c.Name())
+			}
+		}
+	}
+}
+
+func TestIdentityIsTransparent(t *testing.T) {
+	c := NewIdentity(64)
+	ev := NewEvaluator(Ctx{N: 64, Mode: pcm.SLC}, ObjOnes)
+	enc, aux := c.Encode(0xDEADBEEF, ev)
+	if enc != 0xDEADBEEF || aux != 0 {
+		t.Error("identity transformed the data")
+	}
+	if c.AuxBits() != 0 {
+		t.Error("identity should need no aux bits")
+	}
+}
+
+func TestFNWInvertsHeavySubBlocks(t *testing.T) {
+	// Sub-block of 16 ones over old data of zeros: inversion wins for
+	// flip minimization.
+	c := NewFNW(64, 16)
+	ev := NewEvaluator(Ctx{N: 64, Mode: pcm.SLC, OldWord: 0}, ObjFlips)
+	enc, aux := c.Encode(0xFFFF, ev)
+	if enc != 0 {
+		t.Errorf("enc = %#x, want 0 (inverted)", enc)
+	}
+	if aux != 1 {
+		t.Errorf("aux = %#b, want partition 0 flagged", aux)
+	}
+	if c.Decode(enc, aux, 0) != 0xFFFF {
+		t.Error("round trip failed")
+	}
+}
+
+func TestFNWAuxBits(t *testing.T) {
+	if NewFNW(64, 16).AuxBits() != 4 {
+		t.Error("FNW(64,16) should use 4 aux bits")
+	}
+	if NewFNW(64, 8).AuxBits() != 8 {
+		t.Error("FNW(64,8) should use 8 aux bits")
+	}
+}
+
+func TestFNWPanicsOnBadGranularity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewFNW(64, 24)
+}
+
+func TestFlipcyCandidates(t *testing.T) {
+	c := NewFlipcy(64)
+	// Old data = one's complement of the input: aux 1 should win flips.
+	d := uint64(0x0F0F0F0F0F0F0F0F)
+	ev := NewEvaluator(Ctx{N: 64, Mode: pcm.SLC, OldWord: ^d}, ObjFlips)
+	enc, aux := c.Encode(d, ev)
+	if aux != 1 || enc != ^d {
+		t.Errorf("enc=%x aux=%d, want one's complement chosen", enc, aux)
+	}
+}
+
+func TestFlipcyTwosComplementRoundTrip(t *testing.T) {
+	for _, n := range []int{32, 64} {
+		c := NewFlipcy(n)
+		for _, d := range []uint64{0, 1, bitutil.Mask(n), bitutil.Mask(n) - 1,
+			0x8000000000000000 & bitutil.Mask(n), 42} {
+			d &= bitutil.Mask(n)
+			twos := (^d + 1) & bitutil.Mask(n)
+			if got := c.Decode(twos, 2, 0); got != d {
+				t.Errorf("n=%d d=%x: twos decode = %x", n, d, got)
+			}
+		}
+	}
+}
+
+func TestRCCIdentityCosetAtZero(t *testing.T) {
+	c := NewRCC(64, 16, 7)
+	if c.Coset(0) != 0 {
+		t.Error("coset 0 should be the identity")
+	}
+	for i := 1; i < c.NumCosets(); i++ {
+		if c.Coset(i) == 0 {
+			t.Errorf("coset %d is zero (duplicate identity)", i)
+		}
+	}
+}
+
+func TestRCCPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRCC(64, 6, 1)
+}
+
+func TestRCCReducesOnes(t *testing.T) {
+	rng := prng.New(51)
+	c := NewRCC(64, 256, 9)
+	ev := NewEvaluator(Ctx{N: 64, Mode: pcm.SLC}, ObjOnes)
+	var total float64
+	const trials = 1500
+	for i := 0; i < trials; i++ {
+		enc, _ := c.Encode(rng.Uint64(), ev)
+		total += float64(bitutil.OnesCount(enc))
+	}
+	if avg := total / trials; avg >= 26 {
+		t.Errorf("avg ones %v, want clearly below 32", avg)
+	}
+}
+
+// TestRCCBeatsFewerCosets: more random cosets must not do worse on
+// average (the Section III motivation).
+func TestRCCMoreCosetsBetter(t *testing.T) {
+	rng := prng.New(53)
+	c16 := NewRCC(64, 16, 9)
+	c256 := NewRCC(64, 256, 9)
+	var t16, t256 float64
+	const trials = 1500
+	for i := 0; i < trials; i++ {
+		d := rng.Uint64()
+		ev := NewEvaluator(Ctx{N: 64, Mode: pcm.SLC}, ObjOnes)
+		e16, _ := c16.Encode(d, ev)
+		e256, _ := c256.Encode(d, ev)
+		t16 += float64(bitutil.OnesCount(e16))
+		t256 += float64(bitutil.OnesCount(e256))
+	}
+	if t256 >= t16 {
+		t.Errorf("256 cosets (%v) not better than 16 (%v)", t256/trials, t16/trials)
+	}
+}
+
+// TestVCCApproximatesRCC: with equal virtual/real coset counts, VCC's
+// ones-minimization should land close to RCC's (the paper's Section V-B
+// claim: within a point or two of savings).
+func TestVCCApproximatesRCC(t *testing.T) {
+	rng := prng.New(57)
+	rcc := NewRCC(64, 256, 11)
+	vcc := NewVCCStored(64, 16, 256, 11)
+	var tr, tv float64
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		d := rng.Uint64()
+		ev := NewEvaluator(Ctx{N: 64, Mode: pcm.SLC}, ObjOnes)
+		er, _ := rcc.Encode(d, ev)
+		evv, _ := vcc.Encode(d, ev)
+		tr += float64(bitutil.OnesCount(er))
+		tv += float64(bitutil.OnesCount(evv))
+	}
+	mr, mv := tr/trials, tv/trials
+	if mv > mr*1.08 {
+		t.Errorf("VCC mean ones %v much worse than RCC %v", mv, mr)
+	}
+}
+
+// TestCosetMaskingReducesSAW: with stuck cells, coset codecs must reduce
+// stuck-at-wrong cells versus identity (the Fig. 2/8 mechanism).
+func TestCosetMaskingReducesSAW(t *testing.T) {
+	rng := prng.New(61)
+	id := NewIdentity(64)
+	rcc := NewRCC(64, 256, 13)
+	var sawID, sawRCC float64
+	const trials = 800
+	for i := 0; i < trials; i++ {
+		// Four stuck SLC bits per word.
+		var stuck uint64
+		for k := 0; k < 4; k++ {
+			stuck |= 1 << rng.Uint64n(64)
+		}
+		ctx := Ctx{N: 64, Mode: pcm.SLC, OldWord: rng.Uint64(),
+			StuckMask: stuck, StuckVal: rng.Uint64() & stuck}
+		d := rng.Uint64()
+		evI := NewEvaluator(ctx, ObjSAWEnergy)
+		encI, _ := id.Encode(d, evI)
+		sawID += evI.Full(encI).Primary
+		evR := NewEvaluator(ctx, ObjSAWEnergy)
+		encR, _ := rcc.Encode(d, evR)
+		sawRCC += evR.Full(encR).Primary
+	}
+	if sawRCC > sawID/4 {
+		t.Errorf("RCC SAW %v not clearly below identity %v", sawRCC, sawID)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 256: 8}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCodecNames(t *testing.T) {
+	for _, c := range allCodecs() {
+		if c.Name() == "" {
+			t.Error("codec with empty name")
+		}
+	}
+}

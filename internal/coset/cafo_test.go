@@ -1,0 +1,164 @@
+package coset
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestCAFORoundTrip(t *testing.T) {
+	c := NewCAFO(8, 4)
+	rng := prng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		line := rng.Words(8)
+		old := rng.Words(8)
+		enc, rf, cf := c.Encode(line, old)
+		got := c.Decode(enc, rf, cf)
+		for i := range line {
+			if got[i] != line[i] {
+				t.Fatalf("trial %d word %d: round trip failed", trial, i)
+			}
+		}
+	}
+}
+
+func TestCAFONeverWorseThanUnencoded(t *testing.T) {
+	c := NewCAFO(8, 4)
+	rng := prng.New(2)
+	for trial := 0; trial < 300; trial++ {
+		line := rng.Words(8)
+		old := rng.Words(8)
+		base := cafoCost(line, old)
+		if got := c.FlipsAgainst(line, old); got > base {
+			t.Fatalf("trial %d: CAFO %d flips > unencoded %d", trial, got, base)
+		}
+	}
+}
+
+func TestCAFOFlipsInvertedRow(t *testing.T) {
+	c := NewCAFO(4, 4)
+	old := []uint64{0, 0, 0, 0}
+	line := []uint64{0, ^uint64(0), 0, 0} // row 1 is all-ones
+	enc, rf, _ := c.Encode(line, old)
+	if rf != 0b0010 {
+		t.Errorf("row flips = %04b, want row 1", rf)
+	}
+	if enc[1] != 0 {
+		t.Errorf("row 1 should be stored inverted (all zeros), got %#x", enc[1])
+	}
+}
+
+func TestCAFOFlipsBadColumn(t *testing.T) {
+	c := NewCAFO(8, 4)
+	old := make([]uint64, 8)
+	line := make([]uint64, 8)
+	for i := range line {
+		line[i] = 1 << 13 // column 13 set in every row
+	}
+	enc, _, cf := c.Encode(line, old)
+	if cf != 1<<13 {
+		t.Errorf("column flips = %#x, want bit 13", cf)
+	}
+	for i := range enc {
+		if enc[i] != 0 {
+			t.Errorf("row %d should be all zeros after column flip", i)
+		}
+	}
+}
+
+func TestCAFOBeatsRowOnlyFNWOnStructuredData(t *testing.T) {
+	// Data with a hot column (e.g. a sign bit set across all words)
+	// over zeroed old contents: row-only FNW cannot remove it without
+	// wrecking each row, the column pass can.
+	c := NewCAFO(8, 4)
+	fnw := NewFNW(64, 16)
+	old := make([]uint64, 8)
+	line := make([]uint64, 8)
+	rng := prng.New(3)
+	for i := range line {
+		line[i] = 1<<63 | (rng.Uint64() & 0xFF) // sign column + sparse noise
+	}
+	cafoFlips := c.FlipsAgainst(line, old)
+	fnwFlips := 0
+	for i := range line {
+		ev := NewEvaluator(Ctx{N: 64, OldWord: old[i]}, ObjFlips)
+		enc, aux := fnw.Encode(line[i], ev)
+		fnwFlips += int(ev.Full(enc).Add(ev.Aux(aux, fnw.AuxBits())).Primary)
+	}
+	if cafoFlips >= fnwFlips {
+		t.Errorf("CAFO %d flips not below FNW %d on column-structured data",
+			cafoFlips, fnwFlips)
+	}
+}
+
+func TestCAFOAuxBits(t *testing.T) {
+	if got := NewCAFO(8, 4).AuxBits(); got != 72 {
+		t.Errorf("aux bits = %d, want 72", got)
+	}
+}
+
+func TestCAFOTerminates(t *testing.T) {
+	// Even with a generous iteration cap, encode must stop quickly on
+	// random data (no oscillation).
+	c := NewCAFO(8, 1000)
+	rng := prng.New(4)
+	line := rng.Words(8)
+	old := rng.Words(8)
+	enc1, rf1, cf1 := c.Encode(line, old)
+	// Idempotence: re-encoding the already-optimal line changes nothing.
+	enc2, rf2, cf2 := c.Encode(c.Decode(enc1, rf1, cf1), old)
+	for i := range enc1 {
+		if enc1[i] != enc2[i] {
+			t.Fatal("re-encode differs")
+		}
+	}
+	if rf1 != rf2 || cf1 != cf2 {
+		t.Fatal("flip masks differ on re-encode")
+	}
+}
+
+func TestCAFOPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCAFO(0, 1)
+}
+
+func TestCAFOLengthMismatchPanics(t *testing.T) {
+	c := NewCAFO(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Encode(make([]uint64, 4), make([]uint64, 8))
+}
+
+func TestCAFOOnBiasedVsRandomData(t *testing.T) {
+	// The motivating contrast: CAFO helps biased data far more than
+	// encrypted (random) data.
+	c := NewCAFO(8, 4)
+	rng := prng.New(5)
+	var savedBiased, savedRandom float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		old := make([]uint64, 8)
+		biased := make([]uint64, 8)
+		for i := range biased {
+			// Negative integers in twos complement: the heavy upper bits
+			// are exactly what DBI-style inversion removes.
+			biased[i] = 0xFFFFFFFFFFFF0000 | (rng.Uint64() & 0xFFFF)
+		}
+		random := rng.Words(8)
+		savedBiased += 1 - float64(c.FlipsAgainst(biased, old))/
+			float64(cafoCost(biased, old)+1)
+		savedRandom += 1 - float64(c.FlipsAgainst(random, rng.Words(8)))/
+			float64(64*8/2)
+	}
+	if savedBiased/trials < 2*savedRandom/trials {
+		t.Errorf("CAFO biased saving %.2f not >> random saving %.2f",
+			savedBiased/trials, savedRandom/trials)
+	}
+}

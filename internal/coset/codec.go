@@ -1,0 +1,77 @@
+package coset
+
+import "repro/internal/bitutil"
+
+// Codec transforms an n-bit data plane into a code plane chosen to
+// minimize the evaluator's objective, producing the auxiliary index
+// needed to invert the transform.
+//
+// Decode receives the stored word's left-digit plane (meaningful only
+// for codecs whose kernels are generated from it, per Algorithm 2; all
+// other codecs ignore it).
+type Codec interface {
+	// Name identifies the codec in experiment output.
+	Name() string
+	// PlaneBits is the plane width n the codec operates on.
+	PlaneBits() int
+	// AuxBits is the number of auxiliary bits stored per plane.
+	AuxBits() int
+	// Encode returns the optimal code plane and its auxiliary index.
+	Encode(data uint64, ev *Evaluator) (enc, aux uint64)
+	// Decode recovers the data plane from the code plane and index.
+	Decode(enc, aux, left uint64) uint64
+}
+
+// bestOf enumerates num candidates (cand(i) must return the full code
+// plane for index i) and returns the lexicographically cheapest including
+// its aux-write cost. It is the shared engine of the explicit-candidate
+// codecs (identity, Flipcy, RCC).
+func bestOf(num int, auxBits int, cand func(i int) uint64, ev *Evaluator) (uint64, uint64) {
+	bestEnc, bestAux := cand(0), uint64(0)
+	bestCost := ev.Full(bestEnc).Add(ev.Aux(0, auxBits))
+	for i := 1; i < num; i++ {
+		c := cand(i)
+		cost := ev.Full(c).Add(ev.Aux(uint64(i), auxBits))
+		if cost.Less(bestCost) {
+			bestEnc, bestAux, bestCost = c, uint64(i), cost
+		}
+	}
+	return bestEnc, bestAux
+}
+
+// log2 returns ceil(log2(n)) for n >= 1.
+func log2(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Identity is the unencoded baseline: data is written as-is and no
+// auxiliary bits are used.
+type Identity struct {
+	n int
+}
+
+// NewIdentity returns the unencoded codec for n-bit planes.
+func NewIdentity(n int) *Identity { return &Identity{n: n} }
+
+// Name implements Codec.
+func (c *Identity) Name() string { return "Unencoded" }
+
+// PlaneBits implements Codec.
+func (c *Identity) PlaneBits() int { return c.n }
+
+// AuxBits implements Codec.
+func (c *Identity) AuxBits() int { return 0 }
+
+// Encode implements Codec.
+func (c *Identity) Encode(data uint64, ev *Evaluator) (uint64, uint64) {
+	return data & bitutil.Mask(c.n), 0
+}
+
+// Decode implements Codec.
+func (c *Identity) Decode(enc, aux, left uint64) uint64 {
+	return enc & bitutil.Mask(c.n)
+}

@@ -1,0 +1,272 @@
+// Package coset implements the paper's primary contribution — Virtual
+// Coset Coding (Algorithm 1) with stored and generated kernels
+// (Algorithm 2) — together with every coset baseline it is evaluated
+// against: random coset coding (RCC), biased coset coding
+// (Flip-N-Write/DBI) and Flipcy, all behind one Codec interface driven by
+// pluggable lexicographic cost functions (bit flips, MLC write energy,
+// stuck-at-wrong cells).
+//
+// # Planes and contexts
+//
+// A codec operates on an n-bit "plane" carried in the low bits of a
+// uint64. Two configurations appear throughout:
+//
+//   - full-word: the plane is the whole 64-bit data block (SLC memories,
+//     or full-word RCC on MLC);
+//   - MLC right-digit plane (paper Section IV-B): the plane is the 32
+//     right digits of a 64-bit MLC word. The 32 left digits pass through
+//     unencoded — Table I makes write energy insensitive to them — and
+//     double as the entropy source for generated coset kernels.
+//
+// The Evaluator binds a write context (old word, stuck cells, old aux
+// bits, energy model) to an Objective and can price a whole candidate or
+// any single partition of it, which is what lets VCC evaluate kernels and
+// their complements partition-by-partition exactly as the hardware does.
+package coset
+
+import (
+	"math/bits"
+
+	"repro/internal/bitutil"
+	"repro/internal/pcm"
+)
+
+// Pair is a lexicographic cost: compare Primary first, break ties with
+// Secondary. The paper's two optimization modes are (energy, SAW) and
+// (SAW, energy) — Section VI-A.
+type Pair struct {
+	Primary   float64
+	Secondary float64
+}
+
+// Less reports whether p is strictly cheaper than q lexicographically.
+func (p Pair) Less(q Pair) bool {
+	if p.Primary != q.Primary {
+		return p.Primary < q.Primary
+	}
+	return p.Secondary < q.Secondary
+}
+
+// Add returns the component-wise sum.
+func (p Pair) Add(q Pair) Pair {
+	return Pair{p.Primary + q.Primary, p.Secondary + q.Secondary}
+}
+
+// Objective selects what a candidate costs.
+type Objective int
+
+const (
+	// ObjFlips minimizes changed cells (symbols for MLC, bits for SLC):
+	// the classic write-reduction objective.
+	ObjFlips Objective = iota
+	// ObjOnes minimizes the Hamming weight of the written code word plus
+	// its auxiliary bits — the cost used in the paper's Fig. 3 worked
+	// example and Algorithm 1.
+	ObjOnes
+	// ObjEnergySAW minimizes write energy first and stuck-at-wrong cells
+	// second (the paper's "Opt. Energy").
+	ObjEnergySAW
+	// ObjSAWEnergy minimizes stuck-at-wrong cells first and energy
+	// second (the paper's "Opt. SAW").
+	ObjSAWEnergy
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjFlips:
+		return "flips"
+	case ObjOnes:
+		return "ones"
+	case ObjEnergySAW:
+		return "energy+saw"
+	case ObjSAWEnergy:
+		return "saw+energy"
+	default:
+		return "objective?"
+	}
+}
+
+// Ctx is the physical write context a candidate is priced against.
+type Ctx struct {
+	// N is the plane width in bits: 64 for full-word, 32 for the MLC
+	// right-digit plane.
+	N int
+	// Mode is the cell technology of the target word.
+	Mode pcm.CellMode
+	// MLCPlane marks the right-digit-plane configuration: candidates are
+	// 32-bit planes merged with NewLeft before hitting the cells.
+	MLCPlane bool
+	// OldWord is the full 64-bit word currently stored in the cells.
+	OldWord uint64
+	// NewLeft holds the incoming word's 32 left digits (MLCPlane only).
+	NewLeft uint64
+	// StuckMask/StuckVal describe stuck cells of the word (full-word bit
+	// coordinates, both bits of a stuck MLC cell set).
+	StuckMask uint64
+	StuckVal  uint64
+	// OldAux is the auxiliary-bit value currently stored for this word.
+	OldAux uint64
+	// Energy prices transitions; zero value falls back to pcm.DefaultEnergy.
+	Energy pcm.EnergyModel
+}
+
+// Evaluator prices candidate planes under one objective. It is cheap to
+// construct per write.
+type Evaluator struct {
+	Ctx Ctx
+	Obj Objective
+}
+
+// NewEvaluator builds an evaluator, applying defaults.
+func NewEvaluator(ctx Ctx, obj Objective) *Evaluator {
+	if ctx.Energy == (pcm.EnergyModel{}) {
+		ctx.Energy = pcm.DefaultEnergy
+	}
+	if ctx.N == 0 {
+		if ctx.MLCPlane {
+			ctx.N = 32
+		} else {
+			ctx.N = 64
+		}
+	}
+	return &Evaluator{Ctx: ctx, Obj: obj}
+}
+
+// OldPlane returns the currently-stored plane value (what the candidate
+// will be compared against by flip-style objectives).
+func (e *Evaluator) OldPlane() uint64 {
+	if e.Ctx.MLCPlane {
+		return bitutil.CompressEven(e.Ctx.OldWord)
+	}
+	return e.Ctx.OldWord & bitutil.Mask(e.Ctx.N)
+}
+
+// Full prices the complete candidate plane.
+func (e *Evaluator) Full(candidate uint64) Pair {
+	return e.eval(candidate, bitutil.Mask(e.Ctx.N))
+}
+
+// Part prices only partition j (width m) of the candidate plane. The
+// candidate's bits for that partition must be in place (i.e. at bit
+// offset j*m); other bits are ignored. Summing Part over all partitions
+// equals Full.
+func (e *Evaluator) Part(candidate uint64, j, m int) Pair {
+	return e.eval(candidate, bitutil.Mask(m)<<uint(j*m))
+}
+
+// eval prices the candidate restricted to planeMask (plane coordinates).
+func (e *Evaluator) eval(candidate, planeMask uint64) Pair {
+	c := &e.Ctx
+	var desired, bitMask uint64
+	if c.MLCPlane {
+		desired = bitutil.MergePlanes(c.NewLeft, candidate)
+		bitMask = bitutil.ExpandSymbolMask(planeMask & bitutil.Mask(32))
+	} else {
+		desired = candidate & bitutil.Mask(c.N)
+		bitMask = planeMask & bitutil.Mask(c.N)
+	}
+	stored := (desired &^ c.StuckMask) | (c.StuckVal & c.StuckMask)
+
+	switch e.Obj {
+	case ObjOnes:
+		return Pair{float64(bits.OnesCount64(candidate & planeMask)), 0}
+	case ObjFlips:
+		return Pair{float64(e.cellChanges(stored, bitMask)), 0}
+	case ObjEnergySAW:
+		return Pair{e.energy(stored, bitMask), float64(e.saw(desired, bitMask))}
+	case ObjSAWEnergy:
+		return Pair{float64(e.saw(desired, bitMask)), e.energy(stored, bitMask)}
+	default:
+		panic("coset: unknown objective")
+	}
+}
+
+func (e *Evaluator) cellChanges(stored, bitMask uint64) int {
+	diff := (e.Ctx.OldWord ^ stored) & bitMask
+	if e.Ctx.Mode == pcm.MLC {
+		return bits.OnesCount64(bitutil.CollapseBitMaskToSymbols(diff))
+	}
+	return bits.OnesCount64(diff)
+}
+
+func (e *Evaluator) energy(stored, bitMask uint64) float64 {
+	if e.Ctx.Mode == pcm.MLC {
+		return e.Ctx.Energy.MLCWordEnergyMasked(e.Ctx.OldWord, stored, bitMask)
+	}
+	return e.Ctx.Energy.SLCWordEnergyMasked(e.Ctx.OldWord, stored, bitMask)
+}
+
+func (e *Evaluator) saw(desired, bitMask uint64) int {
+	wrong := (desired ^ e.Ctx.StuckVal) & e.Ctx.StuckMask & bitMask
+	if e.Ctx.Mode == pcm.MLC {
+		return bits.OnesCount64(bitutil.CollapseBitMaskToSymbols(wrong))
+	}
+	return bits.OnesCount64(wrong)
+}
+
+// AuxBit prices writing a single auxiliary bit (bit position bitIdx of
+// the aux index) with value val (0 or 1). Aux cost decomposes per bit for
+// every objective in this package, which lets VCC fold each partition's
+// flag-bit cost into the partition decision and stay exactly optimal over
+// all N virtual cosets (see VCC.Encode).
+func (e *Evaluator) AuxBit(bitIdx int, val uint64) Pair {
+	old := e.Ctx.OldAux >> uint(bitIdx) & 1
+	val &= 1
+	switch e.Obj {
+	case ObjOnes:
+		return Pair{float64(val), 0}
+	case ObjFlips:
+		if old != val {
+			return Pair{1, 0}
+		}
+		return Pair{}
+	case ObjEnergySAW, ObjSAWEnergy:
+		var en float64
+		if old != val {
+			if e.Ctx.Mode == pcm.MLC {
+				if val == 1 {
+					en = e.Ctx.Energy.MLCHighPJ
+				} else {
+					en = e.Ctx.Energy.MLCLowPJ
+				}
+			} else {
+				if val == 1 {
+					en = e.Ctx.Energy.SLCSetPJ
+				} else {
+					en = e.Ctx.Energy.SLCResetPJ
+				}
+			}
+		}
+		if e.Obj == ObjEnergySAW {
+			return Pair{en, 0}
+		}
+		return Pair{0, en}
+	default:
+		panic("coset: unknown objective")
+	}
+}
+
+// Aux prices writing the nbits-wide auxiliary index aux over the old aux
+// value. Aux cells are modeled as healthy spare cells of the same
+// technology (see pcm.EnergyModel.AuxBitsEnergy); Algorithm 1 line 19
+// requires candidate selection to include this term.
+func (e *Evaluator) Aux(aux uint64, nbits int) Pair {
+	if nbits == 0 {
+		return Pair{}
+	}
+	c := &e.Ctx
+	switch e.Obj {
+	case ObjOnes:
+		return Pair{float64(bits.OnesCount64(aux & bitutil.Mask(nbits))), 0}
+	case ObjFlips:
+		return Pair{float64(bitutil.HammingDistanceMasked(aux, c.OldAux,
+			bitutil.Mask(nbits))), 0}
+	case ObjEnergySAW:
+		return Pair{c.Energy.AuxBitsEnergy(c.Mode, c.OldAux, aux, nbits), 0}
+	case ObjSAWEnergy:
+		return Pair{0, c.Energy.AuxBitsEnergy(c.Mode, c.OldAux, aux, nbits)}
+	default:
+		panic("coset: unknown objective")
+	}
+}

@@ -1,0 +1,186 @@
+package coset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitutil"
+	"repro/internal/pcm"
+	"repro/internal/prng"
+)
+
+func randCtx(rng *prng.Rand, mlcPlane bool) Ctx {
+	stuckSym := rng.Uint64() & 0x1F
+	var mode pcm.CellMode
+	var stuckMask uint64
+	if mlcPlane || rng.Bool() {
+		mode = pcm.MLC
+		stuckMask = bitutil.ExpandSymbolMask(stuckSym)
+	} else {
+		mode = pcm.SLC
+		stuckMask = rng.Uint64() & rng.Uint64() & rng.Uint64() // sparse
+	}
+	n := 64
+	if mlcPlane {
+		n = 32
+		mode = pcm.MLC
+	}
+	return Ctx{
+		N: n, Mode: mode, MLCPlane: mlcPlane,
+		OldWord:   rng.Uint64(),
+		NewLeft:   rng.Uint64() & bitutil.Mask(32),
+		StuckMask: stuckMask,
+		StuckVal:  rng.Uint64() & stuckMask,
+		OldAux:    rng.Uint64() & 0xFF,
+	}
+}
+
+// TestFullEqualsSumOfParts is the decomposability invariant VCC's
+// per-partition optimization rests on.
+func TestFullEqualsSumOfParts(t *testing.T) {
+	rng := prng.New(31)
+	for trial := 0; trial < 300; trial++ {
+		mlcPlane := trial%2 == 0
+		ctx := randCtx(rng, mlcPlane)
+		cand := rng.Uint64() & bitutil.Mask(ctx.N)
+		for _, obj := range []Objective{ObjFlips, ObjOnes, ObjEnergySAW, ObjSAWEnergy} {
+			ev := NewEvaluator(ctx, obj)
+			full := ev.Full(cand)
+			m := 16
+			var sum Pair
+			for j := 0; j < ctx.N/m; j++ {
+				sum = sum.Add(ev.Part(cand, j, m))
+			}
+			if math.Abs(full.Primary-sum.Primary) > 1e-9 ||
+				math.Abs(full.Secondary-sum.Secondary) > 1e-9 {
+				t.Fatalf("trial %d obj %v: Full %+v != sum of parts %+v",
+					trial, obj, full, sum)
+			}
+		}
+	}
+}
+
+// TestAuxEqualsSumOfAuxBits checks the per-bit aux decomposition used by
+// VCC's flag-aware partition decisions.
+func TestAuxEqualsSumOfAuxBits(t *testing.T) {
+	rng := prng.New(37)
+	for trial := 0; trial < 200; trial++ {
+		ctx := randCtx(rng, trial%2 == 0)
+		const nbits = 8
+		aux := rng.Uint64() & bitutil.Mask(nbits)
+		for _, obj := range []Objective{ObjFlips, ObjOnes, ObjEnergySAW, ObjSAWEnergy} {
+			ev := NewEvaluator(ctx, obj)
+			whole := ev.Aux(aux, nbits)
+			var sum Pair
+			for b := 0; b < nbits; b++ {
+				sum = sum.Add(ev.AuxBit(b, aux>>uint(b)&1))
+			}
+			if math.Abs(whole.Primary-sum.Primary) > 1e-9 ||
+				math.Abs(whole.Secondary-sum.Secondary) > 1e-9 {
+				t.Fatalf("obj %v: Aux %+v != sum of AuxBits %+v", obj, whole, sum)
+			}
+		}
+	}
+}
+
+func TestPairLess(t *testing.T) {
+	if !(Pair{1, 0}).Less(Pair{2, 0}) {
+		t.Error("primary ordering")
+	}
+	if !(Pair{1, 1}).Less(Pair{1, 2}) {
+		t.Error("secondary tie-break")
+	}
+	if (Pair{1, 2}).Less(Pair{1, 2}) {
+		t.Error("equal pairs not Less")
+	}
+	if (Pair{2, 0}).Less(Pair{1, 100}) {
+		t.Error("secondary must not override primary")
+	}
+}
+
+func TestEvaluatorDefaults(t *testing.T) {
+	ev := NewEvaluator(Ctx{MLCPlane: true}, ObjFlips)
+	if ev.Ctx.N != 32 {
+		t.Errorf("default plane width = %d, want 32", ev.Ctx.N)
+	}
+	if ev.Ctx.Energy != pcm.DefaultEnergy {
+		t.Error("energy default not applied")
+	}
+	ev = NewEvaluator(Ctx{}, ObjFlips)
+	if ev.Ctx.N != 64 {
+		t.Errorf("default full width = %d, want 64", ev.Ctx.N)
+	}
+}
+
+func TestObjFlipsCountsCells(t *testing.T) {
+	// MLC: writing symbol 3 over symbol 0 changes 2 bits but 1 cell.
+	ev := NewEvaluator(Ctx{N: 64, Mode: pcm.MLC, OldWord: 0}, ObjFlips)
+	if got := ev.Full(3).Primary; got != 1 {
+		t.Errorf("MLC flips = %v, want 1 cell", got)
+	}
+	ev = NewEvaluator(Ctx{N: 64, Mode: pcm.SLC, OldWord: 0}, ObjFlips)
+	if got := ev.Full(3).Primary; got != 2 {
+		t.Errorf("SLC flips = %v, want 2 bits", got)
+	}
+}
+
+func TestObjEnergyMLCPlane(t *testing.T) {
+	// Old word all zeros; candidate plane sets right digit of cell 0 to
+	// 1, left digits zero: one high-energy program.
+	ctx := Ctx{N: 32, Mode: pcm.MLC, MLCPlane: true, OldWord: 0, NewLeft: 0}
+	ev := NewEvaluator(ctx, ObjEnergySAW)
+	if got := ev.Full(1).Primary; got != pcm.DefaultEnergy.MLCHighPJ {
+		t.Errorf("energy = %v, want high", got)
+	}
+	// Left digit set instead (via NewLeft): low-energy program of 00->10.
+	ctx.NewLeft = 1
+	ev = NewEvaluator(ctx, ObjEnergySAW)
+	if got := ev.Full(0).Primary; got != pcm.DefaultEnergy.MLCLowPJ {
+		t.Errorf("energy = %v, want low", got)
+	}
+}
+
+func TestSAWCounting(t *testing.T) {
+	// Cell 0 stuck at symbol 10; desired symbol 01 -> 1 SAW.
+	ctx := Ctx{N: 32, Mode: pcm.MLC, MLCPlane: true,
+		OldWord: 0b10, NewLeft: 0, StuckMask: 0b11, StuckVal: 0b10}
+	ev := NewEvaluator(ctx, ObjSAWEnergy)
+	// Candidate right digit 1, left 0 -> desired symbol 01 != stuck 10.
+	if got := ev.Full(1).Primary; got != 1 {
+		t.Errorf("SAW = %v, want 1", got)
+	}
+	// Candidate matching the stuck value (desired 10 needs left=1): with
+	// left=0 the best the plane can do is right digit 0 -> desired 00,
+	// still SAW.
+	if got := ev.Full(0).Primary; got != 1 {
+		t.Errorf("SAW = %v, want 1 (left digit mismatch)", got)
+	}
+	// With left=1 and right 0 the desired symbol is 10 == stuck: no SAW.
+	ctx.NewLeft = 1
+	ev = NewEvaluator(ctx, ObjSAWEnergy)
+	if got := ev.Full(0).Primary; got != 0 {
+		t.Errorf("SAW = %v, want 0", got)
+	}
+}
+
+func TestStuckCellsCostNoEnergy(t *testing.T) {
+	// A stuck cell never switches, so candidates differing only there
+	// cost the same energy.
+	ctx := Ctx{N: 32, Mode: pcm.MLC, MLCPlane: true,
+		OldWord: 0, StuckMask: 0b11, StuckVal: 0}
+	ev := NewEvaluator(ctx, ObjEnergySAW)
+	if got := ev.Full(1).Primary; got != 0 {
+		t.Errorf("energy through stuck cell = %v, want 0", got)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	for _, o := range []Objective{ObjFlips, ObjOnes, ObjEnergySAW, ObjSAWEnergy} {
+		if o.String() == "objective?" || o.String() == "" {
+			t.Errorf("objective %d has no name", o)
+		}
+	}
+	if Objective(99).String() != "objective?" {
+		t.Error("unknown objective should say so")
+	}
+}

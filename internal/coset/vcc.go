@@ -1,0 +1,187 @@
+package coset
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+)
+
+// VCC is Virtual Coset Coding (Algorithm 1 of the paper). The n-bit data
+// plane is split into p = n/m partitions; each of the r kernels (and its
+// complement) is priced on every partition independently and in parallel,
+// and the per-partition choices are concatenated into the best virtual
+// coset that kernel can form. The overall winner among the r kernels is
+// emitted together with its index:
+//
+//	aux = kernelIndex << p | flags
+//
+// where flag bit j records that partition j used the complemented kernel.
+// One kernel thus stands in for 2^p virtual cosets, so VCC(n, N, r)
+// evaluates N = r * 2^p candidates at the cost of r kernel passes — the
+// 2^(p-1) complexity reduction over RCC quantified in Section IV.
+//
+// The per-partition minimization is exact for every Objective in this
+// package because all of them decompose over cells: the lexicographic
+// (primary, secondary) sum over partitions is minimized by choosing the
+// lexicographic minimum within each partition.
+type VCC struct {
+	n, m, p int
+	src     KernelSource
+}
+
+// NewVCC builds a VCC codec over n-bit planes using kernels from src
+// (whose width m must divide n).
+func NewVCC(n int, src KernelSource) *VCC {
+	m := src.KernelBits()
+	if n <= 0 || n > 64 || n%m != 0 {
+		panic(fmt.Sprintf("coset: VCC kernel width %d must divide plane width %d", m, n))
+	}
+	p := n / m
+	if p > 16 {
+		panic("coset: too many partitions")
+	}
+	return &VCC{n: n, m: m, p: p, src: src}
+}
+
+// NewVCCStored is shorthand for the paper's VCC(n, N, r) with a kernel
+// ROM: r = N / 2^p kernels of m = n/p bits derived from seed.
+func NewVCCStored(n, m, numVirtual int, seed uint64) *VCC {
+	p := n / m
+	r := numVirtual >> uint(p)
+	if r < 1 || r<<uint(p) != numVirtual {
+		panic(fmt.Sprintf("coset: N=%d not a multiple of 2^p=%d", numVirtual, 1<<uint(p)))
+	}
+	return NewVCC(n, NewStoredKernels(r, m, seed))
+}
+
+// NewVCCGenerated is shorthand for the MLC right-digit-plane
+// configuration with Algorithm 2 kernels: plane width 32, kernels of m
+// bits generated from the 32 left digits, N = r * 2^(32/m) virtual
+// cosets.
+func NewVCCGenerated(m, numVirtual int) *VCC {
+	const n = 32
+	p := n / m
+	r := numVirtual >> uint(p)
+	if r < 1 || r<<uint(p) != numVirtual {
+		panic(fmt.Sprintf("coset: N=%d not a multiple of 2^p=%d", numVirtual, 1<<uint(p)))
+	}
+	return NewVCC(n, NewGeneratedKernels(n, m, r))
+}
+
+// Name implements Codec.
+func (c *VCC) Name() string {
+	kind := "Gen"
+	if c.src.Stored() {
+		kind = "Stored"
+	}
+	return fmt.Sprintf("VCC-%s(%d,%d,%d)", kind, c.n, c.NumVirtualCosets(), c.src.NumKernels())
+}
+
+// PlaneBits implements Codec.
+func (c *VCC) PlaneBits() int { return c.n }
+
+// Partitions returns p = n/m.
+func (c *VCC) Partitions() int { return c.p }
+
+// KernelBits returns m.
+func (c *VCC) KernelBits() int { return c.m }
+
+// NumKernels returns r.
+func (c *VCC) NumKernels() int { return c.src.NumKernels() }
+
+// NumVirtualCosets returns N = r * 2^p.
+func (c *VCC) NumVirtualCosets() int { return c.src.NumKernels() << uint(c.p) }
+
+// Source returns the kernel source.
+func (c *VCC) Source() KernelSource { return c.src }
+
+// AuxBits implements Codec: log2(r) kernel-select bits plus p flag bits,
+// which equals log2(N) — the same auxiliary budget as RCC(n, N).
+func (c *VCC) AuxBits() int { return log2(c.src.NumKernels()) + c.p }
+
+// Encode implements Codec (Algorithm 1). Each partition decision folds in
+// the write cost of its own flag bit (auxiliary cost decomposes per bit),
+// and each kernel's total folds in its index bits, so the result is
+// exactly the optimum over all N virtual cosets including auxiliary
+// overhead — the quantity Algorithm 1 line 19 minimizes.
+func (c *VCC) Encode(data uint64, ev *Evaluator) (uint64, uint64) {
+	d := data & bitutil.Mask(c.n)
+	kernels := c.src.Kernels(ev.Ctx.NewLeft)
+	mMask := bitutil.Mask(c.m)
+
+	var bestEnc, bestAux uint64
+	var bestCost Pair
+	for i, k := range kernels {
+		var enc, flags uint64
+		var cost Pair
+		for j := 0; j < c.p; j++ {
+			dj := bitutil.SubBlock(d, j, c.m)
+			y0 := (dj ^ k) << uint(j*c.m)
+			y1 := (dj ^ (k ^ mMask)) << uint(j*c.m)
+			c0 := ev.Part(y0, j, c.m).Add(ev.AuxBit(j, 0))
+			c1 := ev.Part(y1, j, c.m).Add(ev.AuxBit(j, 1))
+			if c1.Less(c0) {
+				enc |= y1
+				flags |= 1 << uint(j)
+				cost = cost.Add(c1)
+			} else {
+				enc |= y0
+				cost = cost.Add(c0)
+			}
+		}
+		// Kernel-index bits occupy aux positions p and up.
+		for b := c.p; b < c.AuxBits(); b++ {
+			cost = cost.Add(ev.AuxBit(b, uint64(i)>>uint(b-c.p)&1))
+		}
+		aux := uint64(i)<<uint(c.p) | flags
+		if i == 0 || cost.Less(bestCost) {
+			bestEnc, bestAux, bestCost = enc, aux, cost
+		}
+	}
+	return bestEnc, bestAux
+}
+
+// Decode implements Codec: the inverse is a single XOR/XNOR per
+// partition, selected by the stored flags (Section IV-A: "the process of
+// decoding is simpler ... and incurs negligible latency overhead").
+func (c *VCC) Decode(enc, aux, left uint64) uint64 {
+	kernels := c.src.Kernels(left)
+	i := aux >> uint(c.p)
+	flags := aux & bitutil.Mask(c.p)
+	if int(i) >= len(kernels) {
+		panic(fmt.Sprintf("coset: VCC kernel index %d out of range", i))
+	}
+	k := kernels[i]
+	mMask := bitutil.Mask(c.m)
+	var out uint64
+	for j := 0; j < c.p; j++ {
+		yj := bitutil.SubBlock(enc, j, c.m)
+		kj := k
+		if flags>>uint(j)&1 == 1 {
+			kj ^= mMask
+		}
+		out |= (yj ^ kj) << uint(j*c.m)
+	}
+	return out
+}
+
+// VirtualCoset materializes virtual coset candidate with the given aux
+// index for a word whose left plane is left: the full n-bit XOR vector
+// the encoder implicitly applied. Exposed for tests and for the analytic
+// comparisons against RCC.
+func (c *VCC) VirtualCoset(aux, left uint64) uint64 {
+	kernels := c.src.Kernels(left)
+	i := aux >> uint(c.p)
+	flags := aux & bitutil.Mask(c.p)
+	k := kernels[i]
+	mMask := bitutil.Mask(c.m)
+	var v uint64
+	for j := 0; j < c.p; j++ {
+		kj := k
+		if flags>>uint(j)&1 == 1 {
+			kj ^= mMask
+		}
+		v |= kj << uint(j*c.m)
+	}
+	return v
+}

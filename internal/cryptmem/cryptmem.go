@@ -1,0 +1,108 @@
+// Package cryptmem implements the counter-mode encryption/decryption unit
+// of the paper's Fig. 4: before a 512-bit cache line is written to
+// memory, it is XORed with a one-time pad produced by AES engines from
+// (key, line address, per-line write counter). Reads regenerate the same
+// pad from the stored counter and XOR it away.
+//
+// Properties that matter to the rest of the system:
+//
+//   - Ciphertext is computationally indistinguishable from uniform random
+//     bits, which is precisely why biased coset coding stops working and
+//     the paper's random/virtual cosets are needed.
+//   - Each write increments the line's counter, so consecutive writes of
+//     identical plaintext still produce different (random-looking)
+//     ciphertext — data similarity techniques see no similarity.
+//
+// The unit is deliberately synchronous and allocation-free on the hot
+// path; the memory controller calls it once per line write/read.
+package cryptmem
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// LineSize is the cache-line size in bytes (512 bits).
+const LineSize = 64
+
+// Unit is the on-chip encryption/decryption engine plus its counter
+// store. One Unit serves one memory; it is not safe for concurrent use.
+type Unit struct {
+	block    cipher.Block
+	counters []uint64
+	// scratch buffers reused across calls
+	pad  [LineSize]byte
+	ctrB [aes.BlockSize]byte
+}
+
+// New creates a Unit for a memory of numLines cache lines using the given
+// 256-bit key (AES-256, as in the paper's "256-bit unique key").
+func New(key [32]byte, numLines int) (*Unit, error) {
+	if numLines <= 0 {
+		return nil, fmt.Errorf("cryptmem: numLines must be positive, got %d", numLines)
+	}
+	b, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("cryptmem: %w", err)
+	}
+	return &Unit{block: b, counters: make([]uint64, numLines)}, nil
+}
+
+// MustNew is New for tests and examples with a fixed key.
+func MustNew(key [32]byte, numLines int) *Unit {
+	u, err := New(key, numLines)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// NumLines returns the number of cache lines served.
+func (u *Unit) NumLines() int { return len(u.counters) }
+
+// Counter returns the current write counter of a line.
+func (u *Unit) Counter(line int) uint64 { return u.counters[line] }
+
+// genPad fills u.pad with the one-time pad for (line, ctr). The pad is
+// four AES blocks, mirroring the paper's "4 x 128-bit random binary
+// streams" from four parallel AES engines; engine i encrypts the tweak
+// (lineAddr, ctr, i).
+func (u *Unit) genPad(line int, ctr uint64) {
+	for i := 0; i < LineSize/aes.BlockSize; i++ {
+		binary.LittleEndian.PutUint64(u.ctrB[0:8], uint64(line))
+		binary.LittleEndian.PutUint64(u.ctrB[8:16], ctr<<2|uint64(i))
+		u.block.Encrypt(u.pad[i*aes.BlockSize:(i+1)*aes.BlockSize], u.ctrB[:])
+	}
+}
+
+// EncryptLine encrypts a 64-byte plaintext for the given line, advancing
+// the line's write counter, and writes the ciphertext into dst (which may
+// alias plaintext). It returns the counter value used, which the caller
+// stores alongside the line (as the paper does) and must pass back to
+// DecryptLine.
+func (u *Unit) EncryptLine(line int, dst, plaintext []byte) uint64 {
+	if len(plaintext) != LineSize || len(dst) != LineSize {
+		panic("cryptmem: EncryptLine needs 64-byte buffers")
+	}
+	u.counters[line]++
+	ctr := u.counters[line]
+	u.genPad(line, ctr)
+	for i := range dst {
+		dst[i] = plaintext[i] ^ u.pad[i]
+	}
+	return ctr
+}
+
+// DecryptLine decrypts a 64-byte ciphertext previously produced for
+// (line, ctr) into dst (may alias ciphertext).
+func (u *Unit) DecryptLine(line int, ctr uint64, dst, ciphertext []byte) {
+	if len(ciphertext) != LineSize || len(dst) != LineSize {
+		panic("cryptmem: DecryptLine needs 64-byte buffers")
+	}
+	u.genPad(line, ctr)
+	for i := range dst {
+		dst[i] = ciphertext[i] ^ u.pad[i]
+	}
+}

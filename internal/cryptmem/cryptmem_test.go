@@ -1,0 +1,157 @@
+package cryptmem
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+)
+
+var testKey = [32]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+	17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32}
+
+func TestRoundTrip(t *testing.T) {
+	u := MustNew(testKey, 16)
+	pt := make([]byte, LineSize)
+	for i := range pt {
+		pt[i] = byte(i)
+	}
+	ct := make([]byte, LineSize)
+	ctr := u.EncryptLine(3, ct, pt)
+	if bytes.Equal(ct, pt) {
+		t.Error("ciphertext equals plaintext")
+	}
+	out := make([]byte, LineSize)
+	u.DecryptLine(3, ctr, out, ct)
+	if !bytes.Equal(out, pt) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestCounterAdvances(t *testing.T) {
+	u := MustNew(testKey, 4)
+	pt := make([]byte, LineSize)
+	ct1 := make([]byte, LineSize)
+	ct2 := make([]byte, LineSize)
+	c1 := u.EncryptLine(0, ct1, pt)
+	c2 := u.EncryptLine(0, ct2, pt)
+	if c2 != c1+1 {
+		t.Errorf("counter did not advance: %d -> %d", c1, c2)
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Error("same plaintext re-encrypted identically — counter not mixed in")
+	}
+	if u.Counter(0) != c2 {
+		t.Error("Counter accessor wrong")
+	}
+}
+
+func TestLinesIndependent(t *testing.T) {
+	u := MustNew(testKey, 4)
+	pt := make([]byte, LineSize)
+	a := make([]byte, LineSize)
+	b := make([]byte, LineSize)
+	u.EncryptLine(0, a, pt)
+	u.EncryptLine(1, b, pt)
+	if bytes.Equal(a, b) {
+		t.Error("different lines produced identical ciphertext")
+	}
+}
+
+func TestOldCounterStillDecrypts(t *testing.T) {
+	// The controller stores the counter with the line; decrypting an old
+	// snapshot with its stored counter must work even after later writes.
+	u := MustNew(testKey, 2)
+	pt1 := bytes.Repeat([]byte{0xAA}, LineSize)
+	pt2 := bytes.Repeat([]byte{0x55}, LineSize)
+	ct1 := make([]byte, LineSize)
+	ct2 := make([]byte, LineSize)
+	c1 := u.EncryptLine(0, ct1, pt1)
+	u.EncryptLine(0, ct2, pt2)
+	out := make([]byte, LineSize)
+	u.DecryptLine(0, c1, out, ct1)
+	if !bytes.Equal(out, pt1) {
+		t.Error("old-counter decryption failed")
+	}
+}
+
+// TestCiphertextLooksRandom is the motivating property: even an all-zeros
+// plaintext encrypts to roughly balanced bits, which is what defeats
+// biased coset candidates (Section III of the paper).
+func TestCiphertextLooksRandom(t *testing.T) {
+	u := MustNew(testKey, 256)
+	pt := make([]byte, LineSize) // all zeros: maximal plaintext bias
+	ones, total := 0, 0
+	ct := make([]byte, LineSize)
+	for line := 0; line < 256; line++ {
+		u.EncryptLine(line, ct, pt)
+		for _, b := range ct {
+			ones += bits.OnesCount8(b)
+			total += 8
+		}
+	}
+	frac := float64(ones) / float64(total)
+	if frac < 0.48 || frac > 0.52 {
+		t.Errorf("ciphertext ones fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestDeterministicForSameKeyAndCounter(t *testing.T) {
+	u1 := MustNew(testKey, 4)
+	u2 := MustNew(testKey, 4)
+	pt := bytes.Repeat([]byte{7}, LineSize)
+	a := make([]byte, LineSize)
+	b := make([]byte, LineSize)
+	u1.EncryptLine(2, a, pt)
+	u2.EncryptLine(2, b, pt)
+	if !bytes.Equal(a, b) {
+		t.Error("same key/line/counter should give same ciphertext")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	k2 := testKey
+	k2[0] ^= 0xFF
+	u1 := MustNew(testKey, 4)
+	u2 := MustNew(k2, 4)
+	pt := make([]byte, LineSize)
+	a := make([]byte, LineSize)
+	b := make([]byte, LineSize)
+	u1.EncryptLine(0, a, pt)
+	u2.EncryptLine(0, b, pt)
+	if bytes.Equal(a, b) {
+		t.Error("different keys produced identical ciphertext")
+	}
+}
+
+func TestInPlaceEncryption(t *testing.T) {
+	u := MustNew(testKey, 4)
+	pt := bytes.Repeat([]byte{0x3C}, LineSize)
+	buf := append([]byte(nil), pt...)
+	ctr := u.EncryptLine(1, buf, buf)
+	u.DecryptLine(1, ctr, buf, buf)
+	if !bytes.Equal(buf, pt) {
+		t.Error("in-place round trip failed")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(testKey, 0); err == nil {
+		t.Error("numLines=0 should error")
+	}
+}
+
+func TestEncryptPanicsOnShortBuffer(t *testing.T) {
+	u := MustNew(testKey, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	u.EncryptLine(0, make([]byte, 8), make([]byte, 8))
+}
+
+func TestNumLines(t *testing.T) {
+	if MustNew(testKey, 42).NumLines() != 42 {
+		t.Error("NumLines wrong")
+	}
+}

@@ -1,0 +1,174 @@
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestSECDEDNoError(t *testing.T) {
+	var s SECDED
+	for _, d := range []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEF00D} {
+		c := s.Encode(d)
+		got, st := s.Decode(d, c)
+		if st != OK || got != d {
+			t.Errorf("clean word %x decoded to %x status %v", d, got, st)
+		}
+	}
+}
+
+func TestSECDEDCorrectsEverySingleBit(t *testing.T) {
+	var s SECDED
+	rng := prng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		d := rng.Uint64()
+		c := s.Encode(d)
+		for b := 0; b < 64; b++ {
+			corrupted := d ^ 1<<uint(b)
+			got, st := s.Decode(corrupted, c)
+			if st != Corrected {
+				t.Fatalf("bit %d: status %v, want Corrected", b, st)
+			}
+			if got != d {
+				t.Fatalf("bit %d: got %x, want %x", b, got, d)
+			}
+		}
+	}
+}
+
+func TestSECDEDCorrectsCheckBitErrors(t *testing.T) {
+	var s SECDED
+	d := uint64(0x0123456789ABCDEF)
+	c := s.Encode(d)
+	for b := 0; b < 8; b++ {
+		got, st := s.Decode(d, c^1<<uint(b))
+		if st != Corrected {
+			t.Errorf("check bit %d: status %v", b, st)
+		}
+		if got != d {
+			t.Errorf("check bit %d: data corrupted to %x", b, got)
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleErrors(t *testing.T) {
+	var s SECDED
+	rng := prng.New(5)
+	for trial := 0; trial < 300; trial++ {
+		d := rng.Uint64()
+		c := s.Encode(d)
+		b1 := int(rng.Uint64n(64))
+		b2 := int(rng.Uint64n(64))
+		if b1 == b2 {
+			continue
+		}
+		corrupted := d ^ 1<<uint(b1) ^ 1<<uint(b2)
+		_, st := s.Decode(corrupted, c)
+		if st != Detected {
+			t.Fatalf("double error (%d,%d) status %v, want Detected", b1, b2, st)
+		}
+	}
+}
+
+func TestSECDEDCanCorrect(t *testing.T) {
+	var s SECDED
+	if !s.CanCorrect(0) || !s.CanCorrect(1) || s.CanCorrect(2) {
+		t.Error("CanCorrect thresholds wrong")
+	}
+}
+
+func TestSECDEDStatusString(t *testing.T) {
+	for _, st := range []SECDEDStatus{OK, Corrected, Detected, SECDEDStatus(9)} {
+		if st.String() == "" {
+			t.Error("empty status string")
+		}
+	}
+}
+
+func TestDataPositionsSkipPowersOfTwo(t *testing.T) {
+	for _, p := range dataPos {
+		if p&(p-1) == 0 {
+			t.Errorf("data bit assigned to check position %d", p)
+		}
+	}
+	// All distinct.
+	seen := map[int]bool{}
+	for _, p := range dataPos {
+		if seen[p] {
+			t.Errorf("duplicate position %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestECPCoverage(t *testing.T) {
+	e := NewECP(3, 512)
+	if e.N() != 3 {
+		t.Error("N wrong")
+	}
+	for i := 0; i < 3; i++ {
+		if !e.Cover(7, i*10) {
+			t.Fatalf("cover %d failed within budget", i)
+		}
+	}
+	if e.Cover(7, 100) {
+		t.Error("4th pointer should exceed ECP3 budget")
+	}
+	if e.Covered(7) != 3 {
+		t.Errorf("covered = %d", e.Covered(7))
+	}
+	// Re-covering an existing position succeeds without a new pointer.
+	if !e.Cover(7, 10) {
+		t.Error("re-cover should succeed")
+	}
+	if e.Covered(7) != 3 {
+		t.Error("re-cover consumed a pointer")
+	}
+	// Other rows unaffected.
+	if !e.Cover(8, 5) {
+		t.Error("other row should have fresh budget")
+	}
+}
+
+func TestECPIsCovered(t *testing.T) {
+	e := NewECP(2, 64)
+	e.Cover(0, 13)
+	if !e.IsCovered(0, 13) || e.IsCovered(0, 14) || e.IsCovered(1, 13) {
+		t.Error("IsCovered wrong")
+	}
+}
+
+func TestECPCorrectMask(t *testing.T) {
+	e := NewECP(3, 64)
+	e.Cover(2, 0)
+	e.Cover(2, 63)
+	if got := e.CorrectMask(2); got != 1|1<<63 {
+		t.Errorf("mask = %#x", got)
+	}
+}
+
+func TestECPReset(t *testing.T) {
+	e := NewECP(1, 64)
+	e.Cover(0, 1)
+	e.Reset()
+	if e.Covered(0) != 0 {
+		t.Error("reset did not clear pointers")
+	}
+}
+
+func TestECPPointerBits(t *testing.T) {
+	// 512-bit row: 9 position bits + replacement + valid = 11 per entry.
+	e := NewECP(6, 512)
+	if got := e.PointerBits(); got != 66 {
+		t.Errorf("pointer bits = %d, want 66", got)
+	}
+}
+
+func TestECPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewECP(3, 64).Cover(0, 64)
+}

@@ -1,0 +1,119 @@
+// Package ecc implements the two fault-mitigation substrates the paper
+// compares against (Section II-B): Hamming SECDED(72,64) — single error
+// correction, double error detection over 64-bit words with 8 check bits
+// — and error-correcting pointers (ECP-N), which remap up to N known
+// stuck cells per row to spare replacement cells.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SECDED implements the (72,64) Hamming code with an overall parity bit:
+// 64 data bits protected by 8 check bits (the classic DRAM/NVM DIMM
+// configuration the paper cites as the 12.5% spare-capacity budget).
+//
+// Layout: the codeword occupies positions 1..71 in classic Hamming
+// numbering (power-of-two positions hold check bits, the rest data,
+// filled LSB-first), plus an overall parity bit covering the entire
+// codeword for double-error detection.
+type SECDED struct{}
+
+// Syndrome outcomes.
+type SECDEDStatus int
+
+const (
+	// OK: no error detected.
+	OK SECDEDStatus = iota
+	// Corrected: a single-bit error was corrected.
+	Corrected
+	// Detected: a double-bit error was detected but not corrected.
+	Detected
+)
+
+// String implements fmt.Stringer.
+func (s SECDEDStatus) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected-uncorrectable"
+	default:
+		return fmt.Sprintf("SECDEDStatus(%d)", int(s))
+	}
+}
+
+// dataPos[i] is the Hamming position (1-based) of data bit i.
+var dataPos = func() [64]int {
+	var pos [64]int
+	i := 0
+	for p := 1; i < 64; p++ {
+		if p&(p-1) == 0 { // power of two: check bit position
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}()
+
+// Encode computes the 8 check bits for a 64-bit data word. Check bit k
+// (k=0..6) is the parity of all positions whose bit k is set; check bit 7
+// is overall parity.
+func (SECDED) Encode(data uint64) uint8 {
+	var check uint8
+	for k := 0; k < 7; k++ {
+		var par uint64
+		for i := 0; i < 64; i++ {
+			if dataPos[i]>>uint(k)&1 == 1 {
+				par ^= data >> uint(i) & 1
+			}
+		}
+		check |= uint8(par) << uint(k)
+	}
+	// Overall parity over data and the 7 Hamming check bits.
+	overall := uint(bits.OnesCount64(data)+bits.OnesCount8(check&0x7F)) & 1
+	check |= uint8(overall) << 7
+	return check
+}
+
+// Decode checks (and where possible corrects) a received data word and
+// check byte. It returns the corrected data and status. On Detected the
+// data is returned unmodified and must be treated as lost.
+func (s SECDED) Decode(data uint64, check uint8) (uint64, SECDEDStatus) {
+	expected := s.Encode(data)
+	syndrome := (check ^ expected) & 0x7F
+	// Overall parity is verified over the received codeword: data bits,
+	// the seven received Hamming check bits, and the received parity bit
+	// itself. Any single-bit error flips exactly this sum.
+	recvParity := uint(bits.OnesCount64(data)+bits.OnesCount8(check)) & 1
+	overallErr := recvParity == 1
+
+	switch {
+	case syndrome == 0 && !overallErr:
+		return data, OK
+	case syndrome == 0 && overallErr:
+		// Error in the overall parity bit itself: data intact.
+		return data, Corrected
+	case overallErr:
+		// Single-bit error at Hamming position `syndrome`.
+		pos := int(syndrome)
+		for i := 0; i < 64; i++ {
+			if dataPos[i] == pos {
+				return data ^ 1<<uint(i), Corrected
+			}
+		}
+		// Error was in a check bit: data intact.
+		return data, Corrected
+	default:
+		// Non-zero syndrome with even overall parity: double error.
+		return data, Detected
+	}
+}
+
+// CanCorrect reports whether a word with the given number of wrong bits
+// (data bits only) is correctable by SECDED.
+func (SECDED) CanCorrect(wrongBits int) bool { return wrongBits <= 1 }

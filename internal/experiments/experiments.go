@@ -1,0 +1,144 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus the ablations called out in DESIGN.md. Every
+// driver is deterministic given (mode, seed) and returns a Result that
+// renders as an aligned text table or CSV; cmd/vccrepro exposes them all
+// and bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mode scales experiment size.
+type Mode int
+
+const (
+	// Quick runs in seconds on a laptop; shapes and orderings are
+	// stable, absolute counts are smaller than the paper's.
+	Quick Mode = iota
+	// Full runs the larger calibrated configuration (minutes).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Result is a rendered experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Notes  []string // provenance, substitutions, expectations
+	Header []string
+	Rows   [][]string
+}
+
+// Table renders an aligned text table with title and notes.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values (quotes are not
+// needed: no cell produced by this package contains commas).
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner produces a Result.
+type Runner func(mode Mode, seed uint64) *Result
+
+// entry pairs a runner with its description.
+type entry struct {
+	run  Runner
+	desc string
+}
+
+var registry = map[string]entry{}
+
+// register is called from each driver file's init.
+func register(id, desc string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = entry{run: run, desc: desc}
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) string { return registry[id].desc }
+
+// Run executes one experiment by id.
+func Run(id string, mode Mode, seed uint64) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return e.run(mode, seed), nil
+}
+
+// fmtF formats a float compactly for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtPct formats a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// fmtI formats an integer cell.
+func fmtI(v int64) string { return fmt.Sprintf("%d", v) }

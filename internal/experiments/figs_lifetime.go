@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lifetime"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func init() {
+	register("fig11", "per-benchmark lifetime (writes to 4 failed rows), 7 techniques", runFig11)
+	register("fig12", "mean lifetime vs coset count per technique", runFig12)
+}
+
+func lifetimeParams(mode Mode, bm trace.Spec, seed uint64) lifetime.Params {
+	p := lifetime.DefaultParams(bm, seed)
+	if mode == Quick {
+		p.Rows = 64
+		p.MeanWrites = 800
+	}
+	return p
+}
+
+func lifetimeSeeds(mode Mode, seed uint64) []uint64 {
+	n := 2
+	if mode == Full {
+		n = 5 // the paper averages five lifetime experiments
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = seed + uint64(i)*7919
+	}
+	return seeds
+}
+
+func runFig11(mode Mode, seed uint64) *Result {
+	techs := lifetime.AllTechniques()
+	res := &Result{
+		ID:    "fig11",
+		Title: "Lifetime row-writes to failure per benchmark (256 cosets)",
+		Header: append([]string{"benchmark"}, func() []string {
+			var h []string
+			for _, t := range techs {
+				h = append(h, t.String())
+			}
+			return h
+		}()...),
+		Notes: []string{
+			"scaled endurance per DESIGN.md substitution #4: compare ratios, not absolutes",
+			"paper claims: VCC/RCC strongest; Flipcy near unencoded; SECDED/ECP/DBI modest",
+		},
+	}
+	bms := benchSubset(mode)
+	if mode == Quick {
+		bms = bms[:4]
+	}
+	perTech := map[lifetime.Technique][]float64{}
+	for _, bm := range bms {
+		row := []string{bm.Name}
+		for _, t := range techs {
+			m, _ := lifetime.RunSeeds(t, lifetimeParams(mode, bm, seed),
+				lifetimeSeeds(mode, seed))
+			row = append(row, fmtF(m))
+			perTech[t] = append(perTech[t], m)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	unenc := stats.Mean(perTech[lifetime.Unencoded])
+	vcc := stats.Mean(perTech[lifetime.VCC])
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"mean VCC improvement over unencoded: %s (paper: at least 50%%)",
+		fmtPct(100*(vcc/unenc-1))))
+	return res
+}
+
+func runFig12(mode Mode, seed uint64) *Result {
+	res := &Result{
+		ID:     "fig12",
+		Title:  "Mean lifetime across benchmarks vs coset count",
+		Header: []string{"technique", "N=32", "N=64", "N=128", "N=256"},
+		Notes: []string{
+			"non-coset techniques are flat by construction; VCC/RCC grow with N",
+		},
+	}
+	bms := benchSubset(mode)
+	if mode == Quick {
+		bms = bms[:3]
+	}
+	counts := []int{32, 64, 128, 256}
+	for _, t := range lifetime.AllTechniques() {
+		row := []string{t.String()}
+		for _, n := range counts {
+			var vals []float64
+			for _, bm := range bms {
+				p := lifetimeParams(mode, bm, seed)
+				p.CosetCount = n
+				m, _ := lifetime.RunSeeds(t, p, lifetimeSeeds(mode, seed))
+				vals = append(vals, m)
+			}
+			row = append(row, fmtF(stats.Mean(vals)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}

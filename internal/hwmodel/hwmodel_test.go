@@ -1,0 +1,145 @@
+package hwmodel
+
+import "testing"
+
+var counts = []int{32, 64, 128, 256}
+
+// TestFig6AreaTrends pins the qualitative claims of Fig. 6(a): RCC has a
+// much higher starting area and a substantially faster growth rate; VCC
+// area increases only slightly with coset count, with generated cosets
+// slightly sharper than stored.
+func TestFig6AreaTrends(t *testing.T) {
+	rows := Fig6(Default45, counts)
+	for _, r := range rows {
+		if r.RCC.AreaUM2 <= 2*r.VCC64.AreaUM2 {
+			t.Errorf("N=%d: RCC area %.0f not clearly above VCC-64 %.0f",
+				r.N, r.RCC.AreaUM2, r.VCC64.AreaUM2)
+		}
+	}
+	// RCC's absolute area slope dwarfs VCC's (the figure's "substantially
+	// faster rate").
+	rccSlope := rows[len(rows)-1].RCC.AreaUM2 - rows[0].RCC.AreaUM2
+	vccSlope := rows[len(rows)-1].VCC64.AreaUM2 - rows[0].VCC64.AreaUM2
+	if rccSlope < 5*vccSlope {
+		t.Errorf("RCC area slope %.0f not >> VCC slope %.0f", rccSlope, vccSlope)
+	}
+	// Monotone increase for all designs.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RCC.AreaUM2 <= rows[i-1].RCC.AreaUM2 ||
+			rows[i].VCC64.AreaUM2 <= rows[i-1].VCC64.AreaUM2 ||
+			rows[i].VCC32.AreaUM2 <= rows[i-1].VCC32.AreaUM2 {
+			t.Error("areas should grow with coset count")
+		}
+	}
+}
+
+// TestFig6EnergyTrends pins Fig. 6(b): RCC energy at least an order of
+// magnitude above VCC, gap widening with N; VCC-32 above VCC-64.
+func TestFig6EnergyTrends(t *testing.T) {
+	rows := Fig6(Default45, counts)
+	prevGap := 0.0
+	for i, r := range rows {
+		gap := r.RCC.EnergyPJ / r.VCC64.EnergyPJ
+		if gap < 3 {
+			t.Errorf("N=%d: RCC/VCC energy ratio %.1f too small", r.N, gap)
+		}
+		if i > 0 && gap <= prevGap {
+			t.Errorf("N=%d: energy gap %.2f did not widen (prev %.2f)", r.N, gap, prevGap)
+		}
+		prevGap = gap
+		if r.VCC32.EnergyPJ <= r.VCC64.EnergyPJ {
+			t.Errorf("N=%d: VCC-32 energy %.2f should exceed VCC-64 %.2f",
+				r.N, r.VCC32.EnergyPJ, r.VCC64.EnergyPJ)
+		}
+	}
+	// The paper's log-scale plot reads as roughly an order of magnitude;
+	// the analytic model lands around 7x at 256 (recorded as a deviation
+	// in EXPERIMENTS.md).
+	if rows[3].RCC.EnergyPJ/rows[3].VCC64.EnergyPJ < 7 {
+		t.Errorf("N=256: RCC/VCC energy ratio %.1fx below calibrated 7x",
+			rows[3].RCC.EnergyPJ/rows[3].VCC64.EnergyPJ)
+	}
+}
+
+// TestFig6DelayTrends pins Fig. 6(c): VCC holds ~1.8-2 ns at 256 cosets
+// while RCC exceeds 2.5 ns.
+func TestFig6DelayTrends(t *testing.T) {
+	rows := Fig6(Default45, counts)
+	for _, r := range rows {
+		if r.VCC64.DelayPS >= r.RCC.DelayPS {
+			t.Errorf("N=%d: VCC delay %.0f not below RCC %.0f",
+				r.N, r.VCC64.DelayPS, r.RCC.DelayPS)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.VCC64.DelayPS < 1500 || last.VCC64.DelayPS > 2100 {
+		t.Errorf("VCC-64 delay at 256 = %.0f ps, want ~1.8-2 ns", last.VCC64.DelayPS)
+	}
+	if last.RCC.DelayPS < 2300 {
+		t.Errorf("RCC delay at 256 = %.0f ps, want > 2.3 ns", last.RCC.DelayPS)
+	}
+}
+
+// TestRCCAreaMagnitude keeps the calibration near the paper's plotted
+// scale (~2.5e5 um^2 for RCC at 256 cosets).
+func TestRCCAreaMagnitude(t *testing.T) {
+	e := RCC(Default45, 64, 256)
+	if e.AreaUM2 < 1e5 || e.AreaUM2 > 5e5 {
+		t.Errorf("RCC(64,256) area %.0f um^2 outside calibration band", e.AreaUM2)
+	}
+}
+
+func TestStoredVsGenerated(t *testing.T) {
+	// At large N, generated-kernel area should be >= stored (the paper's
+	// "slightly sharper trend for generated cosets").
+	g := VCC(Default45, 64, 16, 256, false)
+	s := VCC(Default45, 64, 16, 256, true)
+	if g.AreaUM2 < s.AreaUM2 {
+		t.Errorf("generated area %.0f below stored %.0f at N=256", g.AreaUM2, s.AreaUM2)
+	}
+	// Stored pays ROM access latency.
+	if s.DelayPS <= g.DelayPS {
+		t.Errorf("stored delay %.0f should exceed generated %.0f (ROM access)",
+			s.DelayPS, g.DelayPS)
+	}
+}
+
+func TestDecoderNegligible(t *testing.T) {
+	enc := VCC(Default45, 64, 16, 256, true)
+	dec := Decoder(Default45, 64)
+	if dec.AreaUM2 > 0.05*enc.AreaUM2 {
+		t.Errorf("decoder area %.0f not negligible next to encoder %.0f",
+			dec.AreaUM2, enc.AreaUM2)
+	}
+	if dec.EnergyPJ > 0.05*enc.EnergyPJ {
+		t.Errorf("decoder energy %.3f not negligible next to encoder %.3f",
+			dec.EnergyPJ, enc.EnergyPJ)
+	}
+}
+
+func TestVCCPanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	VCC(Default45, 64, 16, 8, true) // p=4 needs N >= 16
+}
+
+func TestEstimateString(t *testing.T) {
+	if RCC(Default45, 64, 32).String() == "" {
+		t.Error("empty report row")
+	}
+}
+
+func TestPopcountHelpers(t *testing.T) {
+	if popcountCells(64) != 63 {
+		t.Error("popcountCells(64) != 63")
+	}
+	if popcountLevels(64) != 6 {
+		t.Error("popcountLevels(64) != 6")
+	}
+	if cmpWidth(63) != 6 || cmpWidth(64) != 7 {
+		t.Error("cmpWidth wrong")
+	}
+}

@@ -1,0 +1,252 @@
+// Package memctrl implements the paper's Fig. 4 memory-controller
+// datapath: on a dirty eviction from the last-level cache, the 512-bit
+// line is encrypted by the counter-mode AES unit, split into eight 64-bit
+// blocks, each block is read-modified-written through the coset encoder
+// against the currently-stored data and known stuck cells, and the
+// encoded blocks plus their auxiliary bits go to the PCM device. Reads
+// run the inverse pipeline (decode, then decrypt).
+//
+// The controller accounts for energy the way the paper does: device
+// write energy for data cells plus the energy of writing the auxiliary
+// bits ("Includes the cost of writing auxiliary information", Figs. 7
+// and 9).
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/bitutil"
+	"repro/internal/coset"
+	"repro/internal/cryptmem"
+	"repro/internal/faultrepo"
+	"repro/internal/pcm"
+)
+
+// WordsPerLine is the number of 64-bit blocks in a 512-bit cache line.
+const WordsPerLine = 8
+
+// Config assembles a controller.
+type Config struct {
+	// Device is the PCM array. Its geometry must hold an integer number
+	// of cache lines.
+	Device *pcm.Device
+	// Crypt is the encryption unit; nil disables encryption (the
+	// "unencrypted workload" ablation).
+	Crypt *cryptmem.Unit
+	// Codec encodes each 64-bit block (or its 32-bit right-digit plane).
+	Codec coset.Codec
+	// Objective drives candidate selection.
+	Objective coset.Objective
+	// FaultRepo, when non-nil, replaces the device's oracle fault view
+	// with the repository's discovered view: the encoder only knows
+	// about stuck cells previously observed by verify-after-write, and
+	// every write's outcome is fed back into the repository. This models
+	// the runtime fault tracking the paper assumes (Section III) rather
+	// than perfect knowledge.
+	FaultRepo *faultrepo.Repo
+}
+
+// Stats accumulates controller-level counters.
+type Stats struct {
+	// LineWrites is the number of cache-line writebacks processed.
+	LineWrites int64
+	// EnergyPJ is total write energy: cell programming plus aux bits.
+	EnergyPJ float64
+	// AuxEnergyPJ is the aux-bit component of EnergyPJ.
+	AuxEnergyPJ float64
+	// BitFlips counts logical bit transitions in data cells.
+	BitFlips int64
+	// CellChanges counts physical cell state changes in data cells.
+	CellChanges int64
+	// SAWCells counts stuck-at-wrong data cells over all writes.
+	SAWCells int64
+	// SAWWords counts word writes that left at least one SAW cell.
+	SAWWords int64
+	// NewlyFailedCells counts endurance exhaustions (wear-enabled
+	// devices).
+	NewlyFailedCells int64
+}
+
+// WordOutcome describes one word of a line write.
+type WordOutcome struct {
+	// Word is the flat device word index.
+	Word int
+	// SAWCells is the number of stuck-at-wrong cells in the final
+	// stored value.
+	SAWCells int
+	// Res is the raw device outcome.
+	Res pcm.WriteResult
+}
+
+// Controller drives the datapath. It is not safe for concurrent use.
+type Controller struct {
+	cfg      Config
+	mlcPlane bool
+	aux      []uint64
+	// scratch buffers
+	lineBuf [cryptmem.LineSize]byte
+	outc    [WordsPerLine]WordOutcome
+
+	Stats Stats
+}
+
+// New builds a controller, validating geometry.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Device == nil || cfg.Codec == nil {
+		return nil, fmt.Errorf("memctrl: device and codec are required")
+	}
+	nw := cfg.Device.NumWords()
+	if nw%WordsPerLine != 0 {
+		return nil, fmt.Errorf("memctrl: device words %d not a multiple of %d", nw, WordsPerLine)
+	}
+	mlcPlane := false
+	switch cfg.Codec.PlaneBits() {
+	case 64:
+	case 32:
+		if cfg.Device.Config().Mode != pcm.MLC {
+			return nil, fmt.Errorf("memctrl: 32-bit plane codec requires an MLC device")
+		}
+		mlcPlane = true
+	default:
+		return nil, fmt.Errorf("memctrl: unsupported codec plane width %d", cfg.Codec.PlaneBits())
+	}
+	if cfg.Crypt != nil && cfg.Crypt.NumLines() != nw/WordsPerLine {
+		return nil, fmt.Errorf("memctrl: crypt unit sized for %d lines, device has %d",
+			cfg.Crypt.NumLines(), nw/WordsPerLine)
+	}
+	return &Controller{
+		cfg:      cfg,
+		mlcPlane: mlcPlane,
+		aux:      make([]uint64, nw),
+	}, nil
+}
+
+// MustNew is New that panics on error (tests, examples).
+func MustNew(cfg Config) *Controller {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumLines returns the number of cache lines the controller serves.
+func (c *Controller) NumLines() int { return c.cfg.Device.NumWords() / WordsPerLine }
+
+// Device returns the underlying device.
+func (c *Controller) Device() *pcm.Device { return c.cfg.Device }
+
+// Codec returns the codec in use.
+func (c *Controller) Codec() coset.Codec { return c.cfg.Codec }
+
+// Aux returns the stored auxiliary bits for a word (for tests).
+func (c *Controller) Aux(word int) uint64 { return c.aux[word] }
+
+// WriteLine processes one 64-byte writeback to the given line index and
+// returns per-word outcomes (valid until the next call).
+func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
+	if len(plaintext) != cryptmem.LineSize {
+		panic("memctrl: WriteLine needs a 64-byte line")
+	}
+	data := plaintext
+	if c.cfg.Crypt != nil {
+		c.cfg.Crypt.EncryptLine(line, c.lineBuf[:], plaintext)
+		data = c.lineBuf[:]
+	}
+	words := bitutil.BytesToWords(data)
+	dev := c.cfg.Device
+	energy := dev.Config().Energy
+	mode := dev.Config().Mode
+
+	for col, wv := range words {
+		w := line*WordsPerLine + col
+		oldStored := dev.Read(w)
+		var stuckMask, stuckVal uint64
+		if c.cfg.FaultRepo != nil {
+			d, _ := c.cfg.FaultRepo.Lookup(w)
+			stuckMask, stuckVal = d.StuckMask, d.StuckVal
+		} else {
+			stuckMask, stuckVal = dev.Stuck(w)
+		}
+		ctx := coset.Ctx{
+			N:         c.cfg.Codec.PlaneBits(),
+			Mode:      mode,
+			MLCPlane:  c.mlcPlane,
+			OldWord:   oldStored,
+			StuckMask: stuckMask,
+			StuckVal:  stuckVal,
+			OldAux:    c.aux[w],
+			Energy:    energy,
+		}
+		var plane uint64
+		if c.mlcPlane {
+			var right uint64
+			ctx.NewLeft, right = bitutil.SplitPlanes(wv)
+			plane = right
+		} else {
+			plane = wv
+		}
+		ev := coset.NewEvaluator(ctx, c.cfg.Objective)
+		enc, aux := c.cfg.Codec.Encode(plane, ev)
+
+		var desired uint64
+		if c.mlcPlane {
+			desired = bitutil.MergePlanes(ctx.NewLeft, enc)
+		} else {
+			desired = enc
+		}
+		res := dev.Write(w, desired)
+		if c.cfg.FaultRepo != nil {
+			c.cfg.FaultRepo.RecordVerify(w, desired, res.Stored)
+		}
+		auxE := energy.AuxBitsEnergy(mode, c.aux[w], aux, c.cfg.Codec.AuxBits())
+		c.aux[w] = aux
+
+		c.Stats.EnergyPJ += res.EnergyPJ + auxE
+		c.Stats.AuxEnergyPJ += auxE
+		c.Stats.BitFlips += int64(res.BitFlips)
+		c.Stats.CellChanges += int64(res.CellChanges)
+		c.Stats.SAWCells += int64(res.SAWCells)
+		if res.SAWCells > 0 {
+			c.Stats.SAWWords++
+		}
+		c.Stats.NewlyFailedCells += int64(res.NewlyFailed)
+		c.outc[col] = WordOutcome{Word: w, SAWCells: res.SAWCells, Res: res}
+	}
+	c.Stats.LineWrites++
+	return c.outc[:]
+}
+
+// ReadLine reads the line back through decode and decryption into dst
+// (64 bytes, allocated if nil). If any cell of the line is stuck at a
+// wrong value the plaintext will be correspondingly corrupted — exactly
+// the failure the protection schemes try to avoid.
+func (c *Controller) ReadLine(line int, dst []byte) []byte {
+	if dst == nil {
+		dst = make([]byte, cryptmem.LineSize)
+	}
+	if len(dst) != cryptmem.LineSize {
+		panic("memctrl: ReadLine needs a 64-byte buffer")
+	}
+	dev := c.cfg.Device
+	var words [WordsPerLine]uint64
+	for col := 0; col < WordsPerLine; col++ {
+		w := line*WordsPerLine + col
+		stored := dev.Read(w)
+		if c.mlcPlane {
+			left, right := bitutil.SplitPlanes(stored)
+			plane := c.cfg.Codec.Decode(right, c.aux[w], left)
+			words[col] = bitutil.MergePlanes(left, plane)
+		} else {
+			words[col] = c.cfg.Codec.Decode(stored, c.aux[w], 0)
+		}
+	}
+	copy(dst, bitutil.WordsToBytes(words[:]))
+	if c.cfg.Crypt != nil {
+		c.cfg.Crypt.DecryptLine(line, c.cfg.Crypt.Counter(line), dst, dst)
+	}
+	return dst
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (c *Controller) ResetStats() { c.Stats = Stats{} }

@@ -1,0 +1,85 @@
+// Package pcm models phase-change memory at the cell level: Gray-coded
+// multi-level cells (MLC) and single-level cells (SLC), the asymmetric
+// write-energy behaviour of Table I of the paper, stuck-at faults with
+// spatially-correlated fault maps, per-cell endurance (wear) and a device
+// abstraction that applies all of the above on every write.
+//
+// The paper's prototype references ([2] Bedeschi et al., [41] Wang et
+// al.) motivate the key physical facts encoded here:
+//
+//   - MLC resistance levels are Gray-coded in resistance order
+//     00 → 01 → 11 → 10 (Table I row/column order), so adjacent levels
+//     differ in one bit.
+//   - Programming a cell into one of the two intermediate states (01, 11
+//     — exactly the states whose RIGHT digit is 1) requires a full
+//     SET+RESET preamble plus program-and-verify, costing roughly an
+//     order of magnitude more energy than programming the extreme states.
+//   - A cell whose endurance is exhausted becomes stuck at its present
+//     state: immutable but still readable.
+package pcm
+
+import "fmt"
+
+// CellMode selects the cell technology being simulated.
+type CellMode int
+
+const (
+	// MLC is a 4-level (2-bit) multi-level cell. A 64-bit word occupies
+	// 32 cells.
+	MLC CellMode = iota
+	// SLC is a single-level (1-bit) cell. A 64-bit word occupies 64
+	// cells.
+	SLC
+)
+
+// String implements fmt.Stringer.
+func (m CellMode) String() string {
+	switch m {
+	case MLC:
+		return "MLC"
+	case SLC:
+		return "SLC"
+	default:
+		return fmt.Sprintf("CellMode(%d)", int(m))
+	}
+}
+
+// CellsPerWord returns how many physical cells a 64-bit word occupies.
+func (m CellMode) CellsPerWord() int {
+	if m == MLC {
+		return 32
+	}
+	return 64
+}
+
+// BitsPerCell returns the number of logical bits stored per cell.
+func (m CellMode) BitsPerCell() int {
+	if m == MLC {
+		return 2
+	}
+	return 1
+}
+
+// GrayLevels lists the MLC symbols in resistance order (lowest to
+// highest), matching Table I of the paper. Adjacent entries differ in a
+// single bit.
+var GrayLevels = [4]uint8{0b00, 0b01, 0b11, 0b10}
+
+// LevelOf returns the resistance-level index (0-3) of an MLC symbol.
+func LevelOf(sym uint8) int {
+	switch sym & 3 {
+	case 0b00:
+		return 0
+	case 0b01:
+		return 1
+	case 0b11:
+		return 2
+	default: // 0b10
+		return 3
+	}
+}
+
+// IsIntermediate reports whether an MLC symbol is one of the two
+// intermediate resistance states (01 or 11) — exactly the symbols whose
+// right digit is 1, which Table I marks as high-energy write targets.
+func IsIntermediate(sym uint8) bool { return sym&1 == 1 }

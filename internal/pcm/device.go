@@ -1,0 +1,246 @@
+package pcm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitutil"
+	"repro/internal/prng"
+)
+
+// Config describes a simulated PCM device.
+type Config struct {
+	// Mode selects SLC or MLC cells.
+	Mode CellMode
+	// Rows is the number of memory rows.
+	Rows int
+	// WordsPerRow is the number of 64-bit words per row (8 for the
+	// paper's 512-bit rows).
+	WordsPerRow int
+	// Energy is the transition energy model; zero value falls back to
+	// DefaultEnergy.
+	Energy EnergyModel
+	// Faults, if non-nil, is a pre-generated stuck-at fault map sized
+	// for Rows*WordsPerRow words (the paper's fixed-fault-rate
+	// "snapshot" experiments).
+	Faults *FaultMap
+	// Wear, if non-nil, enables endurance tracking: cells accumulate
+	// state changes and become stuck when exhausted (the paper's
+	// lifetime experiments).
+	Wear *Wear
+}
+
+// WriteResult reports the physical outcome of one word write.
+type WriteResult struct {
+	// Stored is the value actually retained in the cells (stuck cells
+	// keep their frozen value).
+	Stored uint64
+	// EnergyPJ is the write energy spent on cells that changed state.
+	EnergyPJ float64
+	// BitFlips is the number of logical bits that changed.
+	BitFlips int
+	// CellChanges is the number of physical cells that changed state
+	// (equals BitFlips for SLC; counts symbols for MLC).
+	CellChanges int
+	// SAWCells is the number of stuck-at-wrong cells: stuck cells whose
+	// frozen value differs from the desired value.
+	SAWCells int
+	// SAWBits is the number of stuck-at-wrong logical bits (a stuck MLC
+	// cell can be wrong in one or both digits). Bit-granular correctors
+	// such as SECDED care about this count rather than SAWCells.
+	SAWBits int
+	// NewlyFailed is the number of cells whose endurance was exhausted
+	// by this write (wear-enabled devices only).
+	NewlyFailed int
+}
+
+// Device is a simulated PCM array addressed in 64-bit words.
+//
+// All writes are physical: the device applies stuck-at masking, charges
+// transition energy for cells that change, and (if wear tracking is on)
+// ages cells and converts exhausted cells into stuck cells frozen at
+// their present state.
+type Device struct {
+	cfg   Config
+	words []uint64
+	// Stuck state lives in the fault map; if none was provided an empty
+	// one is created so wear-induced faults have somewhere to live.
+	faults *FaultMap
+
+	// Totals accumulates device-wide statistics.
+	Totals DeviceStats
+}
+
+// DeviceStats accumulates write statistics over the device lifetime.
+type DeviceStats struct {
+	Writes      int64
+	EnergyPJ    float64
+	BitFlips    int64
+	CellChanges int64
+	SAWCells    int64
+}
+
+// NewDevice builds a device from cfg. It panics on invalid geometry.
+func NewDevice(cfg Config) *Device {
+	if cfg.Rows <= 0 || cfg.WordsPerRow <= 0 {
+		panic("pcm: device needs positive Rows and WordsPerRow")
+	}
+	if cfg.Energy == (EnergyModel{}) {
+		cfg.Energy = DefaultEnergy
+	}
+	n := cfg.Rows * cfg.WordsPerRow
+	d := &Device{cfg: cfg, words: make([]uint64, n)}
+	if cfg.Faults != nil {
+		if cfg.Faults.NumWords() != n {
+			panic(fmt.Sprintf("pcm: fault map covers %d words, device has %d",
+				cfg.Faults.NumWords(), n))
+		}
+		if cfg.Faults.Mode != cfg.Mode {
+			panic("pcm: fault map cell mode mismatch")
+		}
+		d.faults = cfg.Faults
+	} else {
+		d.faults = NewFaultMap(cfg.Mode, n)
+	}
+	if cfg.Wear != nil && cfg.Wear.NumCells() != n*cfg.Mode.CellsPerWord() {
+		panic(fmt.Sprintf("pcm: wear tracks %d cells, device has %d",
+			cfg.Wear.NumCells(), n*cfg.Mode.CellsPerWord()))
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// NumWords returns the total number of 64-bit words.
+func (d *Device) NumWords() int { return len(d.words) }
+
+// NumRows returns the number of rows.
+func (d *Device) NumRows() int { return d.cfg.Rows }
+
+// WordsPerRow returns words per row.
+func (d *Device) WordsPerRow() int { return d.cfg.WordsPerRow }
+
+// WordIndex converts (row, col) to a flat word index.
+func (d *Device) WordIndex(row, col int) int { return row*d.cfg.WordsPerRow + col }
+
+// Read returns the stored value of word w.
+func (d *Device) Read(w int) uint64 { return d.words[w] }
+
+// ReadRow copies the row's words into dst (len >= WordsPerRow) and
+// returns it; dst may be nil.
+func (d *Device) ReadRow(row int, dst []uint64) []uint64 {
+	if dst == nil {
+		dst = make([]uint64, d.cfg.WordsPerRow)
+	}
+	copy(dst, d.words[row*d.cfg.WordsPerRow:(row+1)*d.cfg.WordsPerRow])
+	return dst
+}
+
+// Stuck exposes the stuck mask and frozen values of word w (what a
+// runtime fault repository would provide to the memory controller).
+func (d *Device) Stuck(w int) (mask, vals uint64) { return d.faults.Stuck(w) }
+
+// Faults returns the device's fault map (shared, live view).
+func (d *Device) Faults() *FaultMap { return d.faults }
+
+// InitRandom fills every word with random data without charging energy or
+// wear, modeling the paper's initialization of each address with
+// cryptographically random bytes. Stuck cells still hold their frozen
+// values afterwards.
+func (d *Device) InitRandom(rng *prng.Rand) {
+	for i := range d.words {
+		d.words[i] = d.faults.Apply(i, rng.Uint64())
+	}
+}
+
+// SetRaw stores v into word w bypassing faults, energy and wear. For
+// tests and initialization only.
+func (d *Device) SetRaw(w int, v uint64) { d.words[w] = v }
+
+// Write performs a physical write of desired into word w and returns the
+// outcome. The sequence models a differential write:
+//
+//  1. Stuck cells force their frozen values (SAW cells are counted).
+//  2. Only cells whose state differs from the stored value are
+//     programmed; each is charged transition energy and one wear cycle.
+//  3. Cells exhausted by this write become stuck at their just-written
+//     state (the write itself succeeds; the cell is immutable after).
+func (d *Device) Write(w int, desired uint64) WriteResult {
+	old := d.words[w]
+	stored := d.faults.Apply(w, desired)
+	res := WriteResult{
+		Stored:   stored,
+		SAWCells: d.faults.SAWCells(w, desired),
+		SAWBits:  bits.OnesCount64(desired ^ stored),
+		BitFlips: bits.OnesCount64(old ^ stored),
+		EnergyPJ: d.cfg.Energy.WordEnergy(d.cfg.Mode, old, stored),
+	}
+	if d.cfg.Mode == MLC {
+		res.CellChanges = bitutil.SymbolCount(old, stored)
+	} else {
+		res.CellChanges = res.BitFlips
+	}
+
+	if d.cfg.Wear != nil && old != stored {
+		res.NewlyFailed = d.age(w, old, stored)
+	}
+
+	d.words[w] = stored
+	d.Totals.Writes++
+	d.Totals.EnergyPJ += res.EnergyPJ
+	d.Totals.BitFlips += int64(res.BitFlips)
+	d.Totals.CellChanges += int64(res.CellChanges)
+	d.Totals.SAWCells += int64(res.SAWCells)
+	return res
+}
+
+// age records wear on every cell of word w that changed from old to
+// stored, converting exhausted cells to stuck cells frozen at their new
+// state. Wear is energy-weighted: programming an MLC cell into an
+// intermediate state (or a SLC RESET) charges WearHigh units, other
+// programs WearLow — the coupling that lets energy-aware encodings
+// extend lifetime. Returns the number of cells newly failed.
+func (d *Device) age(w int, old, stored uint64) int {
+	cellsPerWord := d.cfg.Mode.CellsPerWord()
+	base := w * cellsPerWord
+	failed := 0
+	if d.cfg.Mode == MLC {
+		diff := bitutil.CollapseBitMaskToSymbols(old ^ stored)
+		for diff != 0 {
+			k := bits.TrailingZeros64(diff)
+			diff &= diff - 1
+			newSym := bitutil.Symbol(stored, k)
+			units := uint32(WearLow)
+			if IsIntermediate(newSym) {
+				units = WearHigh
+			}
+			if d.cfg.Wear.RecordWeighted(base+k, units) {
+				d.faults.StickCellAt(w, k, newSym)
+				failed++
+			}
+		}
+		return failed
+	}
+	diff := old ^ stored
+	for diff != 0 {
+		k := bits.TrailingZeros64(diff)
+		diff &= diff - 1
+		newBit := uint8(stored>>uint(k)) & 1
+		units := uint32(WearLow)
+		if newBit == 0 { // RESET: melt pulse
+			units = WearHigh
+		}
+		if d.cfg.Wear.RecordWeighted(base+k, units) {
+			d.faults.StickCellAt(w, k, newBit)
+			failed++
+		}
+	}
+	return failed
+}
+
+// String summarizes the device.
+func (d *Device) String() string {
+	return fmt.Sprintf("Device{%s, rows=%d x %d words, stuck=%d}",
+		d.cfg.Mode, d.cfg.Rows, d.cfg.WordsPerRow, d.faults.NumStuckCells())
+}

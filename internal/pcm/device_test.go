@@ -1,0 +1,301 @@
+package pcm
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func newTestDevice(mode CellMode) *Device {
+	return NewDevice(Config{Mode: mode, Rows: 4, WordsPerRow: 8})
+}
+
+func TestDeviceGeometry(t *testing.T) {
+	d := newTestDevice(MLC)
+	if d.NumWords() != 32 || d.NumRows() != 4 || d.WordsPerRow() != 8 {
+		t.Error("geometry wrong")
+	}
+	if d.WordIndex(1, 3) != 11 {
+		t.Errorf("WordIndex = %d", d.WordIndex(1, 3))
+	}
+}
+
+func TestDevicePanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: MLC, Rows: 0, WordsPerRow: 8},
+		{Mode: MLC, Rows: 8, WordsPerRow: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewDevice(cfg)
+		}()
+	}
+}
+
+func TestDevicePanicsOnMismatchedFaultMap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDevice(Config{Mode: MLC, Rows: 2, WordsPerRow: 8,
+		Faults: NewFaultMap(MLC, 3)})
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestDevice(MLC)
+	res := d.Write(5, 0xDEADBEEFCAFEF00D)
+	if res.Stored != 0xDEADBEEFCAFEF00D {
+		t.Errorf("stored = %#x", res.Stored)
+	}
+	if d.Read(5) != 0xDEADBEEFCAFEF00D {
+		t.Error("read-back mismatch")
+	}
+}
+
+func TestWriteEnergyAndFlips(t *testing.T) {
+	d := newTestDevice(MLC)
+	// Writing 0 over 0: free.
+	res := d.Write(0, 0)
+	if res.EnergyPJ != 0 || res.BitFlips != 0 || res.CellChanges != 0 {
+		t.Errorf("idempotent write not free: %+v", res)
+	}
+	// One symbol to 01: one high program, one bit flip, one cell change.
+	res = d.Write(0, 1)
+	if res.EnergyPJ != DefaultEnergy.MLCHighPJ {
+		t.Errorf("energy = %v", res.EnergyPJ)
+	}
+	if res.BitFlips != 1 || res.CellChanges != 1 {
+		t.Errorf("flips=%d cells=%d", res.BitFlips, res.CellChanges)
+	}
+}
+
+func TestWriteWithStuckCell(t *testing.T) {
+	fm := NewFaultMap(MLC, 32)
+	fm.StickCellAt(3, 0, 0b10)
+	d := NewDevice(Config{Mode: MLC, Rows: 4, WordsPerRow: 8, Faults: fm})
+	res := d.Write(3, 0b01) // desired symbol 01, stuck at 10
+	if res.SAWCells != 1 {
+		t.Errorf("SAW = %d", res.SAWCells)
+	}
+	if res.Stored != 0b10 {
+		t.Errorf("stored = %#b", res.Stored)
+	}
+	if d.Read(3) != 0b10 {
+		t.Error("stuck value not retained")
+	}
+	// Writing the stuck value back: no SAW.
+	res = d.Write(3, 0b10)
+	if res.SAWCells != 0 {
+		t.Errorf("matching write SAW = %d", res.SAWCells)
+	}
+}
+
+func TestEnergyChargedOnStoredNotDesired(t *testing.T) {
+	// A stuck cell never changes state, so no energy is charged for it.
+	fm := NewFaultMap(MLC, 32)
+	fm.StickCellAt(0, 0, 0b00)
+	d := NewDevice(Config{Mode: MLC, Rows: 4, WordsPerRow: 8, Faults: fm})
+	res := d.Write(0, 0b01)
+	if res.EnergyPJ != 0 {
+		t.Errorf("energy for stuck cell write = %v, want 0", res.EnergyPJ)
+	}
+}
+
+func TestWearFailsCell(t *testing.T) {
+	const rows, wpr = 1, 1
+	cells := rows * wpr * MLC.CellsPerWord()
+	wear := NewWear(cells, WearParams{MeanWrites: 3, CoV: 0}, prng.New(1))
+	d := NewDevice(Config{Mode: MLC, Rows: rows, WordsPerRow: wpr, Wear: wear})
+
+	// Toggle symbol 0 between 10 and 00: both extreme states, so each
+	// write charges one WearLow unit.
+	v := uint64(0)
+	failedAt := -1
+	for i := 1; i <= 10; i++ {
+		v ^= 2
+		res := d.Write(0, v)
+		if res.NewlyFailed > 0 {
+			failedAt = i
+			break
+		}
+	}
+	if failedAt != 4 {
+		// Lifetime 3 means the 4th low-wear state change exhausts the
+		// cell.
+		t.Errorf("cell failed at write %d, want 4", failedAt)
+	}
+	// After failure the cell must be stuck at its just-written state.
+	mask, vals := d.Stuck(0)
+	if mask != 3 {
+		t.Errorf("stuck mask = %#x", mask)
+	}
+	stuckSym := vals & 3
+	if stuckSym != d.Read(0)&3 {
+		t.Error("stuck value should match present state")
+	}
+	// Further writes cannot change it.
+	d.Write(0, ^stuckSym&3)
+	if d.Read(0)&3 != stuckSym {
+		t.Error("failed cell changed state")
+	}
+}
+
+func TestWearOnlyOnStateChanges(t *testing.T) {
+	cells := MLC.CellsPerWord()
+	wear := NewWear(cells, WearParams{MeanWrites: 5, CoV: 0}, prng.New(1))
+	d := NewDevice(Config{Mode: MLC, Rows: 1, WordsPerRow: 1, Wear: wear})
+	for i := 0; i < 100; i++ {
+		d.Write(0, 0) // never changes state
+	}
+	if wear.Count(0) != 0 {
+		t.Errorf("idempotent writes aged the cell: %d", wear.Count(0))
+	}
+}
+
+func TestInitRandomRespectsStuck(t *testing.T) {
+	fm := NewFaultMap(MLC, 32)
+	fm.StickCellAt(0, 0, 0b11)
+	d := NewDevice(Config{Mode: MLC, Rows: 4, WordsPerRow: 8, Faults: fm})
+	d.InitRandom(prng.New(5))
+	if d.Read(0)&3 != 3 {
+		t.Error("InitRandom overwrote a stuck cell")
+	}
+}
+
+func TestTotalsAccumulate(t *testing.T) {
+	d := newTestDevice(SLC)
+	d.Write(0, 0xF)
+	d.Write(0, 0x0)
+	if d.Totals.Writes != 2 {
+		t.Errorf("writes = %d", d.Totals.Writes)
+	}
+	if d.Totals.BitFlips != 8 {
+		t.Errorf("flips = %d", d.Totals.BitFlips)
+	}
+	wantE := 4*DefaultEnergy.SLCSetPJ + 4*DefaultEnergy.SLCResetPJ
+	if d.Totals.EnergyPJ != wantE {
+		t.Errorf("energy = %v, want %v", d.Totals.EnergyPJ, wantE)
+	}
+}
+
+func TestReadRow(t *testing.T) {
+	d := newTestDevice(MLC)
+	for c := 0; c < 8; c++ {
+		d.SetRaw(d.WordIndex(2, c), uint64(c)+100)
+	}
+	row := d.ReadRow(2, nil)
+	for c := 0; c < 8; c++ {
+		if row[c] != uint64(c)+100 {
+			t.Errorf("row[%d] = %d", c, row[c])
+		}
+	}
+}
+
+func TestSLCWearPath(t *testing.T) {
+	cells := SLC.CellsPerWord()
+	wear := NewWear(cells, WearParams{MeanWrites: 2, CoV: 0}, prng.New(1))
+	d := NewDevice(Config{Mode: SLC, Rows: 1, WordsPerRow: 1, Wear: wear})
+	v := uint64(0)
+	var newlyFailed int
+	for i := 0; i < 6; i++ {
+		v ^= 1
+		newlyFailed += d.Write(0, v).NewlyFailed
+	}
+	if newlyFailed != 1 {
+		t.Errorf("newlyFailed = %d, want 1", newlyFailed)
+	}
+	mask, _ := d.Stuck(0)
+	if mask != 1 {
+		t.Errorf("stuck mask = %#x", mask)
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	if newTestDevice(MLC).String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestWearAccessors(t *testing.T) {
+	w := NewWear(10, WearParams{MeanWrites: 100, CoV: 0}, prng.New(1))
+	if w.NumCells() != 10 || w.FailedCells() != 0 {
+		t.Error("fresh wear state wrong")
+	}
+	if w.Limit(0) != 100 {
+		t.Errorf("limit = %d", w.Limit(0))
+	}
+	w.Record(0)
+	if w.Count(0) != 1 || w.Remaining(0) != 99 {
+		t.Error("count/remaining wrong")
+	}
+	if w.Exhausted(0) {
+		t.Error("not yet exhausted")
+	}
+	if w.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestWearVariation(t *testing.T) {
+	w := NewWear(10000, WearParams{MeanWrites: 1000, CoV: 0.2}, prng.New(9))
+	var sum, sumsq float64
+	for i := 0; i < w.NumCells(); i++ {
+		v := float64(w.Limit(i))
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(w.NumCells())
+	mean := sum / n
+	sd := sumsq/n - mean*mean
+	if mean < 950 || mean > 1050 {
+		t.Errorf("mean lifetime %v, want ~1000", mean)
+	}
+	cov := 0.0
+	if mean > 0 {
+		cov = sqrt(sd) / mean
+	}
+	if cov < 0.17 || cov > 0.23 {
+		t.Errorf("CoV %v, want ~0.2", cov)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestWearRowCorrelation(t *testing.T) {
+	// With RowCoV, lifetimes within a row share a factor: row means
+	// should vary more than under the independent model.
+	p := WearParams{MeanWrites: 1000, CoV: 0.05, RowCoV: 0.3, CellsPerRow: 256}
+	w := NewWear(256*64, p, prng.New(4))
+	var rowMeans []float64
+	for r := 0; r < 64; r++ {
+		var s float64
+		for c := 0; c < 256; c++ {
+			s += float64(w.Limit(r*256 + c))
+		}
+		rowMeans = append(rowMeans, s/256)
+	}
+	// Row means should deviate noticeably from the global mean.
+	spread := 0.0
+	for _, m := range rowMeans {
+		d := m - 1000
+		spread += d * d
+	}
+	spread = sqrt(spread / float64(len(rowMeans)))
+	if spread < 100 {
+		t.Errorf("row mean spread %v too small for RowCoV=0.3", spread)
+	}
+}

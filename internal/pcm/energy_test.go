@@ -1,0 +1,178 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitutil"
+)
+
+// TestTableISymbolEnergies checks the full 4x4 transition matrix of
+// Table I: diagonal free, columns N(01)/N(11) high, N(00)/N(10) low.
+func TestTableISymbolEnergies(t *testing.T) {
+	e := DefaultEnergy
+	type tr struct {
+		old, new uint8
+		want     float64
+	}
+	var cases []tr
+	for _, o := range GrayLevels {
+		for _, n := range GrayLevels {
+			var want float64
+			switch {
+			case o == n:
+				want = 0
+			case n&1 == 1: // new right digit 1: intermediate state
+				want = e.MLCHighPJ
+			default:
+				want = e.MLCLowPJ
+			}
+			cases = append(cases, tr{o, n, want})
+		}
+	}
+	if len(cases) != 16 {
+		t.Fatalf("expected 16 transitions, got %d", len(cases))
+	}
+	for _, c := range cases {
+		if got := e.MLCSymbolEnergy(c.old, c.new); got != c.want {
+			t.Errorf("E(%02b->%02b) = %v, want %v", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+// TestTableIAsymmetry verifies the order-of-magnitude MLC asymmetry the
+// paper's introduction describes.
+func TestTableIAsymmetry(t *testing.T) {
+	if DefaultEnergy.MLCHighPJ < 5*DefaultEnergy.MLCLowPJ {
+		t.Errorf("high/low ratio %v too small; paper says ~10x",
+			DefaultEnergy.MLCHighPJ/DefaultEnergy.MLCLowPJ)
+	}
+	if DefaultEnergy.SLCResetPJ <= DefaultEnergy.SLCSetPJ {
+		t.Error("SLC RESET should cost more than SET")
+	}
+}
+
+// TestMLCWordEnergyMatchesPerSymbol cross-checks the vectorized word
+// energy against a per-symbol loop.
+func TestMLCWordEnergyMatchesPerSymbol(t *testing.T) {
+	e := DefaultEnergy
+	f := func(old, new uint64) bool {
+		var want float64
+		for k := 0; k < 32; k++ {
+			want += e.MLCSymbolEnergy(bitutil.Symbol(old, k), bitutil.Symbol(new, k))
+		}
+		return e.MLCWordEnergy(old, new) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMLCWordEnergyKnown(t *testing.T) {
+	e := DefaultEnergy
+	// Same word: zero energy.
+	if got := e.MLCWordEnergy(0xDEADBEEF, 0xDEADBEEF); got != 0 {
+		t.Errorf("no-change energy = %v", got)
+	}
+	// One symbol 00 -> 01 (high).
+	if got := e.MLCWordEnergy(0, 1); got != e.MLCHighPJ {
+		t.Errorf("00->01 = %v, want %v", got, e.MLCHighPJ)
+	}
+	// One symbol 00 -> 10 (low).
+	if got := e.MLCWordEnergy(0, 2); got != e.MLCLowPJ {
+		t.Errorf("00->10 = %v, want %v", got, e.MLCLowPJ)
+	}
+	// All 32 symbols 00 -> 11 (high).
+	all11 := ^uint64(0)
+	if got := e.MLCWordEnergy(0, all11); got != 32*e.MLCHighPJ {
+		t.Errorf("all 00->11 = %v, want %v", got, 32*e.MLCHighPJ)
+	}
+}
+
+func TestSLCWordEnergy(t *testing.T) {
+	e := DefaultEnergy
+	if got := e.SLCWordEnergy(0, 0xF); got != 4*e.SLCSetPJ {
+		t.Errorf("4 sets = %v", got)
+	}
+	if got := e.SLCWordEnergy(0xF, 0); got != 4*e.SLCResetPJ {
+		t.Errorf("4 resets = %v", got)
+	}
+	if got := e.SLCWordEnergy(0xFF, 0xFF); got != 0 {
+		t.Errorf("no change = %v", got)
+	}
+	if got := e.SLCWordEnergy(0b01, 0b10); got != e.SLCSetPJ+e.SLCResetPJ {
+		t.Errorf("swap = %v", got)
+	}
+}
+
+func TestWordEnergyDispatch(t *testing.T) {
+	e := DefaultEnergy
+	if e.WordEnergy(MLC, 0, 1) != e.MLCWordEnergy(0, 1) {
+		t.Error("MLC dispatch wrong")
+	}
+	if e.WordEnergy(SLC, 0, 1) != e.SLCWordEnergy(0, 1) {
+		t.Error("SLC dispatch wrong")
+	}
+}
+
+func TestAuxBitsEnergy(t *testing.T) {
+	e := DefaultEnergy
+	// Writing 0b11 over 0b00 in 2 aux bits on MLC: two high programs.
+	if got := e.AuxBitsEnergy(MLC, 0, 3, 2); got != 2*e.MLCHighPJ {
+		t.Errorf("aux 0->11 = %v", got)
+	}
+	// Clearing them back costs two low programs.
+	if got := e.AuxBitsEnergy(MLC, 3, 0, 2); got != 2*e.MLCLowPJ {
+		t.Errorf("aux 11->0 = %v", got)
+	}
+	// Bits above nbits ignored.
+	if got := e.AuxBitsEnergy(MLC, 0, 0xFF, 2); got != 2*e.MLCHighPJ {
+		t.Errorf("aux masked = %v", got)
+	}
+	// SLC path.
+	if got := e.AuxBitsEnergy(SLC, 0, 1, 8); got != e.SLCSetPJ {
+		t.Errorf("slc aux = %v", got)
+	}
+	if got := e.AuxBitsEnergy(SLC, 1, 0, 8); got != e.SLCResetPJ {
+		t.Errorf("slc aux reset = %v", got)
+	}
+}
+
+func TestCellModeHelpers(t *testing.T) {
+	if MLC.CellsPerWord() != 32 || SLC.CellsPerWord() != 64 {
+		t.Error("CellsPerWord wrong")
+	}
+	if MLC.BitsPerCell() != 2 || SLC.BitsPerCell() != 1 {
+		t.Error("BitsPerCell wrong")
+	}
+	if MLC.String() != "MLC" || SLC.String() != "SLC" {
+		t.Error("String wrong")
+	}
+	if CellMode(9).String() == "" {
+		t.Error("unknown mode String empty")
+	}
+}
+
+func TestGrayLevelsAdjacency(t *testing.T) {
+	// Adjacent resistance levels must differ in exactly one bit (Gray).
+	for i := 0; i < len(GrayLevels)-1; i++ {
+		d := GrayLevels[i] ^ GrayLevels[i+1]
+		if d&(d-1) != 0 || d == 0 {
+			t.Errorf("levels %d,%d not Gray adjacent", i, i+1)
+		}
+	}
+	for i, s := range GrayLevels {
+		if LevelOf(s) != i {
+			t.Errorf("LevelOf(%02b) = %d, want %d", s, LevelOf(s), i)
+		}
+	}
+}
+
+func TestIsIntermediate(t *testing.T) {
+	if IsIntermediate(0b00) || IsIntermediate(0b10) {
+		t.Error("extreme states flagged intermediate")
+	}
+	if !IsIntermediate(0b01) || !IsIntermediate(0b11) {
+		t.Error("intermediate states not flagged")
+	}
+}

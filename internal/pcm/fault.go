@@ -1,0 +1,202 @@
+package pcm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/bitutil"
+	"repro/internal/prng"
+)
+
+// FaultMap records permanently stuck cells for a memory of fixed size.
+// Stuck granularity is one physical cell: an entire 2-bit symbol for MLC
+// (its resistance is frozen, so both logical digits are) or one bit for
+// SLC.
+//
+// The paper's Section VI-A pre-generates fault maps at a fixed 1e-2 cell
+// fault incidence rate to model a memory with extreme wear, and averages
+// over five distinct permutations; Section II-A notes faults cluster
+// spatially within rows due to process variation. Generate supports both
+// the independent and the clustered regime.
+type FaultMap struct {
+	Mode CellMode
+	// stuckBits[w] has every bit of every stuck cell of word w set.
+	stuckBits []uint64
+	// stuckVals[w] holds the frozen bit values at stuck positions.
+	stuckVals []uint64
+	numStuck  int // stuck cell count
+}
+
+// FaultParams configures fault map generation.
+type FaultParams struct {
+	// CellRate is the per-cell probability of being stuck (e.g. 1e-2).
+	CellRate float64
+	// ClusterFrac is the fraction of faulty cells that arrive in small
+	// spatial clusters within one word, modeling process-variation
+	// correlation. 0 gives fully independent faults.
+	ClusterFrac float64
+	// ClusterSize is the mean cluster size (cells) when clustering; the
+	// actual size is 2 + geometric-ish spread. Ignored if ClusterFrac=0.
+	ClusterSize int
+}
+
+// NewFaultMap returns an empty (fault-free) map covering numWords words.
+func NewFaultMap(mode CellMode, numWords int) *FaultMap {
+	return &FaultMap{
+		Mode:      mode,
+		stuckBits: make([]uint64, numWords),
+		stuckVals: make([]uint64, numWords),
+	}
+}
+
+// Generate populates a fresh fault map for numWords 64-bit words.
+// Stuck values are drawn uniformly from the symbol alphabet.
+func Generate(mode CellMode, numWords int, p FaultParams, rng *prng.Rand) *FaultMap {
+	fm := NewFaultMap(mode, numWords)
+	if p.CellRate <= 0 {
+		return fm
+	}
+	cellsPerWord := mode.CellsPerWord()
+	totalCells := numWords * cellsPerWord
+	independent := p.CellRate * (1 - p.ClusterFrac)
+
+	// Independent faults: binomial thinning via per-cell Bernoulli is
+	// too slow for large maps, so draw the count then place uniformly.
+	nInd := binomialDraw(rng, totalCells, independent)
+	for i := 0; i < nInd; i++ {
+		c := int(rng.Uint64n(uint64(totalCells)))
+		fm.stickCell(c/cellsPerWord, c%cellsPerWord, uint8(rng.Uint64n(4)))
+	}
+
+	// Clustered faults: place cluster seeds, then stick a run of
+	// adjacent cells in the same word (wrapping within the word).
+	if p.ClusterFrac > 0 {
+		sz := p.ClusterSize
+		if sz < 2 {
+			sz = 3
+		}
+		target := int(float64(totalCells) * p.CellRate * p.ClusterFrac)
+		for placed := 0; placed < target; {
+			c := int(rng.Uint64n(uint64(totalCells)))
+			w, k := c/cellsPerWord, c%cellsPerWord
+			n := 2 + int(rng.Uint64n(uint64(2*sz-3))) // mean ~sz
+			for j := 0; j < n && placed < target; j++ {
+				fm.stickCell(w, (k+j)%cellsPerWord, uint8(rng.Uint64n(4)))
+				placed++
+			}
+		}
+	}
+	return fm
+}
+
+// stickCell marks cell k of word w stuck at symbol/bit value v. Idempotent
+// per cell: re-sticking overwrites the frozen value without double
+// counting.
+func (fm *FaultMap) stickCell(w, k int, v uint8) {
+	var mask, val uint64
+	if fm.Mode == MLC {
+		mask = uint64(3) << uint(2*k)
+		val = uint64(v&3) << uint(2*k)
+	} else {
+		mask = uint64(1) << uint(k)
+		val = uint64(v&1) << uint(k)
+	}
+	if fm.stuckBits[w]&mask == 0 {
+		fm.numStuck++
+	}
+	fm.stuckBits[w] |= mask
+	fm.stuckVals[w] = (fm.stuckVals[w] &^ mask) | val
+}
+
+// StickCellAt freezes cell k of word w at value v (exported for the wear
+// model and tests).
+func (fm *FaultMap) StickCellAt(w, k int, v uint8) { fm.stickCell(w, k, v) }
+
+// Stuck returns the stuck-bit mask and frozen values for word w.
+func (fm *FaultMap) Stuck(w int) (mask, vals uint64) {
+	return fm.stuckBits[w], fm.stuckVals[w]
+}
+
+// NumWords returns the number of words covered.
+func (fm *FaultMap) NumWords() int { return len(fm.stuckBits) }
+
+// NumStuckCells returns the total number of stuck cells.
+func (fm *FaultMap) NumStuckCells() int { return fm.numStuck }
+
+// Rate returns the realized stuck-cell rate.
+func (fm *FaultMap) Rate() float64 {
+	total := len(fm.stuckBits) * fm.Mode.CellsPerWord()
+	if total == 0 {
+		return 0
+	}
+	return float64(fm.numStuck) / float64(total)
+}
+
+// Apply returns the value actually stored when desired is written to word
+// w: stuck cells retain their frozen value.
+func (fm *FaultMap) Apply(w int, desired uint64) uint64 {
+	m := fm.stuckBits[w]
+	return (desired &^ m) | (fm.stuckVals[w] & m)
+}
+
+// SAWCells counts stuck-at-wrong cells for writing desired to word w:
+// stuck cells whose frozen value differs from the desired value.
+func (fm *FaultMap) SAWCells(w int, desired uint64) int {
+	m := fm.stuckBits[w]
+	if m == 0 {
+		return 0
+	}
+	wrong := (desired ^ fm.stuckVals[w]) & m
+	if fm.Mode == MLC {
+		// A cell is wrong if either of its digits is wrong.
+		return bits.OnesCount64(bitutil.CollapseBitMaskToSymbols(wrong))
+	}
+	return bits.OnesCount64(wrong)
+}
+
+// binomialDraw samples Binomial(n, p) using a Poisson approximation for
+// small means and a normal approximation otherwise. Fault counts at the
+// scales simulated here (n up to millions, p around 1e-2) are insensitive
+// to the approximation error, and both paths are O(mean) or O(1) rather
+// than O(n).
+func binomialDraw(rng *prng.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean < 30 {
+		// Knuth's Poisson sampler.
+		l := math.Exp(-mean)
+		k, prod := 0, 1.0
+		for {
+			prod *= rng.Float64()
+			if prod <= l {
+				return clampInt(k, 0, n)
+			}
+			k++
+		}
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := int(mean + sd*rng.NormFloat64() + 0.5)
+	return clampInt(v, 0, n)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// String summarizes the map.
+func (fm *FaultMap) String() string {
+	return fmt.Sprintf("FaultMap{%s, words=%d, stuck=%d, rate=%.2e}",
+		fm.Mode, len(fm.stuckBits), fm.numStuck, fm.Rate())
+}

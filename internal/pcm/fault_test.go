@@ -1,0 +1,207 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestEmptyFaultMap(t *testing.T) {
+	fm := NewFaultMap(MLC, 10)
+	if fm.NumStuckCells() != 0 || fm.Rate() != 0 {
+		t.Error("new map should be fault free")
+	}
+	if fm.Apply(3, 0xDEAD) != 0xDEAD {
+		t.Error("Apply on fault-free word must be identity")
+	}
+	if fm.SAWCells(3, 0xDEAD) != 0 {
+		t.Error("no SAW on fault-free word")
+	}
+}
+
+func TestStickCellMLC(t *testing.T) {
+	fm := NewFaultMap(MLC, 4)
+	fm.StickCellAt(1, 5, 0b10)
+	mask, vals := fm.Stuck(1)
+	if mask != uint64(3)<<10 {
+		t.Errorf("mask = %#x", mask)
+	}
+	if vals != uint64(2)<<10 {
+		t.Errorf("vals = %#x", vals)
+	}
+	// Writing the matching symbol: no SAW.
+	desired := uint64(2) << 10
+	if fm.SAWCells(1, desired) != 0 {
+		t.Error("matching write should have 0 SAW")
+	}
+	// Writing a different symbol: 1 SAW, value forced.
+	if fm.SAWCells(1, uint64(1)<<10) != 1 {
+		t.Error("mismatched write should have 1 SAW")
+	}
+	if got := fm.Apply(1, uint64(1)<<10); got != uint64(2)<<10 {
+		t.Errorf("Apply = %#x", got)
+	}
+}
+
+func TestStickCellSLC(t *testing.T) {
+	fm := NewFaultMap(SLC, 2)
+	fm.StickCellAt(0, 63, 1)
+	mask, vals := fm.Stuck(0)
+	if mask != 1<<63 || vals != 1<<63 {
+		t.Errorf("mask=%#x vals=%#x", mask, vals)
+	}
+	if fm.SAWCells(0, 0) != 1 {
+		t.Error("stuck-at-1 writing 0 should be SAW")
+	}
+	if fm.SAWCells(0, 1<<63) != 0 {
+		t.Error("stuck-at-1 writing 1 should not be SAW")
+	}
+}
+
+func TestStickIdempotent(t *testing.T) {
+	fm := NewFaultMap(MLC, 1)
+	fm.StickCellAt(0, 0, 1)
+	fm.StickCellAt(0, 0, 2)
+	if fm.NumStuckCells() != 1 {
+		t.Errorf("double stick counted twice: %d", fm.NumStuckCells())
+	}
+	_, vals := fm.Stuck(0)
+	if vals != 2 {
+		t.Errorf("restick should update value, got %#x", vals)
+	}
+}
+
+func TestGenerateRate(t *testing.T) {
+	rng := prng.New(1)
+	const words = 20000
+	fm := Generate(MLC, words, FaultParams{CellRate: 1e-2}, rng)
+	got := fm.Rate()
+	if math.Abs(got-1e-2) > 2.5e-3 {
+		t.Errorf("realized rate %v, want ~1e-2", got)
+	}
+}
+
+func TestGenerateZeroRate(t *testing.T) {
+	fm := Generate(MLC, 100, FaultParams{}, prng.New(2))
+	if fm.NumStuckCells() != 0 {
+		t.Error("zero rate should give no faults")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(MLC, 500, FaultParams{CellRate: 1e-2}, prng.New(7))
+	b := Generate(MLC, 500, FaultParams{CellRate: 1e-2}, prng.New(7))
+	for w := 0; w < 500; w++ {
+		am, av := a.Stuck(w)
+		bm, bv := b.Stuck(w)
+		if am != bm || av != bv {
+			t.Fatalf("maps differ at word %d", w)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(MLC, 500, FaultParams{CellRate: 1e-2}, prng.New(7))
+	b := Generate(MLC, 500, FaultParams{CellRate: 1e-2}, prng.New(8))
+	same := true
+	for w := 0; w < 500; w++ {
+		am, _ := a.Stuck(w)
+		bm, _ := b.Stuck(w)
+		if am != bm {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault maps")
+	}
+}
+
+// TestGenerateClusteredIncreasesLocality verifies that clustered
+// generation concentrates more faults in fewer words than independent
+// generation at the same overall rate.
+func TestGenerateClusteredIncreasesLocality(t *testing.T) {
+	const words = 20000
+	ind := Generate(MLC, words, FaultParams{CellRate: 1e-2}, prng.New(3))
+	cl := Generate(MLC, words, FaultParams{CellRate: 1e-2, ClusterFrac: 0.8,
+		ClusterSize: 4}, prng.New(3))
+
+	multi := func(fm *FaultMap) int {
+		n := 0
+		for w := 0; w < words; w++ {
+			mask, _ := fm.Stuck(w)
+			cells := 0
+			for k := 0; k < 32; k++ {
+				if mask>>(2*k)&3 != 0 {
+					cells++
+				}
+			}
+			if cells >= 2 {
+				n++
+			}
+		}
+		return n
+	}
+	mi, mc := multi(ind), multi(cl)
+	if mc <= mi {
+		t.Errorf("clustered multi-fault words %d <= independent %d", mc, mi)
+	}
+}
+
+func TestSAWCountsSymbolsNotBits(t *testing.T) {
+	fm := NewFaultMap(MLC, 1)
+	fm.StickCellAt(0, 0, 0b00)
+	// Desired symbol 0b11 differs in both bits: still one SAW cell.
+	if got := fm.SAWCells(0, 0b11); got != 1 {
+		t.Errorf("SAW = %d, want 1", got)
+	}
+}
+
+func TestApplyPreservesUnstuckBits(t *testing.T) {
+	fm := NewFaultMap(MLC, 1)
+	fm.StickCellAt(0, 2, 0b01)
+	desired := uint64(0xFFFFFFFFFFFFFFFF)
+	got := fm.Apply(0, desired)
+	want := desired&^(uint64(3)<<4) | uint64(1)<<4
+	if got != want {
+		t.Errorf("Apply = %#x, want %#x", got, want)
+	}
+}
+
+func TestBinomialDraw(t *testing.T) {
+	rng := prng.New(11)
+	if binomialDraw(rng, 0, 0.5) != 0 {
+		t.Error("n=0 should give 0")
+	}
+	if binomialDraw(rng, 10, 0) != 0 {
+		t.Error("p=0 should give 0")
+	}
+	if binomialDraw(rng, 10, 1) != 10 {
+		t.Error("p=1 should give n")
+	}
+	// Small mean: Poisson path; check the mean over draws.
+	var sum float64
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		sum += float64(binomialDraw(rng, 1000, 0.01))
+	}
+	if m := sum / trials; math.Abs(m-10) > 0.5 {
+		t.Errorf("small-mean draw mean %v, want ~10", m)
+	}
+	// Large mean: normal path.
+	sum = 0
+	for i := 0; i < trials; i++ {
+		sum += float64(binomialDraw(rng, 100000, 0.01))
+	}
+	if m := sum / trials; math.Abs(m-1000) > 5 {
+		t.Errorf("large-mean draw mean %v, want ~1000", m)
+	}
+}
+
+func TestFaultMapString(t *testing.T) {
+	fm := Generate(MLC, 100, FaultParams{CellRate: 0.01}, prng.New(1))
+	if fm.String() == "" {
+		t.Error("String empty")
+	}
+}

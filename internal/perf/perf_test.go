@@ -1,0 +1,117 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/hwmodel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	c := DefaultTableII()
+	if c.Cores != 4 || c.IssueWidth != 4 || c.FrequencyGHz != 1.0 {
+		t.Error("CPU parameters drifted from Table II")
+	}
+	if c.L1KiB != 32 || c.L2KiBPerCore != 256 || c.Associativity != 8 ||
+		c.BlockBytes != 64 {
+		t.Error("cache parameters drifted from Table II")
+	}
+	if c.RowBits != 512 || c.WordBits != 64 || c.MainMemoryGiB != 2 ||
+		c.Channels != 2 || c.BanksPerRank != 8 || c.BaseAccessNS != 84 {
+		t.Error("memory parameters drifted from Table II")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := DefaultTableII()
+	c.FrequencyGHz = 0
+	if c.Validate() == nil {
+		t.Error("zero frequency accepted")
+	}
+	c = DefaultTableII()
+	c.ExposureFactor = 2
+	if c.Validate() == nil {
+		t.Error("exposure factor > 1 accepted")
+	}
+}
+
+func TestTechniquesFromHW(t *testing.T) {
+	ts := TechniquesFromHW(hwmodel.Default45, 256)
+	if len(ts) != 3 {
+		t.Fatalf("want 3 techniques, got %d", len(ts))
+	}
+	if !(ts[0].EncDelayNS < ts[1].EncDelayNS && ts[1].EncDelayNS < ts[2].EncDelayNS) {
+		t.Errorf("delay ordering wrong: %+v", ts)
+	}
+	// VCC within the paper's 1.8-2 ns band, RCC above.
+	if ts[1].EncDelayNS < 1.5 || ts[1].EncDelayNS > 2.1 {
+		t.Errorf("VCC delay %v ns outside calibration", ts[1].EncDelayNS)
+	}
+	if ts[2].EncDelayNS < 2.3 {
+		t.Errorf("RCC delay %v ns too low", ts[2].EncDelayNS)
+	}
+}
+
+// TestFig13Claims pins the paper's Fig. 13 statements: DBI/Flipcy have
+// negligible impact; VCC averages < 2% slowdown; RCC averages < 3%; per
+// benchmark, IPC(DBI) >= IPC(VCC) >= IPC(RCC); all values in (0.92, 1].
+func TestFig13Claims(t *testing.T) {
+	cfg := DefaultTableII()
+	bms := trace.Benchmarks()
+	techs := TechniquesFromHW(hwmodel.Default45, 256)
+	results := Fig13(cfg, bms, techs)
+	if len(results) != len(bms)*3 {
+		t.Fatalf("result count %d", len(results))
+	}
+	byTech := map[string][]float64{}
+	byBench := map[string]map[string]float64{}
+	for _, r := range results {
+		if r.NormalizedIPC <= 0.92 || r.NormalizedIPC > 1 {
+			t.Errorf("%s/%s IPC %v outside Fig 13 axis range",
+				r.Benchmark, r.Technique, r.NormalizedIPC)
+		}
+		byTech[r.Technique] = append(byTech[r.Technique], r.NormalizedIPC)
+		if byBench[r.Benchmark] == nil {
+			byBench[r.Benchmark] = map[string]float64{}
+		}
+		byBench[r.Benchmark][r.Technique] = r.NormalizedIPC
+	}
+	if m := stats.Mean(byTech["DBI/Flipcy"]); m < 0.995 {
+		t.Errorf("DBI/Flipcy mean IPC %v, want negligible impact", m)
+	}
+	if m := stats.Mean(byTech["VCC"]); m < 0.98 {
+		t.Errorf("VCC mean IPC %v, want < 2%% slowdown", m)
+	}
+	if m := stats.Mean(byTech["RCC"]); m < 0.97 {
+		t.Errorf("RCC mean IPC %v, want < 3%% slowdown", m)
+	}
+	for b, m := range byBench {
+		if !(m["DBI/Flipcy"] >= m["VCC"] && m["VCC"] >= m["RCC"]) {
+			t.Errorf("%s: ordering violated %v", b, m)
+		}
+	}
+}
+
+// TestWriteIntensityDrivesImpact: memory-intensive benchmarks see larger
+// slowdowns under the same encoder.
+func TestWriteIntensityDrivesImpact(t *testing.T) {
+	cfg := DefaultTableII()
+	lbm, _ := trace.SpecByName("lbm_s") // highest write intensity
+	gcc, _ := trace.SpecByName("gcc_s") // low write intensity
+	tech := Technique{Name: "VCC", EncDelayNS: 1.9}
+	if NormalizedIPC(cfg, lbm, tech) >= NormalizedIPC(cfg, gcc, tech) {
+		t.Error("higher write intensity should cost more IPC")
+	}
+}
+
+func TestZeroDelayIsBaseline(t *testing.T) {
+	cfg := DefaultTableII()
+	spec, _ := trace.SpecByName("lbm_s")
+	if got := NormalizedIPC(cfg, spec, Technique{Name: "none"}); got != 1 {
+		t.Errorf("zero-delay IPC = %v, want 1", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package prng provides a small, fast, deterministic pseudo-random number
+// generator (xoshiro256** seeded via splitmix64) used by every simulation
+// component in this repository.
+//
+// Determinism matters here: the paper reports averages over five fault-map
+// permutations and five lifetime experiments; to make every figure
+// regenerable bit-for-bit, all stochastic inputs (fault maps, cell
+// endurance draws, synthetic traces, encryption pads in tests) derive from
+// explicit seeds through this package. The generator also implements
+// math/rand's Source and Source64 so stdlib distributions (e.g.
+// rand.Zipf) can be layered on top.
+package prng
+
+import "math"
+
+// Rand is a xoshiro256** generator. The zero value is invalid; use New.
+type Rand struct {
+	s [4]uint64
+	// cached gaussian for NormFloat64 (polar method produces pairs)
+	gauss    float64
+	hasGauss bool
+}
+
+// splitmix64 advances the seed state and returns the next value. Used to
+// initialize xoshiro state so that similar seeds yield unrelated streams.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	s := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&s)
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+// NewFrom derives an independent child generator from seed and a stream
+// label, so components can be given decorrelated streams from one master
+// seed (e.g. fault map vs. endurance vs. trace).
+func NewFrom(seed uint64, stream string) *Rand {
+	h := seed
+	for _, c := range []byte(stream) {
+		h ^= uint64(c)
+		h *= 0x100000001B3 // FNV-1a prime
+	}
+	return New(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns 32 uniformly random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Int63 implements math/rand.Source.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed implements math/rand.Source by reinitializing the state.
+func (r *Rand) Seed(seed int64) { *r = *New(uint64(seed)) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling to remove modulo bias.
+	max := ^uint64(0) - (^uint64(0) % n)
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.hasGauss = true
+		return u * f
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the order of n elements using the provided swap
+// function, matching math/rand's contract.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fill fills b with random bytes.
+func (r *Rand) Fill(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		for k := 0; k < 8; k++ {
+			b[i+k] = byte(v >> uint(8*k))
+		}
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Words returns n fresh random 64-bit words.
+func (r *Rand) Words(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}

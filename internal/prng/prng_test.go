@@ -1,0 +1,241 @@
+package prng
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 identical outputs from different seeds", same)
+	}
+}
+
+func TestNewFromStreamsIndependent(t *testing.T) {
+	a := NewFrom(7, "faults")
+	b := NewFrom(7, "endurance")
+	if a.Uint64() == b.Uint64() {
+		t.Error("stream-labeled generators should differ")
+	}
+	// Same label must reproduce.
+	c := NewFrom(7, "faults")
+	a2 := NewFrom(7, "faults")
+	if c.Uint64() != a2.Uint64() {
+		t.Error("same label should reproduce")
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	var any uint64
+	for i := 0; i < 10; i++ {
+		any |= r.Uint64()
+	}
+	if any == 0 {
+		t.Error("seed 0 generator produced only zeros")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(4)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) value %d count %d, want ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(16); v >= 16 {
+			t.Fatalf("Uint64n(16) = %d", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	r := New(8)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Normal(100, 20)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 0.5 {
+		t.Errorf("Normal(100,20) mean = %v", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(11)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make(map[int]bool)
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Error("shuffle lost elements")
+	}
+}
+
+func TestFill(t *testing.T) {
+	r := New(12)
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		b := make([]byte, n)
+		r.Fill(b)
+		if n >= 16 {
+			allZero := true
+			for _, v := range b {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Errorf("Fill(%d) produced all zeros", n)
+			}
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	r := New(13)
+	ws := r.Words(16)
+	if len(ws) != 16 {
+		t.Fatalf("len = %d", len(ws))
+	}
+	distinct := make(map[uint64]bool)
+	for _, w := range ws {
+		distinct[w] = true
+	}
+	if len(distinct) != 16 {
+		t.Error("expected 16 distinct random words")
+	}
+}
+
+// TestSourceInterface verifies Rand satisfies math/rand.Source64 so stdlib
+// distributions (Zipf in particular, used by the trace generators) work.
+func TestSourceInterface(t *testing.T) {
+	var src rand.Source64 = New(14)
+	rr := rand.New(src)
+	z := rand.NewZipf(rr, 1.2, 1, 1000)
+	if z == nil {
+		t.Fatal("NewZipf returned nil")
+	}
+	for i := 0; i < 1000; i++ {
+		if v := z.Uint64(); v > 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	// Each bit position should be ~50% ones.
+	r := New(15)
+	const n = 64000
+	var counts [64]int
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v>>uint(b)&1 == 1 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.48 || frac > 0.52 {
+			t.Errorf("bit %d ones fraction %v", b, frac)
+		}
+	}
+}

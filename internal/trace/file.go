@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format: a small binary container so generated traces can be saved
+// by cmd/tracegen and replayed byte-identically.
+//
+//	magic  [4]byte  "VCCT"
+//	version uint32  (1)
+//	count  uint64   number of records
+//	records: line uint64, data [64]byte
+var fileMagic = [4]byte{'V', 'C', 'C', 'T'}
+
+const fileVersion = 1
+
+// WriteTrace serializes records to w.
+func WriteTrace(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(fileVersion)); err != nil {
+		return fmt.Errorf("trace: write version: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(records))); err != nil {
+		return fmt.Errorf("trace: write count: %w", err)
+	}
+	for i := range records {
+		if err := binary.Write(bw, binary.LittleEndian, records[i].Line); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+		if _, err := bw.Write(records[i].Data[:]); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, errors.New("trace: not a VCC trace file")
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("trace: read version: %w", err)
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: read count: %w", err)
+	}
+	const maxRecords = 1 << 28 // refuse absurd headers
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: record count %d too large", count)
+	}
+	records := make([]Record, count)
+	for i := range records {
+		if err := binary.Read(br, binary.LittleEndian, &records[i].Line); err != nil {
+			return nil, fmt.Errorf("trace: read record %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, records[i].Data[:]); err != nil {
+			return nil, fmt.Errorf("trace: read record %d: %w", i, err)
+		}
+	}
+	return records, nil
+}
+
+// Collect draws n records from g.
+func Collect(g *Generator, n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}

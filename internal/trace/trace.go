@@ -1,0 +1,202 @@
+// Package trace produces synthetic last-level-cache writeback traces
+// standing in for the SPEC CPU 2017 memory-intensive subset the paper
+// captures with a full-system simulator (substitution #1 in DESIGN.md).
+//
+// What must be faithful for the paper's experiments to be meaningful:
+//
+//   - Every write is encrypted before encoding, so the *content* of the
+//     writebacks is irrelevant post-AES — any plaintext distribution
+//     yields uniformly random ciphertext. The generators still produce
+//     benchmark-flavoured plaintext (integers, floats, pointers, text) so
+//     the encryption stage is exercised with realistic inputs and so
+//     unencrypted ablations show the bias that coset baselines exploit.
+//   - The *address* stream determines how wear and faults concentrate,
+//     which drives the per-benchmark differences in Figs. 9-11. Each
+//     benchmark is parameterized by its write footprint, a Zipf skew
+//     (hot-line concentration) and a streaming/strided fraction,
+//     qualitatively matching the categories in Panda et al.'s SPEC 2017
+//     characterization (memory-bound streaming FP codes vs.
+//     pointer-chasing integer codes).
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/prng"
+)
+
+// LineBytes is the writeback granularity: one 512-bit cache line.
+const LineBytes = 64
+
+// Record is one LLC writeback: a cache-line address (line index, not
+// byte address) and the 64-byte plaintext being evicted.
+type Record struct {
+	Line uint64
+	Data [LineBytes]byte
+}
+
+// DataKind selects the plaintext value distribution.
+type DataKind int
+
+const (
+	// KindInt: small signed integers in 64-bit slots (twos complement,
+	// heavy 0x00/0xFF upper bytes).
+	KindInt DataKind = iota
+	// KindFloat: float64-like patterns with clustered exponents.
+	KindFloat
+	// KindPointer: 8-byte aligned addresses sharing a heap base.
+	KindPointer
+	// KindSparse: mostly zero bytes with occasional values.
+	KindSparse
+	// KindRandom: uniformly random bytes (already-compressed or
+	// media-like content).
+	KindRandom
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	// Name is the SPECspeed 2017 benchmark the parameters imitate.
+	Name string
+	// Lines is the write footprint in distinct cache lines; the driver
+	// maps it onto the simulated memory size (modulo).
+	Lines int
+	// ZipfS is the Zipf skew (>1; higher = hotter hot set) for the
+	// random-access fraction.
+	ZipfS float64
+	// StreamFrac is the fraction of writes issued by a sequential
+	// streaming cursor rather than the Zipf sampler.
+	StreamFrac float64
+	// Kind selects the plaintext generator.
+	Kind DataKind
+	// WriteIntensity is the relative writeback rate (writebacks per
+	// kilo-instruction, scaled); the performance model uses it to weight
+	// encoder latency (Fig. 13).
+	WriteIntensity float64
+}
+
+// Benchmarks returns the synthetic stand-ins for the paper's benchmark
+// set: the most memory-intensive SPECspeed 2017 Integer and Floating
+// Point members per Panda et al. [28]. Parameters are qualitative: FP
+// streaming codes get large footprints and high stream fractions,
+// pointer/integer codes get skewed reuse.
+func Benchmarks() []Spec {
+	return []Spec{
+		{Name: "bwaves_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.80, Kind: KindFloat, WriteIntensity: 18.6},
+		{Name: "cactuBSSN_s", Lines: 1 << 15, ZipfS: 1.2, StreamFrac: 0.60, Kind: KindFloat, WriteIntensity: 12.9},
+		{Name: "fotonik3d_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.75, Kind: KindFloat, WriteIntensity: 16.3},
+		{Name: "gcc_s", Lines: 1 << 14, ZipfS: 1.5, StreamFrac: 0.20, Kind: KindPointer, WriteIntensity: 6.4},
+		{Name: "lbm_s", Lines: 1 << 16, ZipfS: 1.05, StreamFrac: 0.90, Kind: KindFloat, WriteIntensity: 21.4},
+		{Name: "mcf_s", Lines: 1 << 14, ZipfS: 1.6, StreamFrac: 0.15, Kind: KindPointer, WriteIntensity: 9.8},
+		{Name: "omnetpp_s", Lines: 1 << 13, ZipfS: 1.7, StreamFrac: 0.10, Kind: KindPointer, WriteIntensity: 7.1},
+		{Name: "pop2_s", Lines: 1 << 15, ZipfS: 1.2, StreamFrac: 0.55, Kind: KindFloat, WriteIntensity: 10.5},
+		{Name: "roms_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.70, Kind: KindFloat, WriteIntensity: 14.7},
+		{Name: "wrf_s", Lines: 1 << 15, ZipfS: 1.3, StreamFrac: 0.50, Kind: KindFloat, WriteIntensity: 11.2},
+		{Name: "x264_s", Lines: 1 << 14, ZipfS: 1.3, StreamFrac: 0.40, Kind: KindRandom, WriteIntensity: 8.3},
+		{Name: "xalancbmk_s", Lines: 1 << 13, ZipfS: 1.6, StreamFrac: 0.15, Kind: KindInt, WriteIntensity: 6.9},
+	}
+}
+
+// SpecByName looks a benchmark up; it returns an error listing the valid
+// names on a miss.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Benchmarks() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// Generator produces an endless stream of writeback records for one
+// Spec, deterministically from its seed.
+type Generator struct {
+	spec   Spec
+	rng    *prng.Rand
+	zipf   *rand.Zipf
+	cursor uint64
+	// pointer-kind state: a stable "heap base" per generator.
+	heapBase uint64
+}
+
+// NewGenerator builds a generator for spec with the given seed.
+func NewGenerator(spec Spec, seed uint64) *Generator {
+	if spec.Lines <= 0 {
+		panic("trace: spec needs a positive footprint")
+	}
+	rng := prng.NewFrom(seed, "trace:"+spec.Name)
+	src := prng.NewFrom(seed, "trace-zipf:"+spec.Name)
+	s := spec.ZipfS
+	if s <= 1 {
+		s = 1.01
+	}
+	return &Generator{
+		spec:     spec,
+		rng:      rng,
+		zipf:     rand.NewZipf(rand.New(src), s, 1, uint64(spec.Lines-1)),
+		heapBase: rng.Uint64() &^ 0x7,
+	}
+}
+
+// Spec returns the generator's parameters.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Next fills rec with the next writeback.
+func (g *Generator) Next(rec *Record) {
+	if g.rng.Float64() < g.spec.StreamFrac {
+		g.cursor = (g.cursor + 1) % uint64(g.spec.Lines)
+		rec.Line = g.cursor
+	} else {
+		// Zipf ranks map to lines via a fixed multiplicative hash so the
+		// hot set is scattered across the footprint rather than packed
+		// at low addresses.
+		rank := g.zipf.Uint64()
+		rec.Line = (rank * 0x9E3779B97F4A7C15) % uint64(g.spec.Lines)
+	}
+	g.fillData(rec)
+}
+
+func (g *Generator) fillData(rec *Record) {
+	switch g.spec.Kind {
+	case KindInt:
+		for i := 0; i < LineBytes; i += 8 {
+			v := int64(g.rng.Uint64n(1 << 16)) // small magnitudes
+			if g.rng.Float64() < 0.3 {
+				v = -v
+			}
+			putU64(rec.Data[i:], uint64(v))
+		}
+	case KindFloat:
+		for i := 0; i < LineBytes; i += 8 {
+			// float64 bit pattern with a clustered exponent (values
+			// around 1e0..1e3) and random mantissa.
+			exp := uint64(1023 + g.rng.Intn(10))
+			mant := g.rng.Uint64() & ((1 << 52) - 1)
+			putU64(rec.Data[i:], exp<<52|mant)
+		}
+	case KindPointer:
+		for i := 0; i < LineBytes; i += 8 {
+			if g.rng.Float64() < 0.2 {
+				putU64(rec.Data[i:], 0) // nil pointers
+				continue
+			}
+			off := g.rng.Uint64n(1<<28) &^ 0x7
+			putU64(rec.Data[i:], g.heapBase+off)
+		}
+	case KindSparse:
+		rec.Data = [LineBytes]byte{}
+		for k := 0; k < 4; k++ {
+			rec.Data[g.rng.Intn(LineBytes)] = byte(g.rng.Uint64())
+		}
+	case KindRandom:
+		g.rng.Fill(rec.Data[:])
+	default:
+		panic(fmt.Sprintf("trace: unknown data kind %d", g.spec.Kind))
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	for k := 0; k < 8; k++ {
+		b[k] = byte(v >> uint(8*k))
+	}
+}

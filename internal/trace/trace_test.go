@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestBenchmarksWellFormed(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) < 10 {
+		t.Fatalf("only %d benchmarks; paper evaluates a dozen", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, s := range bs {
+		if s.Name == "" || seen[s.Name] {
+			t.Errorf("bad or duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Lines <= 0 || s.ZipfS <= 1 || s.StreamFrac < 0 || s.StreamFrac > 1 {
+			t.Errorf("%s: implausible parameters %+v", s.Name, s)
+		}
+		if s.WriteIntensity <= 0 {
+			t.Errorf("%s: write intensity must be positive", s.Name)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, err := SpecByName("lbm_s"); err != nil {
+		t.Errorf("lbm_s lookup failed: %v", err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("bogus name should error")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	spec, _ := SpecByName("mcf_s")
+	a := NewGenerator(spec, 1)
+	b := NewGenerator(spec, 1)
+	var ra, rb Record
+	for i := 0; i < 500; i++ {
+		a.Next(&ra)
+		b.Next(&rb)
+		if ra.Line != rb.Line || ra.Data != rb.Data {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	spec, _ := SpecByName("mcf_s")
+	a := NewGenerator(spec, 1)
+	b := NewGenerator(spec, 2)
+	var ra, rb Record
+	diff := false
+	for i := 0; i < 100; i++ {
+		a.Next(&ra)
+		b.Next(&rb)
+		if ra.Line != rb.Line {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds gave identical address streams")
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, spec := range Benchmarks() {
+		g := NewGenerator(spec, 3)
+		var r Record
+		for i := 0; i < 2000; i++ {
+			g.Next(&r)
+			if r.Line >= uint64(spec.Lines) {
+				t.Fatalf("%s: address %d outside footprint %d",
+					spec.Name, r.Line, spec.Lines)
+			}
+		}
+	}
+}
+
+// TestSkewedBenchmarksConcentrateWrites: a high-Zipf pointer-chasing
+// benchmark should concentrate writes on fewer lines than a streaming
+// one over equal sample counts.
+func TestSkewedBenchmarksConcentrateWrites(t *testing.T) {
+	lbm, _ := SpecByName("lbm_s")       // streaming
+	omnet, _ := SpecByName("omnetpp_s") // skewed
+	distinct := func(spec Spec) int {
+		g := NewGenerator(spec, 4)
+		var r Record
+		seen := map[uint64]bool{}
+		for i := 0; i < 5000; i++ {
+			g.Next(&r)
+			seen[r.Line] = true
+		}
+		return len(seen)
+	}
+	dl, do := distinct(lbm), distinct(omnet)
+	if do >= dl {
+		t.Errorf("omnetpp distinct lines %d >= lbm %d; skew not modeled", do, dl)
+	}
+}
+
+// TestPlaintextBias: integer-like plaintext must be biased toward zero
+// bits (the property encryption destroys), random-kind near balanced.
+func TestPlaintextBias(t *testing.T) {
+	onesFrac := func(name string) float64 {
+		spec, _ := SpecByName(name)
+		g := NewGenerator(spec, 5)
+		var r Record
+		ones, total := 0, 0
+		for i := 0; i < 500; i++ {
+			g.Next(&r)
+			for _, b := range r.Data {
+				for k := 0; k < 8; k++ {
+					if b>>uint(k)&1 == 1 {
+						ones++
+					}
+					total++
+				}
+			}
+		}
+		return float64(ones) / float64(total)
+	}
+	if f := onesFrac("xalancbmk_s"); f > 0.35 {
+		t.Errorf("integer plaintext ones fraction %v, want biased low", f)
+	}
+	if f := onesFrac("x264_s"); math.Abs(f-0.5) > 0.02 {
+		t.Errorf("random plaintext ones fraction %v, want ~0.5", f)
+	}
+}
+
+func TestAllDataKindsProduceOutput(t *testing.T) {
+	for kind := KindInt; kind <= KindRandom; kind++ {
+		spec := Spec{Name: "k", Lines: 64, ZipfS: 1.2, Kind: kind,
+			WriteIntensity: 1}
+		g := NewGenerator(spec, 6)
+		var r Record
+		for i := 0; i < 10; i++ {
+			g.Next(&r)
+		}
+	}
+}
+
+func TestStreamFractionAdvancesSequentially(t *testing.T) {
+	spec := Spec{Name: "s", Lines: 1000, ZipfS: 1.2, StreamFrac: 1.0,
+		Kind: KindRandom, WriteIntensity: 1}
+	g := NewGenerator(spec, 7)
+	var r Record
+	g.Next(&r)
+	prev := r.Line
+	for i := 0; i < 50; i++ {
+		g.Next(&r)
+		if r.Line != (prev+1)%1000 {
+			t.Fatalf("stream not sequential: %d -> %d", prev, r.Line)
+		}
+		prev = r.Line
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	spec, _ := SpecByName("gcc_s")
+	recs := Collect(NewGenerator(spec, 8), 200)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("count %d != %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Line != recs[i].Line || got[i].Data != recs[i].Data {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	_ = WriteTrace(&buf, nil)
+	b := buf.Bytes()
+	b[0] ^= 0xFF
+	if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestGeneratorPanicsOnEmptyFootprint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewGenerator(Spec{Name: "bad"}, 1)
+}

@@ -1,0 +1,110 @@
+// Package wearlevel implements Start-Gap wear leveling (Qureshi et al.,
+// MICRO 2009 — the paper's reference [30] for lifetime methodology).
+//
+// Start-Gap remaps logical rows onto physical rows with two registers
+// (Start, Gap) and one spare row, moving the gap one row every
+// GapInterval writes. The address arithmetic costs one add/compare per
+// access and no tables, yet converts a pathological single-row write
+// stream into near-uniform physical wear over time.
+//
+// The paper's lifetime experiments (Figs. 11-12) address wear *tolerance*
+// (masking stuck cells); wear *leveling* is the orthogonal mechanism a
+// deployed controller would stack underneath. The ablate-wearlevel
+// experiment quantifies the stack: VCC's lifetime gains survive (and
+// compose with) Start-Gap.
+package wearlevel
+
+import "fmt"
+
+// StartGap remaps logical rows [0, N) onto physical rows [0, N] (one
+// spare). It is not safe for concurrent use.
+type StartGap struct {
+	n           int // logical rows
+	start       int // start register: rotation offset
+	gap         int // gap register: physical index of the unused row
+	writes      int // writes since the last gap movement
+	gapInterval int
+	moves       int64 // total gap movements (each costs one row copy)
+}
+
+// NewStartGap creates a leveler for n logical rows, moving the gap every
+// gapInterval writes (Qureshi et al. use 100: <1% write overhead).
+func NewStartGap(n, gapInterval int) *StartGap {
+	if n <= 0 || gapInterval <= 0 {
+		panic(fmt.Sprintf("wearlevel: bad config n=%d interval=%d", n, gapInterval))
+	}
+	return &StartGap{n: n, gap: n, gapInterval: gapInterval}
+}
+
+// LogicalRows returns n.
+func (s *StartGap) LogicalRows() int { return s.n }
+
+// PhysicalRows returns n+1 (the spare).
+func (s *StartGap) PhysicalRows() int { return s.n + 1 }
+
+// GapMoves returns the number of gap movements so far; each implies one
+// row copy of write overhead (amortized 1/gapInterval per write).
+func (s *StartGap) GapMoves() int64 { return s.moves }
+
+// Map translates a logical row to its current physical row.
+//
+// Invariant: logical rows occupy the N+1 physical slots in circular
+// order beginning at slot Start, with the gap's slot skipped. Logical L
+// therefore lands at (Start+L) mod (N+1), advanced one further slot when
+// the gap falls inside the circular walk [Start, Start+L].
+func (s *StartGap) Map(logical int) int {
+	if logical < 0 || logical >= s.n {
+		panic(fmt.Sprintf("wearlevel: logical row %d out of [0,%d)", logical, s.n))
+	}
+	mod := s.n + 1
+	p := logical + s.start
+	if p >= mod {
+		p -= mod
+	}
+	// Circular-interval membership: offset of gap from start.
+	off := s.gap - s.start
+	if off < 0 {
+		off += mod
+	}
+	if off <= logical {
+		p++
+		if p >= mod {
+			p -= mod
+		}
+	}
+	return p
+}
+
+// OnWrite accounts one row write and, when the interval expires, moves
+// the gap one position (copying the displaced row into the old gap; the
+// caller performs the copy via the returned pair). It returns
+// (from, to, moved): when moved is true the caller must copy physical
+// row `from` into physical row `to` before the next access.
+func (s *StartGap) OnWrite() (from, to int, moved bool) {
+	s.writes++
+	if s.writes < s.gapInterval {
+		return 0, 0, false
+	}
+	s.writes = 0
+	s.moves++
+	// The gap moves "down" by one slot (wrapping): the row in the slot
+	// below slides into the gap's old slot.
+	oldGap := s.gap
+	newGap := s.gap - 1
+	if newGap < 0 {
+		newGap = s.n
+	}
+	// When the gap crosses the start slot, the row that begins the
+	// circular walk has shifted one slot up; advance Start to follow it.
+	if oldGap == s.start {
+		s.start++
+		if s.start >= s.n+1 {
+			s.start = 0
+		}
+	}
+	s.gap = newGap
+	return newGap, oldGap, true
+}
+
+// state exposure for tests.
+func (s *StartGap) Registers() (start, gap int) { return s.start, s.gap }

@@ -1,0 +1,145 @@
+package wearlevel
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestMapIsPermutation(t *testing.T) {
+	s := NewStartGap(16, 4)
+	for step := 0; step < 500; step++ {
+		seen := make(map[int]bool)
+		for l := 0; l < 16; l++ {
+			p := s.Map(l)
+			if p < 0 || p >= s.PhysicalRows() {
+				t.Fatalf("step %d: physical %d out of range", step, p)
+			}
+			if p == func() int { _, g := s.Registers(); return g }() {
+				t.Fatalf("step %d: logical %d mapped onto the gap", step, l)
+			}
+			if seen[p] {
+				t.Fatalf("step %d: physical %d used twice", step, p)
+			}
+			seen[p] = true
+		}
+		s.OnWrite()
+	}
+}
+
+func TestGapMovesEveryInterval(t *testing.T) {
+	s := NewStartGap(8, 10)
+	moved := 0
+	for i := 0; i < 100; i++ {
+		if _, _, m := s.OnWrite(); m {
+			moved++
+		}
+	}
+	if moved != 10 {
+		t.Errorf("gap moved %d times over 100 writes at interval 10", moved)
+	}
+	if s.GapMoves() != 10 {
+		t.Errorf("GapMoves = %d", s.GapMoves())
+	}
+}
+
+func TestGapMovementCopiesCorrectRow(t *testing.T) {
+	// Simulate physical storage and verify logical contents survive
+	// arbitrary gap movement.
+	const n = 12
+	s := NewStartGap(n, 1) // move the gap on every write
+	phys := make([]int, s.PhysicalRows())
+	for i := range phys {
+		phys[i] = -1
+	}
+	logical := make([]int, n)
+	for l := 0; l < n; l++ {
+		logical[l] = 100 + l
+		phys[s.Map(l)] = logical[l]
+	}
+	for step := 0; step < 10*n*(n+1); step++ {
+		if from, to, moved := s.OnWrite(); moved {
+			phys[to] = phys[from]
+			phys[from] = -1
+		}
+		for l := 0; l < n; l++ {
+			if phys[s.Map(l)] != logical[l] {
+				t.Fatalf("step %d: logical %d lost its contents", step, l)
+			}
+		}
+	}
+}
+
+func TestStartAdvancesAfterFullRotation(t *testing.T) {
+	s := NewStartGap(4, 1)
+	start0, _ := s.Registers()
+	// The gap needs PhysicalRows moves to rotate fully once.
+	for i := 0; i < s.PhysicalRows(); i++ {
+		s.OnWrite()
+	}
+	start1, _ := s.Registers()
+	if start1 == start0 {
+		t.Error("start register should advance after a full gap rotation")
+	}
+}
+
+// TestWearSpreading is the point of the mechanism: a single-row write
+// stream must spread across many physical rows over time.
+func TestWearSpreading(t *testing.T) {
+	const n = 64
+	s := NewStartGap(n, 4)
+	counts := make(map[int]int)
+	for i := 0; i < 40000; i++ {
+		counts[s.Map(0)]++ // pathological: always logical row 0
+		s.OnWrite()
+	}
+	if len(counts) < n/2 {
+		t.Errorf("hot row touched only %d physical rows; want broad spread", len(counts))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) > 0.15*40000 {
+		t.Errorf("hottest physical row absorbed %d of 40000 writes; leveling weak", max)
+	}
+}
+
+func TestMapPanicsOutOfRange(t *testing.T) {
+	s := NewStartGap(4, 1)
+	for _, l := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Map(%d) should panic", l)
+				}
+			}()
+			s.Map(l)
+		}()
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewStartGap(0, 1)
+}
+
+func TestDeterministicUnderRandomWrites(t *testing.T) {
+	a := NewStartGap(32, 7)
+	b := NewStartGap(32, 7)
+	rng := prng.New(1)
+	for i := 0; i < 5000; i++ {
+		l := int(rng.Uint64n(32))
+		if a.Map(l) != b.Map(l) {
+			t.Fatal("instances diverged")
+		}
+		a.OnWrite()
+		b.OnWrite()
+	}
+}

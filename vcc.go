@@ -1,0 +1,248 @@
+// Package vcc is the public facade of the Virtual Coset Coding
+// reproduction (Longofono, Seyedzadeh, Jones — "Virtual Coset Coding for
+// Encrypted Non-Volatile Memories with Multi-Level Cells", HPCA 2022).
+//
+// It exposes, behind one import, the pieces a downstream user needs:
+//
+//   - Encoders: NewVCCEncoder (the paper's contribution), plus the RCC,
+//     Flip-N-Write/DBI and Flipcy baselines, all selecting candidates
+//     under pluggable cost objectives (bit flips, MLC write energy,
+//     stuck-at-wrong masking).
+//   - Memory: a simulated encrypted MLC/SLC PCM main memory — AES-CTR
+//     encryption unit, coset encoder, fault injection, endurance — with
+//     cache-line Read/Write and detailed energy/wear statistics.
+//   - The experiment registry regenerating every table and figure of the
+//     paper (see cmd/vccrepro and EXPERIMENTS.md).
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	mem, _ := vcc.NewMemory(vcc.MemoryConfig{
+//		Lines:     1024,
+//		Encoder:   vcc.NewVCCEncoder(256),
+//		Objective: vcc.OptEnergy,
+//		Seed:      42,
+//	})
+//	mem.Write(7, line)          // encrypts, encodes, programs cells
+//	data, _ := mem.Read(7, nil) // decodes, decrypts
+//	fmt.Println(mem.Stats().EnergyPJ)
+package vcc
+
+import (
+	"fmt"
+
+	"repro/internal/coset"
+	"repro/internal/cryptmem"
+	"repro/internal/memctrl"
+	"repro/internal/pcm"
+	"repro/internal/prng"
+)
+
+// LineSize is the cache-line granularity of Memory I/O, in bytes.
+const LineSize = cryptmem.LineSize
+
+// Objective selects what the encoder minimizes. OptEnergy and OptSAW are
+// the paper's two lexicographic orderings (Section VI-A); OptFlips is
+// the classic write-reduction objective.
+type Objective = coset.Objective
+
+// Objective values.
+const (
+	OptFlips  = coset.ObjFlips
+	OptOnes   = coset.ObjOnes
+	OptEnergy = coset.ObjEnergySAW
+	OptSAW    = coset.ObjSAWEnergy
+)
+
+// Encoder is a coset codec over 64-bit blocks (or their 32-bit MLC
+// right-digit planes). Implementations are provided by the constructors
+// below; the interface is re-exported for custom pipelines.
+type Encoder = coset.Codec
+
+// NewVCCEncoder returns the paper's headline configuration: full-word
+// VCC(64, n, n/16) with 16-bit stored kernels. n must be a multiple of
+// 16 virtual cosets (the paper evaluates 32-256).
+func NewVCCEncoder(numVirtualCosets int) Encoder {
+	return coset.NewVCCStored(64, 16, numVirtualCosets, 0x5CC)
+}
+
+// NewVCCGeneratedEncoder returns the security-preserving MLC variant of
+// Section IV-B: the 32-bit right-digit plane is encoded with Algorithm 2
+// kernels generated at run time from the block's left digits, so no
+// kernel material is stored anywhere.
+func NewVCCGeneratedEncoder(numVirtualCosets int) Encoder {
+	return coset.NewVCCGenerated(16, numVirtualCosets)
+}
+
+// NewRCCEncoder returns classic random coset coding with n stored
+// cosets — the quality ceiling VCC approximates (n a power of two).
+func NewRCCEncoder(numCosets int) Encoder {
+	return coset.NewRCC(64, numCosets, 0xACC)
+}
+
+// NewFNWEncoder returns Flip-N-Write / DBI at k-bit granularity.
+func NewFNWEncoder(k int) Encoder { return coset.NewFNW(64, k) }
+
+// NewFlipcyEncoder returns the Flipcy baseline.
+func NewFlipcyEncoder() Encoder { return coset.NewFlipcy(64) }
+
+// NewUnencoded returns the identity (unencoded) baseline.
+func NewUnencoded() Encoder { return coset.NewIdentity(64) }
+
+// MemoryConfig assembles a simulated encrypted PCM main memory.
+type MemoryConfig struct {
+	// Lines is the memory capacity in 64-byte cache lines.
+	Lines int
+	// Encoder transforms blocks before they reach the cells; defaults
+	// to NewVCCEncoder(256).
+	Encoder Encoder
+	// Objective drives candidate selection; defaults to OptEnergy.
+	Objective Objective
+	// SLC selects single-level cells (default is the paper's 2-bit MLC).
+	SLC bool
+	// DisableEncryption bypasses the AES-CTR unit (ablations only; the
+	// paper's threat model requires encryption).
+	DisableEncryption bool
+	// Key is the AES-256 key for the encryption unit.
+	Key [32]byte
+	// FaultRate pre-generates a stuck-at fault map at this per-cell rate
+	// (the paper's snapshot experiments use 1e-2). 0 disables.
+	FaultRate float64
+	// EnduranceWrites enables wear tracking with this mean cell lifetime
+	// in energy-weighted wear units (see pcm.Wear). 0 disables.
+	EnduranceWrites float64
+	// EnduranceCoV is the lifetime coefficient of variation (default
+	// 0.2, the paper's value) when wear tracking is on.
+	EnduranceCoV float64
+	// Seed drives all stochastic initialization.
+	Seed uint64
+}
+
+// Memory is an encrypted, coset-encoded, fault- and wear-aware simulated
+// PCM main memory addressed in cache lines.
+type Memory struct {
+	ctrl *memctrl.Controller
+	dev  *pcm.Device
+}
+
+// Stats reports accumulated write-path statistics.
+type Stats struct {
+	// LineWrites is the number of Write calls served.
+	LineWrites int64
+	// EnergyPJ is the total write energy, including auxiliary bits.
+	EnergyPJ float64
+	// BitFlips counts logical bit transitions programmed.
+	BitFlips int64
+	// CellChanges counts physical cell state changes.
+	CellChanges int64
+	// SAWCells counts stuck-at-wrong cells over all writes (data that
+	// could not be stored faithfully).
+	SAWCells int64
+	// FailedCells is the number of cells whose endurance is exhausted.
+	FailedCells int64
+}
+
+// NewMemory builds a Memory from cfg.
+func NewMemory(cfg MemoryConfig) (*Memory, error) {
+	if cfg.Lines <= 0 {
+		return nil, fmt.Errorf("vcc: Lines must be positive, got %d", cfg.Lines)
+	}
+	if cfg.Encoder == nil {
+		cfg.Encoder = NewVCCEncoder(256)
+	}
+	mode := pcm.MLC
+	if cfg.SLC {
+		mode = pcm.SLC
+	}
+	words := cfg.Lines * memctrl.WordsPerLine
+	var faults *pcm.FaultMap
+	if cfg.FaultRate > 0 {
+		faults = pcm.Generate(mode, words, pcm.FaultParams{CellRate: cfg.FaultRate},
+			prng.NewFrom(cfg.Seed, "vcc-faults"))
+	}
+	var wear *pcm.Wear
+	if cfg.EnduranceWrites > 0 {
+		cov := cfg.EnduranceCoV
+		if cov == 0 {
+			cov = 0.2
+		}
+		wear = pcm.NewWear(words*mode.CellsPerWord(),
+			pcm.WearParams{MeanWrites: cfg.EnduranceWrites, CoV: cov},
+			prng.NewFrom(cfg.Seed, "vcc-endurance"))
+	}
+	dev := pcm.NewDevice(pcm.Config{
+		Mode: mode, Rows: cfg.Lines, WordsPerRow: memctrl.WordsPerLine,
+		Faults: faults, Wear: wear,
+	})
+	dev.InitRandom(prng.NewFrom(cfg.Seed, "vcc-init"))
+
+	mcfg := memctrl.Config{Device: dev, Codec: cfg.Encoder, Objective: cfg.Objective}
+	if !cfg.DisableEncryption {
+		crypt, err := cryptmem.New(cfg.Key, cfg.Lines)
+		if err != nil {
+			return nil, err
+		}
+		mcfg.Crypt = crypt
+	}
+	ctrl, err := memctrl.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{ctrl: ctrl, dev: dev}, nil
+}
+
+// Lines returns the capacity in cache lines.
+func (m *Memory) Lines() int { return m.ctrl.NumLines() }
+
+// Write stores a 64-byte cache line at the given line index through the
+// full encrypt-encode-program pipeline. It returns the number of
+// stuck-at-wrong cells the write could not avoid (0 means the line is
+// stored faithfully).
+func (m *Memory) Write(line int, data []byte) (sawCells int, err error) {
+	if line < 0 || line >= m.ctrl.NumLines() {
+		return 0, fmt.Errorf("vcc: line %d out of range [0,%d)", line, m.ctrl.NumLines())
+	}
+	if len(data) != LineSize {
+		return 0, fmt.Errorf("vcc: Write needs %d bytes, got %d", LineSize, len(data))
+	}
+	for _, o := range m.ctrl.WriteLine(line, data) {
+		sawCells += o.SAWCells
+	}
+	return sawCells, nil
+}
+
+// Read retrieves a cache line through decode and decryption into dst
+// (allocated when nil). Data stored over stuck-at-wrong cells reads back
+// corrupted, exactly as it would from the physical device.
+func (m *Memory) Read(line int, dst []byte) ([]byte, error) {
+	if line < 0 || line >= m.ctrl.NumLines() {
+		return nil, fmt.Errorf("vcc: line %d out of range [0,%d)", line, m.ctrl.NumLines())
+	}
+	if dst != nil && len(dst) != LineSize {
+		return nil, fmt.Errorf("vcc: Read needs a %d-byte buffer", LineSize)
+	}
+	return m.ctrl.ReadLine(line, dst), nil
+}
+
+// Stats returns accumulated statistics.
+func (m *Memory) Stats() Stats {
+	s := m.ctrl.Stats
+	var failed int64
+	if w := m.dev.Config().Wear; w != nil {
+		failed = int64(w.FailedCells())
+	}
+	return Stats{
+		LineWrites:  s.LineWrites,
+		EnergyPJ:    s.EnergyPJ,
+		BitFlips:    s.BitFlips,
+		CellChanges: s.CellChanges,
+		SAWCells:    s.SAWCells,
+		FailedCells: failed,
+	}
+}
+
+// ResetStats clears accumulated statistics (device state is untouched).
+func (m *Memory) ResetStats() { m.ctrl.ResetStats() }
+
+// StuckCells returns the current number of permanently stuck cells
+// (pre-generated faults plus endurance failures).
+func (m *Memory) StuckCells() int { return m.dev.Faults().NumStuckCells() }
