@@ -9,6 +9,7 @@ package vcc
 // -bench`, not ns/op. Use cmd/vccrepro for human-readable tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bitutil"
@@ -57,6 +58,7 @@ func BenchmarkAblateFaultRepo(b *testing.B)  { benchExperiment(b, "ablate-faultr
 func BenchmarkAblateVisibility(b *testing.B) { benchExperiment(b, "ablate-visibility") }
 func BenchmarkSLCEnergy(b *testing.B)        { benchExperiment(b, "slc-energy") }
 func BenchmarkAblateCAFO(b *testing.B)       { benchExperiment(b, "ablate-cafo") }
+func BenchmarkShardReplay(b *testing.B)      { benchExperiment(b, "shard-replay") }
 
 // --- encoder micro-benchmarks -----------------------------------------
 
@@ -133,6 +135,109 @@ func BenchmarkMemoryWriteLine(b *testing.B) {
 		if _, err := mem.Write(i%4096, buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- sharded engine throughput ------------------------------------------
+//
+// BenchmarkShardedWrite reports batched write throughput (bytes/sec;
+// divide by 64 for lines/sec) of the concurrent engine across shard
+// counts, for MLC and SLC and all four encoder families. The batch
+// addresses round-robin the full line space, so the interleaved
+// partition keeps every shard busy; scaling beyond shards=1 is the
+// tentpole acceptance criterion.
+
+// shardedEncoders are the encoder families under benchmark. Factories,
+// not instances: each shard owns a private codec.
+var shardedEncoders = []struct {
+	name string
+	mk   func() Encoder
+}{
+	{"VCC256", func() Encoder { return NewVCCEncoder(256) }},
+	{"RCC256", func() Encoder { return NewRCCEncoder(256) }},
+	{"FNW16", func() Encoder { return NewFNWEncoder(16) }},
+	{"Flipcy", func() Encoder { return NewFlipcyEncoder() }},
+}
+
+func benchShardedWrite(b *testing.B, shards int, slc bool, mk func() Encoder) {
+	b.Helper()
+	const (
+		lines     = 1 << 13
+		batchSize = 1024
+	)
+	mem, err := NewShardedMemory(ShardedMemoryConfig{
+		Lines: lines, Shards: shards, Workers: shards,
+		NewEncoder: mk, SLC: slc, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := prng.New(2)
+	reqs := make([]WriteRequest, batchSize)
+	for i := range reqs {
+		data := make([]byte, LineSize)
+		rng.Fill(data)
+		reqs[i] = WriteRequest{Line: (i * 7) % lines, Data: data}
+	}
+	b.SetBytes(int64(batchSize) * LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mem.WriteBatch(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedWrite(b *testing.B) {
+	for _, cell := range []struct {
+		name string
+		slc  bool
+	}{{"MLC", false}, {"SLC", true}} {
+		for _, enc := range shardedEncoders {
+			for _, shards := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/shards=%d", cell.name, enc.name, shards),
+					func(b *testing.B) { benchShardedWrite(b, shards, cell.slc, enc.mk) })
+			}
+		}
+	}
+}
+
+// BenchmarkShardedRead is the read-path counterpart at the headline
+// configuration (VCC 256, MLC).
+func BenchmarkShardedRead(b *testing.B) {
+	const (
+		lines     = 1 << 12
+		batchSize = 1024
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			mem, err := NewShardedMemory(ShardedMemoryConfig{
+				Lines: lines, Shards: shards, Workers: shards, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := prng.New(3)
+			buf := make([]byte, LineSize)
+			for l := 0; l < lines; l++ {
+				rng.Fill(buf)
+				if _, err := mem.Write(l, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reqs := make([]ReadRequest, batchSize)
+			for i := range reqs {
+				reqs[i] = ReadRequest{Line: (i * 5) % lines, Dst: make([]byte, LineSize)}
+			}
+			b.SetBytes(int64(batchSize) * LineSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mem.ReadBatch(reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

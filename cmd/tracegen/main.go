@@ -1,13 +1,21 @@
 // Command tracegen generates synthetic LLC writeback traces (the SPEC
-// CPU 2017 stand-ins of DESIGN.md substitution #1) and writes them in
-// the trace package's binary container format, for replay by external
-// tools or for inspection.
+// CPU 2017 stand-ins of DESIGN.md substitution #1), writes them in the
+// trace package's binary container format, and replays them — serially
+// or through the concurrent sharded memory engine.
 //
 // Usage:
 //
 //	tracegen -list
 //	tracegen -bench lbm_s -n 100000 -seed 7 -o lbm.vcct
 //	tracegen -bench mcf_s -n 1000 -stats   # print address statistics only
+//	tracegen -bench lbm_s -n 100000 -replay -shards 4 -workers 4
+//	tracegen -replay -in lbm.vcct -shards 8 -encoder rcc
+//
+// Replay mode drives every writeback through the full
+// encrypt-encode-program pipeline of a vcc.ShardedMemory equivalent
+// (internal/shard) and reports write statistics and throughput in
+// lines/sec. The input is either a saved .vcct file (-in) or the
+// generated stream of -bench.
 package main
 
 import (
@@ -15,18 +23,30 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
+	"repro/internal/coset"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available benchmarks")
-		bench = flag.String("bench", "", "benchmark name")
-		n     = flag.Int("n", 100000, "number of writeback records")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		out   = flag.String("o", "", "output file (default <bench>.vcct)")
-		stats = flag.Bool("stats", false, "print address-stream statistics instead of writing a file")
+		list    = flag.Bool("list", false, "list available benchmarks")
+		bench   = flag.String("bench", "", "benchmark name")
+		n       = flag.Int("n", 100000, "number of writeback records")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output file (default <bench>.vcct)")
+		stats   = flag.Bool("stats", false, "print address-stream statistics instead of writing a file")
+		replay  = flag.Bool("replay", false, "replay the trace through the sharded memory engine")
+		in      = flag.String("in", "", "replay a saved .vcct file instead of generating")
+		shards  = flag.Int("shards", 1, "replay: shard count")
+		workers = flag.Int("workers", 0, "replay: worker pool bound (default min(shards, GOMAXPROCS))")
+		memLine = flag.Int("lines", 1<<16, "replay: memory capacity in cache lines")
+		batch   = flag.Int("batch", 256, "replay: writes per dispatched batch")
+		encoder = flag.String("encoder", "vcc", "replay: vcc|vccgen|rcc|fnw|flipcy|none")
+		fault   = flag.Float64("fault", 0, "replay: per-cell stuck-at fault rate")
+		slc     = flag.Bool("slc", false, "replay: single-level cells instead of MLC")
 	)
 	flag.Parse()
 
@@ -37,18 +57,50 @@ func main() {
 		}
 		return
 	}
-	if *bench == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -bench is required (see -list)")
+
+	var records []trace.Record
+	var spec trace.Spec
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		records, err = trace.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+	case *bench != "":
+		var err error
+		spec, err = trace.SpecByName(*bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		records = trace.Collect(trace.NewGenerator(spec, *seed), *n)
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: -bench or -in is required (see -list)")
 		os.Exit(2)
 	}
-	spec, err := trace.SpecByName(*bench)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	gen := trace.NewGenerator(spec, *seed)
-	records := trace.Collect(gen, *n)
 
+	if *replay {
+		cfg := replayConfig{
+			shards: *shards, workers: *workers, lines: *memLine, batch: *batch,
+			encoder: *encoder, fault: *fault, slc: *slc, seed: *seed,
+		}
+		if err := runReplay(records, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *in != "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -in without -replay does nothing")
+		os.Exit(2)
+	}
 	if *stats {
 		printStats(spec, records)
 		return
@@ -68,6 +120,89 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d records to %s\n", len(records), path)
+}
+
+// replayConfig bundles the replay-mode flags.
+type replayConfig struct {
+	shards, workers, lines, batch int
+	encoder                       string
+	fault                         float64
+	slc                           bool
+	seed                          uint64
+}
+
+// newCodec returns a per-shard codec factory for the -encoder flag.
+func newCodec(name string, seed uint64) (func() coset.Codec, error) {
+	switch name {
+	case "vcc":
+		return func() coset.Codec { return coset.NewVCCStored(64, 16, 256, seed) }, nil
+	case "vccgen":
+		return func() coset.Codec { return coset.NewVCCGenerated(16, 256) }, nil
+	case "rcc":
+		return func() coset.Codec { return coset.NewRCC(64, 256, seed) }, nil
+	case "fnw":
+		return func() coset.Codec { return coset.NewFNW(64, 16) }, nil
+	case "flipcy":
+		return func() coset.Codec { return coset.NewFlipcy(64) }, nil
+	case "none":
+		return func() coset.Codec { return coset.NewIdentity(64) }, nil
+	}
+	return nil, fmt.Errorf("unknown encoder %q (vcc|vccgen|rcc|fnw|flipcy|none)", name)
+}
+
+// runReplay drives the records through a sharded engine in batches and
+// prints statistics and throughput.
+func runReplay(records []trace.Record, cfg replayConfig) error {
+	mk, err := newCodec(cfg.encoder, cfg.seed)
+	if err != nil {
+		return err
+	}
+	eng, err := shard.New(shard.Config{
+		Lines:     cfg.lines,
+		Shards:    cfg.shards,
+		Workers:   cfg.workers,
+		NewCodec:  mk,
+		Objective: coset.ObjEnergySAW,
+		SLC:       cfg.slc,
+		FaultRate: cfg.fault,
+		Seed:      cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	reqs := make([]shard.WriteReq, 0, cfg.batch)
+	start := time.Now()
+	for off := 0; off < len(records); {
+		reqs = reqs[:0]
+		for len(reqs) < cfg.batch && off+len(reqs) < len(records) {
+			r := &records[off+len(reqs)]
+			reqs = append(reqs, shard.WriteReq{
+				Line: int(r.Line % uint64(cfg.lines)), Data: r.Data[:],
+			})
+		}
+		if _, err := eng.WriteBatch(reqs); err != nil {
+			return err
+		}
+		off += len(reqs)
+	}
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	fmt.Printf("replayed       %d writebacks\n", st.LineWrites)
+	fmt.Printf("engine         %d shard(s), %d worker(s), %s encoder\n",
+		eng.Shards(), eng.Workers(), cfg.encoder)
+	fmt.Printf("elapsed        %.3fs\n", elapsed.Seconds())
+	fmt.Printf("throughput     %.0f lines/sec\n",
+		float64(st.LineWrites)/elapsed.Seconds())
+	fmt.Printf("write energy   %.4g pJ (aux %.4g pJ)\n", st.EnergyPJ, st.AuxEnergyPJ)
+	fmt.Printf("bit flips      %d\n", st.BitFlips)
+	fmt.Printf("SAW cells      %d\n", st.SAWCells)
+	for s := 0; s < eng.Shards(); s++ {
+		fmt.Printf("shard %-3d      %d writes\n", s, eng.ShardStats(s).LineWrites)
+	}
+	return nil
 }
 
 func printStats(spec trace.Spec, records []trace.Record) {

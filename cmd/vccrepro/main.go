@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	vccrepro -list                 # enumerate experiments
-//	vccrepro -run fig7             # one experiment (quick mode)
-//	vccrepro -run fig7 -mode full  # paper-scale configuration
-//	vccrepro -run all -csv out/    # everything, also as CSV files
+//	vccrepro -list                   # enumerate experiments
+//	vccrepro -run fig7               # one experiment (quick mode)
+//	vccrepro -run fig7 -mode full    # paper-scale configuration
+//	vccrepro -run all -csv out/      # everything, also as CSV files
+//	vccrepro -run all -workers 8     # fan experiments out over 8 workers
+//	vccrepro -run shard-replay -shards 4  # concurrent sharded trace replay
 //
 // Experiment ids follow the paper's numbering (fig1..fig13, table1,
 // table2) plus the ablations (ablate-*). Output tables carry notes
 // stating the paper claim each experiment is expected to reproduce and
 // any substitution involved (see DESIGN.md and EXPERIMENTS.md).
+//
+// -workers parallelizes across experiments (each driver is independent
+// and deterministic, so output is identical to a sequential run and is
+// printed in id order; with -workers > 1 tables are buffered until the
+// batch completes). -shards and -workers also parameterize the
+// sharded-replay driver itself.
 package main
 
 import (
@@ -26,11 +34,13 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
-		mode   = flag.String("mode", "quick", "quick or full")
-		seed   = flag.Uint64("seed", 1, "master seed")
-		csvDir = flag.String("csv", "", "also write results as CSV files into this directory")
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id to run, or 'all'")
+		mode    = flag.String("mode", "quick", "quick or full")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
+		shards  = flag.Int("shards", 1, "shard count for sharded-replay experiments")
+		workers = flag.Int("workers", 1, "worker pool bound: parallel experiments and sharded replay")
 	)
 	flag.Parse()
 
@@ -61,15 +71,14 @@ func main() {
 	if *run == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := experiments.Run(id, m, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
-			os.Exit(1)
-		}
+	if *workers < 1 {
+		*workers = 1
+	}
+	opts := experiments.Opts{Mode: m, Seed: *seed, Shards: *shards, Workers: *workers}
+	start := time.Now()
+	emit := func(id string, res *experiments.Result) {
 		fmt.Print(res.Table())
-		fmt.Printf("(%s mode, seed %d, %.1fs)\n\n", m, *seed, time.Since(start).Seconds())
+		fmt.Printf("(%s mode, seed %d)\n\n", m, *seed)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
@@ -83,4 +92,26 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+	if *workers == 1 {
+		// Sequential: stream each table as it completes.
+		for _, id := range ids {
+			res, err := experiments.RunOpts(id, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+				os.Exit(1)
+			}
+			emit(id, res)
+		}
+	} else {
+		results, err := experiments.RunMany(ids, opts, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+			os.Exit(1)
+		}
+		for i, id := range ids {
+			emit(id, results[i])
+		}
+	}
+	fmt.Printf("%d experiment(s) in %.1fs (%d worker(s))\n",
+		len(ids), time.Since(start).Seconds(), *workers)
 }

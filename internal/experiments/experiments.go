@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Mode scales experiment size.
@@ -93,12 +94,31 @@ func (r *Result) CSV() string {
 	return b.String()
 }
 
-// Runner produces a Result.
+// Opts carries the knobs a driver may consult. Mode and Seed are
+// meaningful to every experiment; Shards and Workers only to the
+// sharded-replay drivers (plain drivers ignore them).
+type Opts struct {
+	Mode Mode
+	Seed uint64
+	// Shards is the shard count for drivers built on the sharded engine
+	// (0 and 1 both mean the sequential single-shard configuration).
+	Shards int
+	// Workers bounds the worker pool of sharded drivers; 0 defaults to
+	// the shard count.
+	Workers int
+}
+
+// Runner produces a Result from (mode, seed) — the signature of every
+// paper-figure driver, which are deterministic in exactly those two
+// inputs.
 type Runner func(mode Mode, seed uint64) *Result
+
+// OptRunner is a driver that also consults Shards/Workers.
+type OptRunner func(o Opts) *Result
 
 // entry pairs a runner with its description.
 type entry struct {
-	run  Runner
+	run  OptRunner
 	desc string
 }
 
@@ -106,6 +126,11 @@ var registry = map[string]entry{}
 
 // register is called from each driver file's init.
 func register(id, desc string, run Runner) {
+	registerOpts(id, desc, func(o Opts) *Result { return run(o.Mode, o.Seed) })
+}
+
+// registerOpts registers a driver that consumes the full option set.
+func registerOpts(id, desc string, run OptRunner) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
@@ -125,13 +150,64 @@ func IDs() []string {
 // Describe returns the one-line description of an experiment.
 func Describe(id string) string { return registry[id].desc }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id with default options.
 func Run(id string, mode Mode, seed uint64) (*Result, error) {
+	return RunOpts(id, Opts{Mode: mode, Seed: seed})
+}
+
+// RunOpts executes one experiment by id.
+func RunOpts(id string, o Opts) (*Result, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	return e.run(mode, seed), nil
+	return e.run(o), nil
+}
+
+// RunMany executes the given experiments over a bounded worker pool and
+// returns their results in ids order. Drivers are independent and
+// deterministic in their options, so parallel execution returns exactly
+// what sequential Run calls would; the first unknown id aborts the
+// whole batch before anything runs.
+func RunMany(ids []string, o Opts, workers int) ([]*Result, error) {
+	entries := make([]entry, len(ids))
+	for i, id := range ids {
+		e, ok := registry[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+		}
+		entries[i] = e
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	results := make([]*Result, len(ids))
+	if workers <= 1 {
+		for i, e := range entries {
+			results[i] = e.run(o)
+		}
+		return results, nil
+	}
+	ch := make(chan int, len(ids))
+	for i := range ids {
+		ch <- i
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = entries[i].run(o)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, nil
 }
 
 // fmtF formats a float compactly for table cells.

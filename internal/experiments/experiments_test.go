@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -35,6 +36,53 @@ func TestRegistryComplete(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if _, err := Run("nope", Quick, 1); err == nil {
 		t.Error("unknown id should error")
+	}
+	if _, err := RunMany([]string{"fig1", "nope"}, Opts{Mode: Quick, Seed: 1}, 2); err == nil {
+		t.Error("RunMany with an unknown id should error before running anything")
+	}
+}
+
+// TestRunManyMatchesRun: the parallel runner must return exactly what
+// sequential Run calls return, in ids order.
+func TestRunManyMatchesRun(t *testing.T) {
+	ids := []string{"fig1", "table1", "fig3", "fig6", "table2"}
+	opts := Opts{Mode: Quick, Seed: 1}
+	got, err := RunMany(ids, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		want, err := Run(id, Quick, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("%s: parallel result differs from sequential", id)
+		}
+	}
+}
+
+func TestShardReplayDriver(t *testing.T) {
+	// Deterministic at any worker count, and shard write counts must
+	// account for every replayed record.
+	a, err := RunOpts("shard-replay", Opts{Mode: Quick, Seed: 1, Shards: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOpts("shard-replay", Opts{Mode: Quick, Seed: 1, Shards: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("shard-replay result depends on worker count")
+	}
+	for _, row := range a.Rows {
+		if cell(row[4]) < cell(row[5]) {
+			t.Errorf("%s: max shard writes %v below min %v", row[0], row[4], row[5])
+		}
+		if cell(row[1]) <= 0 {
+			t.Errorf("%s: no writes replayed", row[0])
+		}
 	}
 }
 

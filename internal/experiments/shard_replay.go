@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/coset"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+func init() {
+	registerOpts("shard-replay",
+		"sharded trace replay: per-benchmark energy/SAW and shard load balance",
+		runShardReplay)
+}
+
+// runShardReplay replays each benchmark's writeback trace through the
+// concurrent sharded engine (VCC 256, Opt.Energy, AES-CTR, 1e-2 faults
+// — the fig9 configuration) and reports per-benchmark totals plus the
+// shard load imbalance. With one shard the replay runs the exact
+// sequential pipeline; with more, each shard draws its own fault map
+// and initial cells from a derived seed, so absolutes shift while
+// orderings persist. Deterministic in (mode, seed, shards) at any
+// worker count.
+func runShardReplay(o Opts) *Result {
+	lines, writes := sizes(o.Mode)
+	shards := o.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	res := &Result{
+		ID:    "shard-replay",
+		Title: fmt.Sprintf("Sharded trace replay (VCC 256, Opt.Energy, %d shard(s))", shards),
+		Header: []string{"benchmark", "writes", "energy_pJ", "SAW_cells",
+			"max_shard_writes", "min_shard_writes"},
+		Notes: []string{
+			"replay through the concurrent engine; 1 shard runs the exact sequential pipeline",
+			"shards >1 derive independent per-shard seeds: compare orderings, not absolutes, across shard counts",
+			"max/min shard writes expose the interleaved partition's load balance on Zipf+streaming traces",
+		},
+	}
+	const batchSize = 256
+	for _, bm := range benchSubset(o.Mode) {
+		eng, err := shard.New(shard.Config{
+			Lines:     lines,
+			Shards:    shards,
+			Workers:   o.Workers,
+			NewCodec:  func() coset.Codec { return coset.NewVCCStored(64, 16, 256, o.Seed) },
+			Objective: coset.ObjEnergySAW,
+			Key:       simKey,
+			FaultRate: 1e-2,
+			Seed:      o.Seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("shard-replay: %v", err))
+		}
+		gen := trace.NewGenerator(bm, o.Seed)
+		var rec trace.Record
+		reqs := make([]shard.WriteReq, 0, batchSize)
+		bufs := make([][]byte, batchSize)
+		for i := range bufs {
+			bufs[i] = make([]byte, shard.LineSize)
+		}
+		for done := 0; done < writes; {
+			reqs = reqs[:0]
+			for len(reqs) < batchSize && done+len(reqs) < writes {
+				gen.Next(&rec)
+				buf := bufs[len(reqs)]
+				copy(buf, rec.Data[:])
+				reqs = append(reqs, shard.WriteReq{
+					Line: int(rec.Line % uint64(lines)), Data: buf,
+				})
+			}
+			if _, err := eng.WriteBatch(reqs); err != nil {
+				panic(fmt.Sprintf("shard-replay: %v", err))
+			}
+			done += len(reqs)
+		}
+		st := eng.Stats()
+		maxW, minW := int64(-1), int64(-1)
+		for s := 0; s < eng.Shards(); s++ {
+			w := eng.ShardStats(s).LineWrites
+			if maxW < 0 || w > maxW {
+				maxW = w
+			}
+			if minW < 0 || w < minW {
+				minW = w
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			bm.Name, fmtI(st.LineWrites), fmtF(st.EnergyPJ), fmtI(st.SAWCells),
+			fmtI(maxW), fmtI(minW),
+		})
+	}
+	return res
+}

@@ -1,0 +1,599 @@
+// Package shard implements the concurrent sharded memory engine behind
+// vcc.ShardedMemory: the line address space is interleaved across N
+// independent shards, each owning a complete single-threaded write
+// pipeline — its own pcm.Device, cryptmem.Unit, memctrl.Controller,
+// coset codec instance and PRNG streams derived from the master seed —
+// so shards share no mutable state whatsoever.
+//
+// Batches are dispatched over a bounded worker pool. A shard is only
+// ever touched by one worker at a time (a per-shard mutex enforces
+// this), and within a batch each shard processes its requests in the
+// batch's submission order. Two consequences matter:
+//
+//   - No locks are needed inside the pipeline, which keeps the
+//     single-shard configuration on exactly the code path of the
+//     sequential engine: with Shards == 1 the engine is bit-identical
+//     to a vcc.Memory built from the same configuration (same seed →
+//     same cells, energy, SAW counts).
+//   - Results are deterministic regardless of worker scheduling: each
+//     shard's device evolves only under its own ordered request stream,
+//     so (config, seed, request sequence) fully determines every
+//     statistic, at any worker count.
+//
+// Engine-wide totals are additionally folded into lock-free atomic
+// counters (Counters) after every job, so monitoring code can observe
+// throughput mid-batch without stopping the pool.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/coset"
+	"repro/internal/cryptmem"
+	"repro/internal/memctrl"
+	"repro/internal/pcm"
+	"repro/internal/prng"
+)
+
+// LineSize is the cache-line granularity of engine I/O, in bytes.
+const LineSize = cryptmem.LineSize
+
+// Partition maps the global line address space onto shards by
+// round-robin interleaving: global line g lives in shard g % Shards at
+// local index g / Shards. Interleaving (rather than contiguous blocks)
+// spreads streaming writers across all shards, which is what makes the
+// throughput benchmarks scale on sequential traces.
+type Partition struct {
+	// Shards is the number of shards (>= 1).
+	Shards int
+	// Lines is the total number of cache lines across all shards.
+	Lines int
+}
+
+// ShardOf returns the shard owning global line g.
+func (p Partition) ShardOf(g int) int { return g % p.Shards }
+
+// LocalOf returns g's line index within its owning shard.
+func (p Partition) LocalOf(g int) int { return g / p.Shards }
+
+// GlobalOf inverts (ShardOf, LocalOf).
+func (p Partition) GlobalOf(shard, local int) int { return local*p.Shards + shard }
+
+// ShardLines returns the number of lines owned by shard s.
+func (p Partition) ShardLines(s int) int {
+	if s >= p.Lines {
+		return 0
+	}
+	return (p.Lines - s + p.Shards - 1) / p.Shards
+}
+
+// BackendConfig assembles one shard's pipeline. It mirrors
+// vcc.MemoryConfig; vcc.NewMemory delegates here, which is what makes
+// the single-shard equivalence structural rather than coincidental.
+type BackendConfig struct {
+	// Lines is the shard capacity in 64-byte cache lines.
+	Lines int
+	// Codec encodes each block. It must be owned exclusively by this
+	// backend: codec implementations may carry scratch state (e.g.
+	// generated-kernel buffers) and are not safe to share across shards.
+	Codec coset.Codec
+	// Objective drives candidate selection.
+	Objective coset.Objective
+	// SLC selects single-level cells (default 2-bit MLC).
+	SLC bool
+	// DisableEncryption bypasses the AES-CTR unit.
+	DisableEncryption bool
+	// Key is the AES-256 key for the encryption unit.
+	Key [32]byte
+	// FaultRate pre-generates a stuck-at fault map at this per-cell rate.
+	FaultRate float64
+	// EnduranceWrites enables wear tracking with this mean cell lifetime.
+	EnduranceWrites float64
+	// EnduranceCoV is the lifetime coefficient of variation (default 0.2).
+	EnduranceCoV float64
+	// Seed drives all stochastic initialization of this shard.
+	Seed uint64
+}
+
+// Backend is one shard's fully-assembled pipeline. It is not safe for
+// concurrent use; the Engine serializes access per shard.
+type Backend struct {
+	Ctrl *memctrl.Controller
+	Dev  *pcm.Device
+}
+
+// NewBackend builds one pipeline from cfg. The PRNG stream labels are
+// those historically used by vcc.NewMemory, so a backend seeded like a
+// vcc.Memory initializes identical cells, faults and endurance draws.
+func NewBackend(cfg BackendConfig) (*Backend, error) {
+	if cfg.Lines <= 0 {
+		return nil, fmt.Errorf("shard: Lines must be positive, got %d", cfg.Lines)
+	}
+	if cfg.Codec == nil {
+		return nil, fmt.Errorf("shard: Codec is required")
+	}
+	mode := pcm.MLC
+	if cfg.SLC {
+		mode = pcm.SLC
+	}
+	words := cfg.Lines * memctrl.WordsPerLine
+	var faults *pcm.FaultMap
+	if cfg.FaultRate > 0 {
+		faults = pcm.Generate(mode, words, pcm.FaultParams{CellRate: cfg.FaultRate},
+			prng.NewFrom(cfg.Seed, "vcc-faults"))
+	}
+	var wear *pcm.Wear
+	if cfg.EnduranceWrites > 0 {
+		cov := cfg.EnduranceCoV
+		if cov == 0 {
+			cov = 0.2
+		}
+		wear = pcm.NewWear(words*mode.CellsPerWord(),
+			pcm.WearParams{MeanWrites: cfg.EnduranceWrites, CoV: cov},
+			prng.NewFrom(cfg.Seed, "vcc-endurance"))
+	}
+	dev := pcm.NewDevice(pcm.Config{
+		Mode: mode, Rows: cfg.Lines, WordsPerRow: memctrl.WordsPerLine,
+		Faults: faults, Wear: wear,
+	})
+	dev.InitRandom(prng.NewFrom(cfg.Seed, "vcc-init"))
+
+	mcfg := memctrl.Config{Device: dev, Codec: cfg.Codec, Objective: cfg.Objective}
+	if !cfg.DisableEncryption {
+		crypt, err := cryptmem.New(cfg.Key, cfg.Lines)
+		if err != nil {
+			return nil, err
+		}
+		mcfg.Crypt = crypt
+	}
+	ctrl, err := memctrl.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{Ctrl: ctrl, Dev: dev}, nil
+}
+
+// WriteLine writes one line at a shard-local index and returns the
+// stuck-at-wrong cell count of the stored result.
+func (b *Backend) WriteLine(local int, data []byte) int {
+	saw := 0
+	for _, o := range b.Ctrl.WriteLine(local, data) {
+		saw += o.SAWCells
+	}
+	return saw
+}
+
+// FailedCells returns the endurance-exhausted cell count (0 without
+// wear tracking).
+func (b *Backend) FailedCells() int64 {
+	if w := b.Dev.Config().Wear; w != nil {
+		return int64(w.FailedCells())
+	}
+	return 0
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Lines is the total capacity in cache lines across all shards.
+	Lines int
+	// Shards is the shard count; 0 defaults to 1. Must not exceed Lines.
+	Shards int
+	// Workers bounds the worker pool serving batches; 0 defaults to
+	// min(Shards, GOMAXPROCS). Values above Shards are clamped: a shard
+	// is single-threaded, so extra workers could never be scheduled.
+	Workers int
+	// NewCodec builds one codec instance per shard (codecs may carry
+	// scratch state and cannot be shared). Required.
+	NewCodec func() coset.Codec
+	// The remaining fields mirror BackendConfig and apply to every shard.
+	Objective         coset.Objective
+	SLC               bool
+	DisableEncryption bool
+	Key               [32]byte
+	FaultRate         float64
+	EnduranceWrites   float64
+	EnduranceCoV      float64
+	// Seed is the master seed. With one shard it is used directly; with
+	// more, each shard derives a decorrelated child seed from it.
+	Seed uint64
+}
+
+// ShardSeed returns the seed for shard i of n derived from the master
+// seed. With n == 1 the master seed is used directly, preserving
+// bit-identity with the unsharded engine.
+func ShardSeed(seed uint64, i, n int) uint64 {
+	if n == 1 {
+		return seed
+	}
+	return prng.NewFrom(seed, fmt.Sprintf("vcc-shard-%d", i)).Uint64()
+}
+
+// shardKey returns shard i's AES key. Each shard's encryption unit
+// counts lines locally, so giving every shard the master key verbatim
+// would reuse one-time pads across shards (the pad tweak is local line
+// + counter). With n > 1 the key is therefore whitened per shard,
+// keeping ciphertext streams decorrelated; with n == 1 the master key
+// is used directly, preserving bit-identity with the unsharded engine.
+func shardKey(key [32]byte, seed uint64, i, n int) [32]byte {
+	if n == 1 {
+		return key
+	}
+	var mask [32]byte
+	prng.NewFrom(seed, fmt.Sprintf("vcc-shard-key-%d", i)).Fill(mask[:])
+	for k := range key {
+		key[k] ^= mask[k]
+	}
+	return key
+}
+
+// WriteReq is one line write in a batch.
+type WriteReq struct {
+	// Line is the global line index.
+	Line int
+	// Data is the 64-byte plaintext. The engine does not retain it past
+	// the batch call.
+	Data []byte
+}
+
+// ReadReq is one line read in a batch.
+type ReadReq struct {
+	// Line is the global line index.
+	Line int
+	// Dst receives the plaintext; allocated when nil.
+	Dst []byte
+}
+
+// Counters is a point-in-time snapshot of engine-wide write totals,
+// merged lock-free from per-shard deltas (see Engine.Counters).
+type Counters struct {
+	LineWrites  int64
+	EnergyPJ    float64
+	BitFlips    int64
+	CellChanges int64
+	SAWCells    int64
+}
+
+// counters is the atomic accumulator behind Counters. Integer fields
+// use plain atomic adds; the energy total is a float64 merged by
+// compare-and-swap on its bit pattern.
+type counters struct {
+	lineWrites  atomic.Int64
+	bitFlips    atomic.Int64
+	cellChanges atomic.Int64
+	sawCells    atomic.Int64
+	energyBits  atomic.Uint64
+}
+
+func (c *counters) add(d memctrl.Stats) {
+	c.lineWrites.Add(d.LineWrites)
+	c.bitFlips.Add(d.BitFlips)
+	c.cellChanges.Add(d.CellChanges)
+	c.sawCells.Add(d.SAWCells)
+	for {
+		old := c.energyBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d.EnergyPJ)
+		if c.energyBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		LineWrites:  c.lineWrites.Load(),
+		EnergyPJ:    math.Float64frombits(c.energyBits.Load()),
+		BitFlips:    c.bitFlips.Load(),
+		CellChanges: c.cellChanges.Load(),
+		SAWCells:    c.sawCells.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.lineWrites.Store(0)
+	c.bitFlips.Store(0)
+	c.cellChanges.Store(0)
+	c.sawCells.Store(0)
+	c.energyBits.Store(0)
+}
+
+// Engine is the sharded, concurrency-safe memory engine. All methods
+// may be called from multiple goroutines.
+type Engine struct {
+	part     Partition
+	backends []*Backend
+	mu       []sync.Mutex // mu[i] serializes access to backends[i]
+	workers  int
+	live     counters
+}
+
+// New builds an engine from cfg.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Lines <= 0 {
+		return nil, fmt.Errorf("shard: Lines must be positive, got %d", cfg.Lines)
+	}
+	if cfg.NewCodec == nil {
+		return nil, fmt.Errorf("shard: NewCodec is required")
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 0 || shards > cfg.Lines {
+		return nil, fmt.Errorf("shard: Shards %d out of range [1,%d]", shards, cfg.Lines)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	part := Partition{Shards: shards, Lines: cfg.Lines}
+	backends := make([]*Backend, shards)
+	for i := range backends {
+		b, err := NewBackend(BackendConfig{
+			Lines:             part.ShardLines(i),
+			Codec:             cfg.NewCodec(),
+			Objective:         cfg.Objective,
+			SLC:               cfg.SLC,
+			DisableEncryption: cfg.DisableEncryption,
+			Key:               shardKey(cfg.Key, cfg.Seed, i, shards),
+			FaultRate:         cfg.FaultRate,
+			EnduranceWrites:   cfg.EnduranceWrites,
+			EnduranceCoV:      cfg.EnduranceCoV,
+			Seed:              ShardSeed(cfg.Seed, i, shards),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		backends[i] = b
+	}
+	return &Engine{
+		part:     part,
+		backends: backends,
+		mu:       make([]sync.Mutex, shards),
+		workers:  workers,
+	}, nil
+}
+
+// Lines returns the total capacity in cache lines.
+func (e *Engine) Lines() int { return e.part.Lines }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return e.part.Shards }
+
+// Workers returns the effective worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Partition returns the address-space partition.
+func (e *Engine) Partition() Partition { return e.part }
+
+func (e *Engine) checkLine(line int) error {
+	if line < 0 || line >= e.part.Lines {
+		return fmt.Errorf("shard: line %d out of range [0,%d)", line, e.part.Lines)
+	}
+	return nil
+}
+
+// Write stores one 64-byte line through its owning shard's pipeline and
+// returns the number of stuck-at-wrong cells the write could not avoid.
+func (e *Engine) Write(line int, data []byte) (int, error) {
+	if err := e.checkLine(line); err != nil {
+		return 0, err
+	}
+	if len(data) != LineSize {
+		return 0, fmt.Errorf("shard: Write needs %d bytes, got %d", LineSize, len(data))
+	}
+	s := e.part.ShardOf(line)
+	e.mu[s].Lock()
+	b := e.backends[s]
+	before := b.Ctrl.Stats
+	saw := b.WriteLine(e.part.LocalOf(line), data)
+	delta := statsDelta(b.Ctrl.Stats, before)
+	e.mu[s].Unlock()
+	e.live.add(delta)
+	return saw, nil
+}
+
+// Read retrieves one line into dst (allocated when nil).
+func (e *Engine) Read(line int, dst []byte) ([]byte, error) {
+	if err := e.checkLine(line); err != nil {
+		return nil, err
+	}
+	if dst != nil && len(dst) != LineSize {
+		return nil, fmt.Errorf("shard: Read needs a %d-byte buffer", LineSize)
+	}
+	s := e.part.ShardOf(line)
+	e.mu[s].Lock()
+	out := e.backends[s].Ctrl.ReadLine(e.part.LocalOf(line), dst)
+	e.mu[s].Unlock()
+	return out, nil
+}
+
+// groupByShard buckets request indices by owning shard, preserving
+// submission order within each shard, and returns the non-empty shard
+// list.
+func (e *Engine) groupByShard(lines func(i int) int, n int) (byShard [][]int, active []int) {
+	byShard = make([][]int, e.part.Shards)
+	for i := 0; i < n; i++ {
+		s := e.part.ShardOf(lines(i))
+		byShard[s] = append(byShard[s], i)
+	}
+	for s, idxs := range byShard {
+		if len(idxs) > 0 {
+			active = append(active, s)
+		}
+	}
+	return byShard, active
+}
+
+// runJobs feeds the active shard list to at most Workers goroutines,
+// each of which claims whole shards and runs job(shard) with the
+// shard's mutex held.
+func (e *Engine) runJobs(active []int, job func(s int)) {
+	nw := e.workers
+	if nw > len(active) {
+		nw = len(active)
+	}
+	if nw <= 1 {
+		for _, s := range active {
+			e.mu[s].Lock()
+			job(s)
+			e.mu[s].Unlock()
+		}
+		return
+	}
+	ch := make(chan int, len(active))
+	for _, s := range active {
+		ch <- s
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				e.mu[s].Lock()
+				job(s)
+				e.mu[s].Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// WriteBatch stores every request through the worker pool and returns
+// the per-request stuck-at-wrong cell counts, indexed like reqs.
+// Requests are validated up front; on error no write is performed.
+// Requests addressed to the same shard are applied in slice order, so a
+// batch is equivalent to a deterministic sequential interleaving
+// regardless of worker count.
+func (e *Engine) WriteBatch(reqs []WriteReq) ([]int, error) {
+	for i := range reqs {
+		if err := e.checkLine(reqs[i].Line); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		if len(reqs[i].Data) != LineSize {
+			return nil, fmt.Errorf("request %d: need %d bytes, got %d", i, LineSize, len(reqs[i].Data))
+		}
+	}
+	saw := make([]int, len(reqs))
+	byShard, active := e.groupByShard(func(i int) int { return reqs[i].Line }, len(reqs))
+	e.runJobs(active, func(s int) {
+		b := e.backends[s]
+		before := b.Ctrl.Stats
+		for _, i := range byShard[s] {
+			saw[i] = b.WriteLine(e.part.LocalOf(reqs[i].Line), reqs[i].Data)
+		}
+		e.live.add(statsDelta(b.Ctrl.Stats, before))
+	})
+	return saw, nil
+}
+
+// ReadBatch serves every read through the worker pool and returns the
+// plaintexts, indexed like reqs (reusing req.Dst when provided).
+func (e *Engine) ReadBatch(reqs []ReadReq) ([][]byte, error) {
+	for i := range reqs {
+		if err := e.checkLine(reqs[i].Line); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		if reqs[i].Dst != nil && len(reqs[i].Dst) != LineSize {
+			return nil, fmt.Errorf("request %d: need a %d-byte buffer", i, LineSize)
+		}
+	}
+	out := make([][]byte, len(reqs))
+	byShard, active := e.groupByShard(func(i int) int { return reqs[i].Line }, len(reqs))
+	e.runJobs(active, func(s int) {
+		b := e.backends[s]
+		for _, i := range byShard[s] {
+			out[i] = b.Ctrl.ReadLine(e.part.LocalOf(reqs[i].Line), reqs[i].Dst)
+		}
+	})
+	return out, nil
+}
+
+// statsDelta returns after - before, field-wise.
+func statsDelta(after, before memctrl.Stats) memctrl.Stats {
+	return memctrl.Stats{
+		LineWrites:       after.LineWrites - before.LineWrites,
+		EnergyPJ:         after.EnergyPJ - before.EnergyPJ,
+		AuxEnergyPJ:      after.AuxEnergyPJ - before.AuxEnergyPJ,
+		BitFlips:         after.BitFlips - before.BitFlips,
+		CellChanges:      after.CellChanges - before.CellChanges,
+		SAWCells:         after.SAWCells - before.SAWCells,
+		SAWWords:         after.SAWWords - before.SAWWords,
+		NewlyFailedCells: after.NewlyFailedCells - before.NewlyFailedCells,
+	}
+}
+
+// Stats returns the exact merged controller statistics across shards,
+// taking each shard's lock in turn. With one shard this is the
+// controller's Stats verbatim (bit-identical to the sequential engine).
+func (e *Engine) Stats() memctrl.Stats {
+	var total memctrl.Stats
+	for i, b := range e.backends {
+		e.mu[i].Lock()
+		s := b.Ctrl.Stats
+		e.mu[i].Unlock()
+		total.LineWrites += s.LineWrites
+		total.EnergyPJ += s.EnergyPJ
+		total.AuxEnergyPJ += s.AuxEnergyPJ
+		total.BitFlips += s.BitFlips
+		total.CellChanges += s.CellChanges
+		total.SAWCells += s.SAWCells
+		total.SAWWords += s.SAWWords
+		total.NewlyFailedCells += s.NewlyFailedCells
+	}
+	return total
+}
+
+// ShardStats returns shard s's controller statistics.
+func (e *Engine) ShardStats(s int) memctrl.Stats {
+	e.mu[s].Lock()
+	defer e.mu[s].Unlock()
+	return e.backends[s].Ctrl.Stats
+}
+
+// Counters returns the live lock-free totals. Unlike Stats it never
+// blocks on shard locks, so it can be polled while batches run; it only
+// reflects writes whose job has already folded its delta in.
+func (e *Engine) Counters() Counters { return e.live.snapshot() }
+
+// FailedCells sums endurance-exhausted cells across shards.
+func (e *Engine) FailedCells() int64 {
+	var total int64
+	for i, b := range e.backends {
+		e.mu[i].Lock()
+		total += b.FailedCells()
+		e.mu[i].Unlock()
+	}
+	return total
+}
+
+// StuckCells sums permanently stuck cells (pre-generated faults plus
+// endurance failures) across shards.
+func (e *Engine) StuckCells() int {
+	total := 0
+	for i, b := range e.backends {
+		e.mu[i].Lock()
+		total += b.Dev.Faults().NumStuckCells()
+		e.mu[i].Unlock()
+	}
+	return total
+}
+
+// ResetStats clears controller statistics and live counters (device
+// state is untouched).
+func (e *Engine) ResetStats() {
+	for i, b := range e.backends {
+		e.mu[i].Lock()
+		b.Ctrl.ResetStats()
+		e.mu[i].Unlock()
+	}
+	e.live.reset()
+}

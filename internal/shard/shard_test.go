@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/coset"
+)
+
+func TestPartitionRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ shards, lines int }{
+		{1, 1}, {1, 1024}, {2, 1024}, {3, 1031}, {4, 7}, {8, 8192}, {7, 100},
+	} {
+		p := Partition{Shards: tc.shards, Lines: tc.lines}
+		sum := 0
+		for s := 0; s < tc.shards; s++ {
+			sum += p.ShardLines(s)
+		}
+		if sum != tc.lines {
+			t.Errorf("Partition%+v: shard sizes sum to %d, want %d", p, sum, tc.lines)
+		}
+		seen := make(map[[2]int]bool)
+		for g := 0; g < tc.lines; g++ {
+			s, l := p.ShardOf(g), p.LocalOf(g)
+			if s < 0 || s >= tc.shards {
+				t.Fatalf("Partition%+v: line %d maps to shard %d", p, g, s)
+			}
+			if l < 0 || l >= p.ShardLines(s) {
+				t.Fatalf("Partition%+v: line %d maps to local %d, shard %d has %d lines",
+					p, g, l, s, p.ShardLines(s))
+			}
+			if p.GlobalOf(s, l) != g {
+				t.Fatalf("Partition%+v: GlobalOf(%d,%d) = %d, want %d", p, s, l, p.GlobalOf(s, l), g)
+			}
+			key := [2]int{s, l}
+			if seen[key] {
+				t.Fatalf("Partition%+v: (shard,local) %v claimed twice", p, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestShardSeed(t *testing.T) {
+	if got := ShardSeed(42, 0, 1); got != 42 {
+		t.Errorf("single-shard seed must pass through, got %d", got)
+	}
+	seen := map[uint64]int{}
+	for i := 0; i < 16; i++ {
+		s := ShardSeed(42, i, 16)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("shards %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if _, collides := seen[42]; collides {
+		// Not fatal by construction, but with this derivation the master
+		// seed should not reappear verbatim.
+		t.Log("warning: a multi-shard seed equals the master seed")
+	}
+}
+
+// TestShardKeyPadIndependence: each shard's encryption unit counts
+// lines locally, so (local line, counter) tuples collide across shards.
+// Without per-shard key whitening the same plaintext written to local
+// line 0 of two shards at equal counters would store identical
+// ciphertext — one-time pad reuse. Build two backends exactly as
+// Engine.New would and compare stored words directly.
+func TestShardKeyPadIndependence(t *testing.T) {
+	master := [32]byte{1, 2, 3}
+	if shardKey(master, 7, 0, 1) != master {
+		t.Fatal("single-shard key must pass through unchanged")
+	}
+	k0, k1 := shardKey(master, 7, 0, 2), shardKey(master, 7, 1, 2)
+	if k0 == k1 || k0 == master || k1 == master {
+		t.Fatalf("multi-shard keys not whitened: %x %x", k0[:4], k1[:4])
+	}
+	stored := func(key [32]byte) [8]uint64 {
+		b, err := NewBackend(BackendConfig{
+			Lines: 1, Codec: coset.NewIdentity(64), Key: key, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := make([]byte, LineSize)
+		for i := range plain {
+			plain[i] = 0xA5
+		}
+		b.WriteLine(0, plain)
+		var w [8]uint64
+		for i := range w {
+			w[i] = b.Dev.Read(i)
+		}
+		return w
+	}
+	// Identity codec + no faults: stored words are the raw ciphertext.
+	if stored(k0) == stored(k1) {
+		t.Error("identical ciphertext on two shards: one-time pad reused across shards")
+	}
+	if stored(k0) != stored(k0) {
+		t.Error("ciphertext not deterministic for a fixed key")
+	}
+}
+
+func newTestEngine(t *testing.T, shards, lines int) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Lines:    lines,
+		Shards:   shards,
+		Workers:  shards,
+		NewCodec: func() coset.Codec { return coset.NewFNW(64, 16) },
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestBatchDeterminismAcrossWorkerCounts replays the same batch against
+// engines that differ only in worker count and requires identical
+// statistics: scheduling must not influence results.
+func TestBatchDeterminismAcrossWorkerCounts(t *testing.T) {
+	const lines = 257
+	mkBatch := func() []WriteReq {
+		reqs := make([]WriteReq, 3*lines)
+		for i := range reqs {
+			data := make([]byte, LineSize)
+			for k := range data {
+				data[k] = byte(i*31 + k)
+			}
+			reqs[i] = WriteReq{Line: (i * 13) % lines, Data: data}
+		}
+		return reqs
+	}
+	var ref *Engine
+	var refSAW []int
+	for _, workers := range []int{1, 2, 8} {
+		e, err := New(Config{
+			Lines: lines, Shards: 4, Workers: workers,
+			NewCodec:  func() coset.Codec { return coset.NewFNW(64, 16) },
+			FaultRate: 1e-2, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		saw, err := e.WriteBatch(mkBatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refSAW = e, saw
+			continue
+		}
+		if e.Stats() != ref.Stats() {
+			t.Errorf("workers=%d: stats %+v differ from workers=1 %+v", workers, e.Stats(), ref.Stats())
+		}
+		for i := range saw {
+			if saw[i] != refSAW[i] {
+				t.Fatalf("workers=%d: request %d SAW %d, want %d", workers, i, saw[i], refSAW[i])
+			}
+		}
+	}
+}
+
+func TestCountersMatchStats(t *testing.T) {
+	e := newTestEngine(t, 4, 64)
+	data := make([]byte, LineSize)
+	for l := 0; l < 64; l++ {
+		if _, err := e.Write(l, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, live := e.Stats(), e.Counters()
+	if live.LineWrites != st.LineWrites || live.BitFlips != st.BitFlips ||
+		live.CellChanges != st.CellChanges || live.SAWCells != st.SAWCells {
+		t.Errorf("live counters %+v disagree with stats %+v", live, st)
+	}
+	// Energy is merged via float CAS from per-write deltas; per-write
+	// granularity makes the sum exact in this single-threaded sequence.
+	if live.EnergyPJ != st.EnergyPJ {
+		t.Errorf("live energy %v != stats energy %v", live.EnergyPJ, st.EnergyPJ)
+	}
+	e.ResetStats()
+	if c := e.Counters(); c != (Counters{}) {
+		t.Errorf("counters not cleared by ResetStats: %+v", c)
+	}
+	if s := e.Stats(); s.LineWrites != 0 {
+		t.Errorf("stats not cleared by ResetStats: %+v", s)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(Config{Lines: 0, NewCodec: func() coset.Codec { return coset.NewFNW(64, 16) }}); err == nil {
+		t.Error("want error for zero lines")
+	}
+	if _, err := New(Config{Lines: 4, Shards: 8, NewCodec: func() coset.Codec { return coset.NewFNW(64, 16) }}); err == nil {
+		t.Error("want error for more shards than lines")
+	}
+	if _, err := New(Config{Lines: 4}); err == nil {
+		t.Error("want error for missing codec factory")
+	}
+	e := newTestEngine(t, 2, 8)
+	if _, err := e.Write(8, make([]byte, LineSize)); err == nil {
+		t.Error("want range error")
+	}
+	if _, err := e.Write(0, make([]byte, 8)); err == nil {
+		t.Error("want size error")
+	}
+	if _, err := e.WriteBatch([]WriteReq{{Line: -1, Data: make([]byte, LineSize)}}); err == nil {
+		t.Error("want batch range error")
+	}
+	if _, err := e.ReadBatch([]ReadReq{{Line: 0, Dst: make([]byte, 3)}}); err == nil {
+		t.Error("want batch buffer-size error")
+	}
+}

@@ -1,0 +1,162 @@
+package vcc
+
+import (
+	"repro/internal/coset"
+	"repro/internal/shard"
+)
+
+// WriteRequest is one line write in a ShardedMemory batch.
+type WriteRequest = shard.WriteReq
+
+// ReadRequest is one line read in a ShardedMemory batch.
+type ReadRequest = shard.ReadReq
+
+// LiveCounters is a lock-free snapshot of engine-wide write totals,
+// pollable while batches are in flight.
+type LiveCounters = shard.Counters
+
+// ShardedMemoryConfig assembles a sharded, concurrency-safe memory.
+type ShardedMemoryConfig struct {
+	// Lines is the total capacity in 64-byte cache lines.
+	Lines int
+	// Shards partitions the line address space (round-robin interleave)
+	// across this many independent pipelines, each with its own device,
+	// controller, encryption unit and derived PRNG streams. 0 defaults
+	// to 1, which is bit-identical to Memory.
+	Shards int
+	// Workers bounds the goroutine pool serving batches; 0 defaults to
+	// min(Shards, GOMAXPROCS).
+	Workers int
+	// NewEncoder builds one encoder per shard; defaults to
+	// NewVCCEncoder(256). A factory rather than an instance because
+	// codecs may carry scratch state and must not be shared across
+	// concurrently-running shards.
+	NewEncoder func() Encoder
+	// Objective drives candidate selection; the zero value is OptFlips
+	// (classic write reduction), as in MemoryConfig.
+	Objective Objective
+	// SLC selects single-level cells (default is the paper's 2-bit MLC).
+	SLC bool
+	// DisableEncryption bypasses the AES-CTR unit (ablations only).
+	DisableEncryption bool
+	// Key is the AES-256 key for the encryption units.
+	Key [32]byte
+	// FaultRate pre-generates per-shard stuck-at fault maps. 0 disables.
+	FaultRate float64
+	// EnduranceWrites enables wear tracking (see MemoryConfig).
+	EnduranceWrites float64
+	// EnduranceCoV is the lifetime coefficient of variation (default 0.2).
+	EnduranceCoV float64
+	// Seed is the master seed; shards derive decorrelated child seeds
+	// from it (the single-shard configuration uses it directly).
+	Seed uint64
+}
+
+// ShardedMemory is the concurrent variant of Memory: the line address
+// space is interleaved across independent shards and batches are served
+// by a bounded worker pool. All methods are safe for concurrent use.
+//
+// With Shards == 1 every result — cells, energy, SAW counts, Stats —
+// is bit-identical to a Memory built from the same configuration and
+// seed, so sequential experiments stay valid on this engine.
+type ShardedMemory struct {
+	eng *shard.Engine
+}
+
+// NewShardedMemory builds a ShardedMemory from cfg.
+func NewShardedMemory(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
+	newEnc := cfg.NewEncoder
+	if newEnc == nil {
+		newEnc = func() Encoder { return NewVCCEncoder(256) }
+	}
+	eng, err := shard.New(shard.Config{
+		Lines:             cfg.Lines,
+		Shards:            cfg.Shards,
+		Workers:           cfg.Workers,
+		NewCodec:          func() coset.Codec { return newEnc() },
+		Objective:         cfg.Objective,
+		SLC:               cfg.SLC,
+		DisableEncryption: cfg.DisableEncryption,
+		Key:               cfg.Key,
+		FaultRate:         cfg.FaultRate,
+		EnduranceWrites:   cfg.EnduranceWrites,
+		EnduranceCoV:      cfg.EnduranceCoV,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedMemory{eng: eng}, nil
+}
+
+// Lines returns the total capacity in cache lines.
+func (m *ShardedMemory) Lines() int { return m.eng.Lines() }
+
+// Shards returns the shard count.
+func (m *ShardedMemory) Shards() int { return m.eng.Shards() }
+
+// Workers returns the effective worker-pool bound.
+func (m *ShardedMemory) Workers() int { return m.eng.Workers() }
+
+// Write stores a 64-byte cache line, like Memory.Write but safe for
+// concurrent use.
+func (m *ShardedMemory) Write(line int, data []byte) (sawCells int, err error) {
+	return m.eng.Write(line, data)
+}
+
+// Read retrieves a cache line, like Memory.Read but safe for concurrent
+// use.
+func (m *ShardedMemory) Read(line int, dst []byte) ([]byte, error) {
+	return m.eng.Read(line, dst)
+}
+
+// WriteBatch dispatches the requests over the worker pool and returns
+// per-request stuck-at-wrong cell counts, indexed like reqs. Requests
+// to the same shard apply in slice order, so results are deterministic
+// at any worker count.
+func (m *ShardedMemory) WriteBatch(reqs []WriteRequest) ([]int, error) {
+	return m.eng.WriteBatch(reqs)
+}
+
+// ReadBatch dispatches the reads over the worker pool and returns the
+// plaintexts, indexed like reqs.
+func (m *ShardedMemory) ReadBatch(reqs []ReadRequest) ([][]byte, error) {
+	return m.eng.ReadBatch(reqs)
+}
+
+// Stats returns exact statistics merged across all shards.
+func (m *ShardedMemory) Stats() Stats {
+	s := m.eng.Stats()
+	return Stats{
+		LineWrites:  s.LineWrites,
+		EnergyPJ:    s.EnergyPJ,
+		BitFlips:    s.BitFlips,
+		CellChanges: s.CellChanges,
+		SAWCells:    s.SAWCells,
+		FailedCells: m.eng.FailedCells(),
+	}
+}
+
+// ShardStats returns the statistics of one shard, for load-balance
+// inspection.
+func (m *ShardedMemory) ShardStats(s int) Stats {
+	st := m.eng.ShardStats(s)
+	return Stats{
+		LineWrites:  st.LineWrites,
+		EnergyPJ:    st.EnergyPJ,
+		BitFlips:    st.BitFlips,
+		CellChanges: st.CellChanges,
+		SAWCells:    st.SAWCells,
+	}
+}
+
+// Counters returns live totals without taking shard locks; it can be
+// polled from a monitoring goroutine while batches run.
+func (m *ShardedMemory) Counters() LiveCounters { return m.eng.Counters() }
+
+// ResetStats clears accumulated statistics (device state is untouched).
+func (m *ShardedMemory) ResetStats() { m.eng.ResetStats() }
+
+// StuckCells returns the current number of permanently stuck cells
+// across all shards.
+func (m *ShardedMemory) StuckCells() int { return m.eng.StuckCells() }

@@ -11,6 +11,9 @@
 //   - Memory: a simulated encrypted MLC/SLC PCM main memory — AES-CTR
 //     encryption unit, coset encoder, fault injection, endurance — with
 //     cache-line Read/Write and detailed energy/wear statistics.
+//   - ShardedMemory: the concurrency-safe variant, interleaving the line
+//     address space across independent shards with batched I/O served by
+//     a bounded worker pool (bit-identical to Memory at one shard).
 //   - The experiment registry regenerating every table and figure of the
 //     paper (see cmd/vccrepro and EXPERIMENTS.md).
 //
@@ -34,7 +37,7 @@ import (
 	"repro/internal/cryptmem"
 	"repro/internal/memctrl"
 	"repro/internal/pcm"
-	"repro/internal/prng"
+	"repro/internal/shard"
 )
 
 // LineSize is the cache-line granularity of Memory I/O, in bytes.
@@ -95,7 +98,9 @@ type MemoryConfig struct {
 	// Encoder transforms blocks before they reach the cells; defaults
 	// to NewVCCEncoder(256).
 	Encoder Encoder
-	// Objective drives candidate selection; defaults to OptEnergy.
+	// Objective drives candidate selection; the zero value is OptFlips
+	// (classic write reduction). The paper's headline results use
+	// OptEnergy or OptSAW — set one explicitly to reproduce them.
 	Objective Objective
 	// SLC selects single-level cells (default is the paper's 2-bit MLC).
 	SLC bool
@@ -141,7 +146,10 @@ type Stats struct {
 	FailedCells int64
 }
 
-// NewMemory builds a Memory from cfg.
+// NewMemory builds a Memory from cfg. The pipeline assembly lives in
+// internal/shard (NewMemory builds exactly one shard's backend), so the
+// sequential engine and every shard of a ShardedMemory are the same
+// construction by design.
 func NewMemory(cfg MemoryConfig) (*Memory, error) {
 	if cfg.Lines <= 0 {
 		return nil, fmt.Errorf("vcc: Lines must be positive, got %d", cfg.Lines)
@@ -149,45 +157,22 @@ func NewMemory(cfg MemoryConfig) (*Memory, error) {
 	if cfg.Encoder == nil {
 		cfg.Encoder = NewVCCEncoder(256)
 	}
-	mode := pcm.MLC
-	if cfg.SLC {
-		mode = pcm.SLC
-	}
-	words := cfg.Lines * memctrl.WordsPerLine
-	var faults *pcm.FaultMap
-	if cfg.FaultRate > 0 {
-		faults = pcm.Generate(mode, words, pcm.FaultParams{CellRate: cfg.FaultRate},
-			prng.NewFrom(cfg.Seed, "vcc-faults"))
-	}
-	var wear *pcm.Wear
-	if cfg.EnduranceWrites > 0 {
-		cov := cfg.EnduranceCoV
-		if cov == 0 {
-			cov = 0.2
-		}
-		wear = pcm.NewWear(words*mode.CellsPerWord(),
-			pcm.WearParams{MeanWrites: cfg.EnduranceWrites, CoV: cov},
-			prng.NewFrom(cfg.Seed, "vcc-endurance"))
-	}
-	dev := pcm.NewDevice(pcm.Config{
-		Mode: mode, Rows: cfg.Lines, WordsPerRow: memctrl.WordsPerLine,
-		Faults: faults, Wear: wear,
+	b, err := shard.NewBackend(shard.BackendConfig{
+		Lines:             cfg.Lines,
+		Codec:             cfg.Encoder,
+		Objective:         cfg.Objective,
+		SLC:               cfg.SLC,
+		DisableEncryption: cfg.DisableEncryption,
+		Key:               cfg.Key,
+		FaultRate:         cfg.FaultRate,
+		EnduranceWrites:   cfg.EnduranceWrites,
+		EnduranceCoV:      cfg.EnduranceCoV,
+		Seed:              cfg.Seed,
 	})
-	dev.InitRandom(prng.NewFrom(cfg.Seed, "vcc-init"))
-
-	mcfg := memctrl.Config{Device: dev, Codec: cfg.Encoder, Objective: cfg.Objective}
-	if !cfg.DisableEncryption {
-		crypt, err := cryptmem.New(cfg.Key, cfg.Lines)
-		if err != nil {
-			return nil, err
-		}
-		mcfg.Crypt = crypt
-	}
-	ctrl, err := memctrl.New(mcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Memory{ctrl: ctrl, dev: dev}, nil
+	return &Memory{ctrl: b.Ctrl, dev: b.Dev}, nil
 }
 
 // Lines returns the capacity in cache lines.
