@@ -59,6 +59,7 @@ func BenchmarkAblateVisibility(b *testing.B) { benchExperiment(b, "ablate-visibi
 func BenchmarkSLCEnergy(b *testing.B)        { benchExperiment(b, "slc-energy") }
 func BenchmarkAblateCAFO(b *testing.B)       { benchExperiment(b, "ablate-cafo") }
 func BenchmarkShardReplay(b *testing.B)      { benchExperiment(b, "shard-replay") }
+func BenchmarkWorkloadSweep(b *testing.B)    { benchExperiment(b, "workload-sweep") }
 
 // --- encoder micro-benchmarks -----------------------------------------
 
@@ -144,8 +145,11 @@ func BenchmarkMemoryWriteLine(b *testing.B) {
 // divide by 64 for lines/sec) of the concurrent engine across shard
 // counts, for MLC and SLC and all four encoder families. The batch
 // addresses round-robin the full line space, so the interleaved
-// partition keeps every shard busy; scaling beyond shards=1 is the
-// tentpole acceptance criterion.
+// partition keeps every shard busy. Batches go through the mixed op
+// path (Apply) with reused op and outcome buffers: with ReportAllocs
+// the steady-state write hot path must measure 0 allocs/op — the
+// zero-allocation acceptance criterion (also pinned by
+// TestApplySteadyStateWriteAllocs).
 
 // shardedEncoders are the encoder families under benchmark. Factories,
 // not instances: each shard owns a private codec.
@@ -172,18 +176,23 @@ func benchShardedWrite(b *testing.B, shards int, slc bool, mk func() Encoder) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer mem.Close()
 	rng := prng.New(2)
-	reqs := make([]WriteRequest, batchSize)
-	for i := range reqs {
+	ops := make([]Op, batchSize)
+	for i := range ops {
 		data := make([]byte, LineSize)
 		rng.Fill(data)
-		reqs[i] = WriteRequest{Line: (i * 7) % lines, Data: data}
+		ops[i] = Op{Kind: OpWrite, Line: (i * 7) % lines, Data: data}
+	}
+	outs := make([]Outcome, batchSize)
+	if outs, err = mem.Apply(ops, outs); err != nil { // warm the dispatch plan
+		b.Fatal(err)
 	}
 	b.SetBytes(int64(batchSize) * LineSize)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mem.WriteBatch(reqs); err != nil {
+		if outs, err = mem.Apply(ops, outs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -199,6 +208,54 @@ func BenchmarkShardedWrite(b *testing.B) {
 				b.Run(fmt.Sprintf("%s/%s/shards=%d", cell.name, enc.name, shards),
 					func(b *testing.B) { benchShardedWrite(b, shards, cell.slc, enc.mk) })
 			}
+		}
+	}
+}
+
+// BenchmarkShardedMixed drives interleaved read/write batches through
+// Apply at several read fractions (VCC 256, MLC), with reused op,
+// data and outcome buffers — the mixed-path throughput and allocation
+// evidence. Reads get faster and writes dominate energy, so ns/op
+// falls as the read fraction rises.
+func BenchmarkShardedMixed(b *testing.B) {
+	const (
+		lines     = 1 << 13
+		batchSize = 1024
+	)
+	for _, readFrac := range []float64{0.25, 0.5, 0.75} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("readfrac=%.2f/shards=%d", readFrac, shards), func(b *testing.B) {
+				mem, err := NewShardedMemory(ShardedMemoryConfig{
+					Lines: lines, Shards: shards, Workers: shards, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer mem.Close()
+				rng := prng.New(3)
+				ops := make([]Op, batchSize)
+				for i := range ops {
+					data := make([]byte, LineSize)
+					rng.Fill(data)
+					kind := OpWrite
+					if rng.Float64() < readFrac {
+						kind = OpRead
+					}
+					ops[i] = Op{Kind: kind, Line: (i * 7) % lines, Data: data}
+				}
+				outs := make([]Outcome, batchSize)
+				if outs, err = mem.Apply(ops, outs); err != nil { // warm the dispatch plan
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(batchSize) * LineSize)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if outs, err = mem.Apply(ops, outs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

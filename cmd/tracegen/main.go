@@ -10,24 +10,35 @@
 //	tracegen -bench mcf_s -n 1000 -stats   # print address statistics only
 //	tracegen -bench lbm_s -n 100000 -replay -shards 4 -workers 4
 //	tracegen -replay -in lbm.vcct -shards 8 -encoder rcc
+//	tracegen -bench mcf_s -n 100000 -replay -readfrac -1   # mixed ops at the spec's read fraction
+//	tracegen -replay -mix "seq:0.5,zipf:0.4,chase:0.1" -readfrac 0.6 -n 100000
 //
-// Replay mode drives every writeback through the full
+// Replay mode drives the access stream through the full
 // encrypt-encode-program pipeline of a vcc.ShardedMemory equivalent
-// (internal/shard) and reports write statistics and throughput in
-// lines/sec. The input is either a saved .vcct file (-in) or the
-// generated stream of -bench.
+// (internal/shard) via its mixed op path (Engine.Apply) and reports
+// read/write statistics and throughput in lines/sec. The input is a
+// saved .vcct file (-in), the generated stream of -bench, or a
+// synthetic workload mixture (-mix, over the internal/workload
+// patterns seq, zipf, stride and chase). -readfrac interleaves reads
+// into any of the three; with -bench, -readfrac -1 uses the
+// benchmark's own characterized read fraction.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/coset"
+	"repro/internal/prng"
 	"repro/internal/shard"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -40,6 +51,10 @@ func main() {
 		stats   = flag.Bool("stats", false, "print address-stream statistics instead of writing a file")
 		replay  = flag.Bool("replay", false, "replay the trace through the sharded memory engine")
 		in      = flag.String("in", "", "replay a saved .vcct file instead of generating")
+		mix     = flag.String("mix", "", "replay a synthetic workload mixture, e.g. \"seq:0.5,zipf:0.4,chase:0.1\" (patterns: seq, zipf, stride, chase)")
+		rfrac   = flag.Float64("readfrac", 0, "replay: fraction of ops issued as reads; -1 = the benchmark spec's characterized read fraction")
+		zipfS   = flag.Float64("zipfs", 1.2, "replay -mix: Zipf skew of the zipf pattern")
+		stride  = flag.Int("stride", 64, "replay -mix: stride of the stride pattern")
 		shards  = flag.Int("shards", 1, "replay: shard count")
 		workers = flag.Int("workers", 0, "replay: worker pool bound (default min(shards, GOMAXPROCS))")
 		memLine = flag.Int("lines", 1<<16, "replay: memory capacity in cache lines")
@@ -58,49 +73,85 @@ func main() {
 		return
 	}
 
-	var records []trace.Record
-	var spec trace.Spec
-	switch {
-	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		records, err = trace.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-	case *bench != "":
-		var err error
-		spec, err = trace.SpecByName(*bench)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		records = trace.Collect(trace.NewGenerator(spec, *seed), *n)
-	default:
-		fmt.Fprintln(os.Stderr, "tracegen: -bench or -in is required (see -list)")
-		os.Exit(2)
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
 	}
 
 	if *replay {
+		if *rfrac != -1 && !(*rfrac >= 0 && *rfrac <= 1) {
+			fmt.Fprintf(os.Stderr, "tracegen: -readfrac %v out of range (want 0..1, or -1 for the benchmark's own fraction)\n", *rfrac)
+			os.Exit(2)
+		}
+		if *rfrac == -1 && (*bench == "" || *in != "" || *mix != "") {
+			fmt.Fprintln(os.Stderr, "tracegen: -readfrac -1 needs -bench (saved traces and -mix carry no characterized read fraction)")
+			os.Exit(2)
+		}
+		if *mix != "" && *bench != "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -mix and -bench are mutually exclusive")
+			os.Exit(2)
+		}
 		cfg := replayConfig{
 			shards: *shards, workers: *workers, lines: *memLine, batch: *batch,
 			encoder: *encoder, fault: *fault, slc: *slc, seed: *seed,
+			readFrac: *rfrac,
 		}
-		if err := runReplay(records, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+		var src opSource
+		switch {
+		case *in != "":
+			f, err := os.Open(*in)
+			if err != nil {
+				fail(err)
+			}
+			records, err := trace.ReadTrace(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+			src = newRecordSource(records, cfg)
+		case *mix != "":
+			s, err := newMixSource(*mix, *n, *zipfS, *stride, cfg)
+			if err != nil {
+				fail(err)
+			}
+			src = s
+		case *bench != "":
+			spec, err := trace.SpecByName(*bench)
+			if err != nil {
+				fail(err)
+			}
+			src = newBenchSource(spec, *n, cfg)
+		default:
+			fmt.Fprintln(os.Stderr, "tracegen: -replay needs -bench, -in or -mix (see -list)")
+			os.Exit(2)
+		}
+		if err := runReplay(src, cfg); err != nil {
+			fail(err)
 		}
 		return
 	}
+
 	if *in != "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -in without -replay does nothing")
 		os.Exit(2)
 	}
+	if *mix != "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -mix without -replay does nothing")
+		os.Exit(2)
+	}
+	if *rfrac != 0 {
+		fmt.Fprintln(os.Stderr, "tracegen: -readfrac without -replay does nothing (saved traces are write-only)")
+		os.Exit(2)
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -bench or -in is required (see -list)")
+		os.Exit(2)
+	}
+	spec, err := trace.SpecByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+	records := trace.Collect(trace.NewGenerator(spec, *seed), *n)
 	if *stats {
 		printStats(spec, records)
 		return
@@ -129,6 +180,166 @@ type replayConfig struct {
 	fault                         float64
 	slc                           bool
 	seed                          uint64
+	// readFrac interleaves reads into the replayed stream: the fraction
+	// of ops issued as OpRead. -1 selects the benchmark spec's
+	// characterized read fraction (meaningful with -bench only).
+	readFrac float64
+}
+
+// opSource feeds the replay loop one op at a time. next fills op —
+// whose Data field arrives as a reusable 64-byte buffer (write
+// plaintext or read destination) — and reports false when the stream is
+// exhausted.
+type opSource interface {
+	next(op *shard.Op) bool
+}
+
+// recordSource replays saved writeback records, optionally diverting a
+// readFrac fraction of them into reads of the same address.
+type recordSource struct {
+	records []trace.Record
+	i       int
+	frac    float64
+	rng     *prng.Rand
+	lines   int
+}
+
+func newRecordSource(records []trace.Record, cfg replayConfig) *recordSource {
+	frac := cfg.readFrac
+	if frac < 0 {
+		frac = 0 // saved traces carry no characterized read fraction
+	}
+	return &recordSource{
+		records: records, frac: frac,
+		rng: prng.NewFrom(cfg.seed, "tracegen-replay-rw"), lines: cfg.lines,
+	}
+}
+
+func (s *recordSource) next(op *shard.Op) bool {
+	if s.i >= len(s.records) {
+		return false
+	}
+	r := &s.records[s.i]
+	s.i++
+	op.Line = int(r.Line % uint64(s.lines))
+	if s.frac > 0 && s.rng.Float64() < s.frac {
+		op.Kind = shard.OpRead
+		return true
+	}
+	op.Kind = shard.OpWrite
+	copy(op.Data, r.Data[:])
+	return true
+}
+
+// benchSource generates a benchmark's stream on the fly; with a
+// non-zero read fraction it walks the mixed op stream (NextOp).
+type benchSource struct {
+	gen   *trace.Generator
+	rec   trace.Record
+	left  int
+	mixed bool
+	lines int
+}
+
+func newBenchSource(spec trace.Spec, n int, cfg replayConfig) *benchSource {
+	if cfg.readFrac >= 0 {
+		spec.ReadFrac = cfg.readFrac
+	}
+	return &benchSource{
+		gen: trace.NewGenerator(spec, cfg.seed), left: n,
+		mixed: spec.ReadFrac > 0, lines: cfg.lines,
+	}
+}
+
+func (s *benchSource) next(op *shard.Op) bool {
+	if s.left <= 0 {
+		return false
+	}
+	s.left--
+	read := false
+	if s.mixed {
+		read = s.gen.NextOp(&s.rec)
+	} else {
+		s.gen.Next(&s.rec)
+	}
+	op.Line = int(s.rec.Line % uint64(s.lines))
+	if read {
+		op.Kind = shard.OpRead
+		return true
+	}
+	op.Kind = shard.OpWrite
+	copy(op.Data, s.rec.Data[:])
+	return true
+}
+
+// mixSource drives a synthetic workload mixture (internal/workload)
+// with random write plaintext — post-AES the content is uniform anyway.
+type mixSource struct {
+	stream *workload.Stream
+	rng    *prng.Rand
+	left   int
+}
+
+// newMixSource parses "pat:frac,pat:frac,..." (patterns seq, zipf,
+// stride, chase) into a single-phase workload stream over the replay
+// footprint. Weights are normalized to sum to 1, so "seq:1,zipf:1" is
+// an even mix; repeated patterns get independent PRNG streams.
+func newMixSource(spec string, n int, zipfS float64, stride int, cfg replayConfig) (*mixSource, error) {
+	var arms []workload.Arm
+	total := 0.0
+	for i, tok := range strings.Split(spec, ",") {
+		name, fracS, ok := strings.Cut(strings.TrimSpace(tok), ":")
+		if !ok {
+			return nil, fmt.Errorf("-mix token %q: want pattern:fraction", tok)
+		}
+		frac, err := strconv.ParseFloat(fracS, 64)
+		if err != nil || !(frac >= 0) || math.IsInf(frac, 0) {
+			return nil, fmt.Errorf("-mix token %q: bad fraction", tok)
+		}
+		var p workload.Pattern
+		switch name {
+		case "seq":
+			p = workload.NewSequential(cfg.lines)
+		case "zipf":
+			p = workload.NewZipfHot(cfg.lines, zipfS,
+				prng.NewFrom(cfg.seed, fmt.Sprintf("tracegen-mix-zipf-%d", i)))
+		case "stride":
+			p = workload.NewStrided(cfg.lines, stride)
+		case "chase":
+			p = workload.NewPointerChase(cfg.lines,
+				prng.NewFrom(cfg.seed, fmt.Sprintf("tracegen-mix-chase-%d", i)))
+		default:
+			return nil, fmt.Errorf("-mix pattern %q: want seq|zipf|stride|chase", name)
+		}
+		arms = append(arms, workload.Arm{Frac: frac, Pattern: p})
+		total += frac
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("-mix %q: fractions must sum to > 0", spec)
+	}
+	for i := range arms {
+		arms[i].Frac /= total
+	}
+	frac := cfg.readFrac
+	if frac < 0 {
+		frac = 0
+	}
+	return &mixSource{
+		stream: workload.NewStream(cfg.seed, workload.Phase{
+			Pattern: workload.NewMixture(arms...), ReadFrac: frac,
+		}),
+		rng:  prng.NewFrom(cfg.seed, "tracegen-mix-data"),
+		left: n,
+	}, nil
+}
+
+func (s *mixSource) next(op *shard.Op) bool {
+	if s.left <= 0 {
+		return false
+	}
+	s.left--
+	s.stream.FillOp(op, func(_ uint64, data []byte) { s.rng.Fill(data) })
+	return true
 }
 
 // newCodec returns a per-shard codec factory for the -encoder flag.
@@ -150,9 +361,11 @@ func newCodec(name string, seed uint64) (func() coset.Codec, error) {
 	return nil, fmt.Errorf("unknown encoder %q (vcc|vccgen|rcc|fnw|flipcy|none)", name)
 }
 
-// runReplay drives the records through a sharded engine in batches and
-// prints statistics and throughput.
-func runReplay(records []trace.Record, cfg replayConfig) error {
+// runReplay drives the op stream through a sharded engine in mixed
+// batches (Engine.Apply) and prints statistics and throughput. All op
+// and outcome buffers are allocated once up front, so the loop itself
+// runs on the engine's allocation-free dispatch path.
+func runReplay(src opSource, cfg replayConfig) error {
 	mk, err := newCodec(cfg.encoder, cfg.seed)
 	if err != nil {
 		return err
@@ -173,34 +386,48 @@ func runReplay(records []trace.Record, cfg replayConfig) error {
 	if cfg.batch < 1 {
 		cfg.batch = 1
 	}
-	reqs := make([]shard.WriteReq, 0, cfg.batch)
+	ops := make([]shard.Op, cfg.batch)
+	bufs := make([]byte, cfg.batch*shard.LineSize)
+	var outs []shard.Outcome
 	start := time.Now()
-	for off := 0; off < len(records); {
-		reqs = reqs[:0]
-		for len(reqs) < cfg.batch && off+len(reqs) < len(records) {
-			r := &records[off+len(reqs)]
-			reqs = append(reqs, shard.WriteReq{
-				Line: int(r.Line % uint64(cfg.lines)), Data: r.Data[:],
-			})
+	for {
+		n := 0
+		for n < cfg.batch {
+			ops[n].Data = bufs[n*shard.LineSize : (n+1)*shard.LineSize]
+			if !src.next(&ops[n]) {
+				break
+			}
+			n++
 		}
-		if _, err := eng.WriteBatch(reqs); err != nil {
+		if n == 0 {
+			break
+		}
+		if outs, err = eng.Apply(ops[:n], outs); err != nil {
 			return err
 		}
-		off += len(reqs)
+		if n < cfg.batch {
+			break
+		}
 	}
 	elapsed := time.Since(start)
 	st := eng.Stats()
-	fmt.Printf("replayed       %d writebacks\n", st.LineWrites)
+	total := st.LineWrites + st.LineReads
+	fmt.Printf("replayed       %d ops (%d writes, %d reads)\n",
+		total, st.LineWrites, st.LineReads)
 	fmt.Printf("engine         %d shard(s), %d worker(s), %s encoder\n",
 		eng.Shards(), eng.Workers(), cfg.encoder)
 	fmt.Printf("elapsed        %.3fs\n", elapsed.Seconds())
-	fmt.Printf("throughput     %.0f lines/sec\n",
-		float64(st.LineWrites)/elapsed.Seconds())
+	fmt.Printf("throughput     %.0f lines/sec (%.0f writes/sec, %.0f reads/sec)\n",
+		float64(total)/elapsed.Seconds(),
+		float64(st.LineWrites)/elapsed.Seconds(),
+		float64(st.LineReads)/elapsed.Seconds())
 	fmt.Printf("write energy   %.4g pJ (aux %.4g pJ)\n", st.EnergyPJ, st.AuxEnergyPJ)
 	fmt.Printf("bit flips      %d\n", st.BitFlips)
 	fmt.Printf("SAW cells      %d\n", st.SAWCells)
+	fmt.Printf("words decoded  %d\n", st.WordsDecoded)
 	for s := 0; s < eng.Shards(); s++ {
-		fmt.Printf("shard %-3d      %d writes\n", s, eng.ShardStats(s).LineWrites)
+		ss := eng.ShardStats(s)
+		fmt.Printf("shard %-3d      %d writes, %d reads\n", s, ss.LineWrites, ss.LineReads)
 	}
 	return nil
 }

@@ -187,27 +187,43 @@ func ReverseBits(x uint64, n int) uint64 {
 // BytesToWords packs a little-endian byte slice into uint64 words. The
 // length of b must be a multiple of 8.
 func BytesToWords(b []byte) []uint64 {
-	if len(b)%8 != 0 {
-		panic("bitutil: BytesToWords length not a multiple of 8")
-	}
 	out := make([]uint64, len(b)/8)
-	for i := range out {
+	BytesToWordsInto(out, b)
+	return out
+}
+
+// BytesToWordsInto packs a little-endian byte slice into dst without
+// allocating. len(b) must be a multiple of 8 and dst must hold exactly
+// len(b)/8 words.
+func BytesToWordsInto(dst []uint64, b []byte) {
+	if len(b)%8 != 0 || len(dst) != len(b)/8 {
+		panic("bitutil: BytesToWordsInto needs len(b) = 8*len(dst)")
+	}
+	for i := range dst {
 		var w uint64
 		for k := 0; k < 8; k++ {
 			w |= uint64(b[i*8+k]) << uint(8*k)
 		}
-		out[i] = w
+		dst[i] = w
 	}
-	return out
 }
 
 // WordsToBytes is the inverse of BytesToWords.
 func WordsToBytes(ws []uint64) []byte {
 	out := make([]byte, len(ws)*8)
+	WordsToBytesInto(out, ws)
+	return out
+}
+
+// WordsToBytesInto is the inverse of BytesToWordsInto: it unpacks ws
+// into dst (which must hold exactly 8*len(ws) bytes) without allocating.
+func WordsToBytesInto(dst []byte, ws []uint64) {
+	if len(dst) != len(ws)*8 {
+		panic("bitutil: WordsToBytesInto needs len(dst) = 8*len(ws)")
+	}
 	for i, w := range ws {
 		for k := 0; k < 8; k++ {
-			out[i*8+k] = byte(w >> uint(8*k))
+			dst[i*8+k] = byte(w >> uint(8*k))
 		}
 	}
-	return out
 }

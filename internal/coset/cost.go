@@ -120,6 +120,16 @@ type Evaluator struct {
 
 // NewEvaluator builds an evaluator, applying defaults.
 func NewEvaluator(ctx Ctx, obj Objective) *Evaluator {
+	e := &Evaluator{}
+	e.Reset(ctx, obj)
+	return e
+}
+
+// Reset re-binds the evaluator to a new write context and objective,
+// applying the same defaults as NewEvaluator. It lets a long-lived
+// evaluator (e.g. one owned by a memory controller) be reused across
+// word writes without a heap allocation per word.
+func (e *Evaluator) Reset(ctx Ctx, obj Objective) {
 	if ctx.Energy == (pcm.EnergyModel{}) {
 		ctx.Energy = pcm.DefaultEnergy
 	}
@@ -130,7 +140,7 @@ func NewEvaluator(ctx Ctx, obj Objective) *Evaluator {
 			ctx.N = 64
 		}
 	}
-	return &Evaluator{Ctx: ctx, Obj: obj}
+	e.Ctx, e.Obj = ctx, obj
 }
 
 // OldPlane returns the currently-stored plane value (what the candidate

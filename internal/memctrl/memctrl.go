@@ -65,6 +65,11 @@ type Stats struct {
 	// NewlyFailedCells counts endurance exhaustions (wear-enabled
 	// devices).
 	NewlyFailedCells int64
+	// LineReads is the number of cache-line reads served.
+	LineReads int64
+	// WordsDecoded counts 64-bit words run through the coset decoder on
+	// the read path.
+	WordsDecoded int64
 }
 
 // WordOutcome describes one word of a line write.
@@ -83,9 +88,14 @@ type Controller struct {
 	cfg      Config
 	mlcPlane bool
 	aux      []uint64
-	// scratch buffers
+	// scratch state reused across calls so the steady-state write and
+	// read paths perform no heap allocations: the encrypted-line buffer,
+	// the word-packing buffer, the per-word outcome array and one coset
+	// evaluator rebound (Reset) per word instead of reallocated.
 	lineBuf [cryptmem.LineSize]byte
+	words   [WordsPerLine]uint64
 	outc    [WordsPerLine]WordOutcome
+	ev      coset.Evaluator
 
 	Stats Stats
 }
@@ -153,7 +163,8 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 		c.cfg.Crypt.EncryptLine(line, c.lineBuf[:], plaintext)
 		data = c.lineBuf[:]
 	}
-	words := bitutil.BytesToWords(data)
+	bitutil.BytesToWordsInto(c.words[:], data)
+	words := c.words[:]
 	dev := c.cfg.Device
 	energy := dev.Config().Energy
 	mode := dev.Config().Mode
@@ -186,8 +197,8 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 		} else {
 			plane = wv
 		}
-		ev := coset.NewEvaluator(ctx, c.cfg.Objective)
-		enc, aux := c.cfg.Codec.Encode(plane, ev)
+		c.ev.Reset(ctx, c.cfg.Objective)
+		enc, aux := c.cfg.Codec.Encode(plane, &c.ev)
 
 		var desired uint64
 		if c.mlcPlane {
@@ -241,10 +252,12 @@ func (c *Controller) ReadLine(line int, dst []byte) []byte {
 			words[col] = c.cfg.Codec.Decode(stored, c.aux[w], 0)
 		}
 	}
-	copy(dst, bitutil.WordsToBytes(words[:]))
+	bitutil.WordsToBytesInto(dst, words[:])
 	if c.cfg.Crypt != nil {
 		c.cfg.Crypt.DecryptLine(line, c.cfg.Crypt.Counter(line), dst, dst)
 	}
+	c.Stats.LineReads++
+	c.Stats.WordsDecoded += WordsPerLine
 	return dst
 }
 

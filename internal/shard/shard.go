@@ -247,10 +247,11 @@ type ReadReq struct {
 	Dst []byte
 }
 
-// Counters is a point-in-time snapshot of engine-wide write totals,
-// merged lock-free from per-shard deltas (see Engine.Counters).
+// Counters is a point-in-time snapshot of engine-wide totals, merged
+// lock-free from per-shard deltas (see Engine.Counters).
 type Counters struct {
 	LineWrites  int64
+	LineReads   int64
 	EnergyPJ    float64
 	BitFlips    int64
 	CellChanges int64
@@ -262,6 +263,7 @@ type Counters struct {
 // compare-and-swap on its bit pattern.
 type counters struct {
 	lineWrites  atomic.Int64
+	lineReads   atomic.Int64
 	bitFlips    atomic.Int64
 	cellChanges atomic.Int64
 	sawCells    atomic.Int64
@@ -270,6 +272,7 @@ type counters struct {
 
 func (c *counters) add(d memctrl.Stats) {
 	c.lineWrites.Add(d.LineWrites)
+	c.lineReads.Add(d.LineReads)
 	c.bitFlips.Add(d.BitFlips)
 	c.cellChanges.Add(d.CellChanges)
 	c.sawCells.Add(d.SAWCells)
@@ -285,6 +288,7 @@ func (c *counters) add(d memctrl.Stats) {
 func (c *counters) snapshot() Counters {
 	return Counters{
 		LineWrites:  c.lineWrites.Load(),
+		LineReads:   c.lineReads.Load(),
 		EnergyPJ:    math.Float64frombits(c.energyBits.Load()),
 		BitFlips:    c.bitFlips.Load(),
 		CellChanges: c.cellChanges.Load(),
@@ -294,6 +298,7 @@ func (c *counters) snapshot() Counters {
 
 func (c *counters) reset() {
 	c.lineWrites.Store(0)
+	c.lineReads.Store(0)
 	c.bitFlips.Store(0)
 	c.cellChanges.Store(0)
 	c.sawCells.Store(0)
@@ -301,13 +306,18 @@ func (c *counters) reset() {
 }
 
 // Engine is the sharded, concurrency-safe memory engine. All methods
-// may be called from multiple goroutines.
+// may be called from multiple goroutines (except Close).
 type Engine struct {
 	part     Partition
 	backends []*Backend
 	mu       []sync.Mutex // mu[i] serializes access to backends[i]
 	workers  int
 	live     counters
+	// plans recycles Apply scratch state (see ops.go).
+	plans sync.Pool
+	// jobs feeds the persistent worker pool; nil when the engine runs
+	// single-threaded (Workers <= 1 or one shard).
+	jobs chan task
 }
 
 // New builds an engine from cfg.
@@ -352,12 +362,36 @@ func New(cfg Config) (*Engine, error) {
 		}
 		backends[i] = b
 	}
-	return &Engine{
+	e := &Engine{
 		part:     part,
 		backends: backends,
 		mu:       make([]sync.Mutex, shards),
 		workers:  workers,
-	}, nil
+	}
+	e.plans.New = func() any {
+		return &plan{e: e, byShard: make([][]int, shards)}
+	}
+	if workers > 1 {
+		// The persistent pool exists for the engine's lifetime so batch
+		// dispatch never creates goroutines or channels; Close releases
+		// the workers when an engine is torn down mid-process.
+		e.jobs = make(chan task, shards)
+		for w := 0; w < workers; w++ {
+			go e.worker()
+		}
+	}
+	return e, nil
+}
+
+// Close shuts down the persistent worker pool. It must not be called
+// concurrently with other methods; after Close the engine remains
+// usable, falling back to single-threaded dispatch. Engines that live
+// for the whole process need not be closed.
+func (e *Engine) Close() {
+	if e.jobs != nil {
+		close(e.jobs)
+		e.jobs = nil
+	}
 }
 
 // Lines returns the total capacity in cache lines.
@@ -409,111 +443,55 @@ func (e *Engine) Read(line int, dst []byte) ([]byte, error) {
 	}
 	s := e.part.ShardOf(line)
 	e.mu[s].Lock()
-	out := e.backends[s].Ctrl.ReadLine(e.part.LocalOf(line), dst)
+	b := e.backends[s]
+	before := b.Ctrl.Stats
+	out := b.Ctrl.ReadLine(e.part.LocalOf(line), dst)
+	delta := statsDelta(b.Ctrl.Stats, before)
 	e.mu[s].Unlock()
+	e.live.add(delta)
 	return out, nil
 }
 
-// groupByShard buckets request indices by owning shard, preserving
-// submission order within each shard, and returns the non-empty shard
-// list.
-func (e *Engine) groupByShard(lines func(i int) int, n int) (byShard [][]int, active []int) {
-	byShard = make([][]int, e.part.Shards)
-	for i := 0; i < n; i++ {
-		s := e.part.ShardOf(lines(i))
-		byShard[s] = append(byShard[s], i)
-	}
-	for s, idxs := range byShard {
-		if len(idxs) > 0 {
-			active = append(active, s)
-		}
-	}
-	return byShard, active
-}
-
-// runJobs feeds the active shard list to at most Workers goroutines,
-// each of which claims whole shards and runs job(shard) with the
-// shard's mutex held.
-func (e *Engine) runJobs(active []int, job func(s int)) {
-	nw := e.workers
-	if nw > len(active) {
-		nw = len(active)
-	}
-	if nw <= 1 {
-		for _, s := range active {
-			e.mu[s].Lock()
-			job(s)
-			e.mu[s].Unlock()
-		}
-		return
-	}
-	ch := make(chan int, len(active))
-	for _, s := range active {
-		ch <- s
-	}
-	close(ch)
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for w := 0; w < nw; w++ {
-		go func() {
-			defer wg.Done()
-			for s := range ch {
-				e.mu[s].Lock()
-				job(s)
-				e.mu[s].Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// WriteBatch stores every request through the worker pool and returns
-// the per-request stuck-at-wrong cell counts, indexed like reqs.
-// Requests are validated up front; on error no write is performed.
-// Requests addressed to the same shard are applied in slice order, so a
-// batch is equivalent to a deterministic sequential interleaving
-// regardless of worker count.
+// WriteBatch stores every request and returns the per-request
+// stuck-at-wrong cell counts, indexed like reqs. It is a thin wrapper
+// over Apply (which see for ordering and determinism guarantees);
+// callers that mix reads and writes, or that need allocation-free
+// dispatch, should use Apply directly.
 func (e *Engine) WriteBatch(reqs []WriteReq) ([]int, error) {
+	ops := make([]Op, len(reqs))
 	for i := range reqs {
-		if err := e.checkLine(reqs[i].Line); err != nil {
-			return nil, fmt.Errorf("request %d: %w", i, err)
-		}
-		if len(reqs[i].Data) != LineSize {
-			return nil, fmt.Errorf("request %d: need %d bytes, got %d", i, LineSize, len(reqs[i].Data))
-		}
+		ops[i] = Op{Kind: OpWrite, Line: reqs[i].Line, Data: reqs[i].Data}
 	}
-	saw := make([]int, len(reqs))
-	byShard, active := e.groupByShard(func(i int) int { return reqs[i].Line }, len(reqs))
-	e.runJobs(active, func(s int) {
-		b := e.backends[s]
-		before := b.Ctrl.Stats
-		for _, i := range byShard[s] {
-			saw[i] = b.WriteLine(e.part.LocalOf(reqs[i].Line), reqs[i].Data)
-		}
-		e.live.add(statsDelta(b.Ctrl.Stats, before))
-	})
+	outs, err := e.Apply(ops, nil)
+	if err != nil {
+		return nil, err
+	}
+	saw := make([]int, len(outs))
+	for i := range outs {
+		saw[i] = outs[i].SAWCells
+	}
 	return saw, nil
 }
 
-// ReadBatch serves every read through the worker pool and returns the
-// plaintexts, indexed like reqs (reusing req.Dst when provided).
+// ReadBatch serves every read and returns the plaintexts, indexed like
+// reqs. out[i] aliases reqs[i].Dst when a destination buffer was
+// provided (no per-request allocation) and is freshly allocated
+// otherwise; either way out[i] is only valid to reuse once the caller
+// is done with the previous contents of reqs[i].Dst. It is a thin
+// wrapper over Apply.
 func (e *Engine) ReadBatch(reqs []ReadReq) ([][]byte, error) {
+	ops := make([]Op, len(reqs))
 	for i := range reqs {
-		if err := e.checkLine(reqs[i].Line); err != nil {
-			return nil, fmt.Errorf("request %d: %w", i, err)
-		}
-		if reqs[i].Dst != nil && len(reqs[i].Dst) != LineSize {
-			return nil, fmt.Errorf("request %d: need a %d-byte buffer", i, LineSize)
-		}
+		ops[i] = Op{Kind: OpRead, Line: reqs[i].Line, Data: reqs[i].Dst}
 	}
-	out := make([][]byte, len(reqs))
-	byShard, active := e.groupByShard(func(i int) int { return reqs[i].Line }, len(reqs))
-	e.runJobs(active, func(s int) {
-		b := e.backends[s]
-		for _, i := range byShard[s] {
-			out[i] = b.Ctrl.ReadLine(e.part.LocalOf(reqs[i].Line), reqs[i].Dst)
-		}
-	})
+	outs, err := e.Apply(ops, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(outs))
+	for i := range outs {
+		out[i] = outs[i].Data
+	}
 	return out, nil
 }
 
@@ -528,6 +506,8 @@ func statsDelta(after, before memctrl.Stats) memctrl.Stats {
 		SAWCells:         after.SAWCells - before.SAWCells,
 		SAWWords:         after.SAWWords - before.SAWWords,
 		NewlyFailedCells: after.NewlyFailedCells - before.NewlyFailedCells,
+		LineReads:        after.LineReads - before.LineReads,
+		WordsDecoded:     after.WordsDecoded - before.WordsDecoded,
 	}
 }
 
@@ -548,6 +528,8 @@ func (e *Engine) Stats() memctrl.Stats {
 		total.SAWCells += s.SAWCells
 		total.SAWWords += s.SAWWords
 		total.NewlyFailedCells += s.NewlyFailedCells
+		total.LineReads += s.LineReads
+		total.WordsDecoded += s.WordsDecoded
 	}
 	return total
 }

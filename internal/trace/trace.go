@@ -21,9 +21,9 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/prng"
+	"repro/internal/workload"
 )
 
 // LineBytes is the writeback granularity: one 512-bit cache line.
@@ -73,6 +73,12 @@ type Spec struct {
 	// kilo-instruction, scaled); the performance model uses it to weight
 	// encoder latency (Fig. 13).
 	WriteIntensity float64
+	// ReadFrac is the fraction of memory accesses that are reads in the
+	// mixed op stream (NextOp). Parameterized from the read/write mixes
+	// of Panda et al.'s SPEC 2017 characterization; the write-only
+	// stream (Next) ignores it, so all writeback-driven experiments are
+	// unaffected.
+	ReadFrac float64
 }
 
 // Benchmarks returns the synthetic stand-ins for the paper's benchmark
@@ -82,18 +88,18 @@ type Spec struct {
 // pointer/integer codes get skewed reuse.
 func Benchmarks() []Spec {
 	return []Spec{
-		{Name: "bwaves_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.80, Kind: KindFloat, WriteIntensity: 18.6},
-		{Name: "cactuBSSN_s", Lines: 1 << 15, ZipfS: 1.2, StreamFrac: 0.60, Kind: KindFloat, WriteIntensity: 12.9},
-		{Name: "fotonik3d_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.75, Kind: KindFloat, WriteIntensity: 16.3},
-		{Name: "gcc_s", Lines: 1 << 14, ZipfS: 1.5, StreamFrac: 0.20, Kind: KindPointer, WriteIntensity: 6.4},
-		{Name: "lbm_s", Lines: 1 << 16, ZipfS: 1.05, StreamFrac: 0.90, Kind: KindFloat, WriteIntensity: 21.4},
-		{Name: "mcf_s", Lines: 1 << 14, ZipfS: 1.6, StreamFrac: 0.15, Kind: KindPointer, WriteIntensity: 9.8},
-		{Name: "omnetpp_s", Lines: 1 << 13, ZipfS: 1.7, StreamFrac: 0.10, Kind: KindPointer, WriteIntensity: 7.1},
-		{Name: "pop2_s", Lines: 1 << 15, ZipfS: 1.2, StreamFrac: 0.55, Kind: KindFloat, WriteIntensity: 10.5},
-		{Name: "roms_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.70, Kind: KindFloat, WriteIntensity: 14.7},
-		{Name: "wrf_s", Lines: 1 << 15, ZipfS: 1.3, StreamFrac: 0.50, Kind: KindFloat, WriteIntensity: 11.2},
-		{Name: "x264_s", Lines: 1 << 14, ZipfS: 1.3, StreamFrac: 0.40, Kind: KindRandom, WriteIntensity: 8.3},
-		{Name: "xalancbmk_s", Lines: 1 << 13, ZipfS: 1.6, StreamFrac: 0.15, Kind: KindInt, WriteIntensity: 6.9},
+		{Name: "bwaves_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.80, Kind: KindFloat, WriteIntensity: 18.6, ReadFrac: 0.62},
+		{Name: "cactuBSSN_s", Lines: 1 << 15, ZipfS: 1.2, StreamFrac: 0.60, Kind: KindFloat, WriteIntensity: 12.9, ReadFrac: 0.66},
+		{Name: "fotonik3d_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.75, Kind: KindFloat, WriteIntensity: 16.3, ReadFrac: 0.64},
+		{Name: "gcc_s", Lines: 1 << 14, ZipfS: 1.5, StreamFrac: 0.20, Kind: KindPointer, WriteIntensity: 6.4, ReadFrac: 0.74},
+		{Name: "lbm_s", Lines: 1 << 16, ZipfS: 1.05, StreamFrac: 0.90, Kind: KindFloat, WriteIntensity: 21.4, ReadFrac: 0.55},
+		{Name: "mcf_s", Lines: 1 << 14, ZipfS: 1.6, StreamFrac: 0.15, Kind: KindPointer, WriteIntensity: 9.8, ReadFrac: 0.72},
+		{Name: "omnetpp_s", Lines: 1 << 13, ZipfS: 1.7, StreamFrac: 0.10, Kind: KindPointer, WriteIntensity: 7.1, ReadFrac: 0.76},
+		{Name: "pop2_s", Lines: 1 << 15, ZipfS: 1.2, StreamFrac: 0.55, Kind: KindFloat, WriteIntensity: 10.5, ReadFrac: 0.68},
+		{Name: "roms_s", Lines: 1 << 16, ZipfS: 1.1, StreamFrac: 0.70, Kind: KindFloat, WriteIntensity: 14.7, ReadFrac: 0.65},
+		{Name: "wrf_s", Lines: 1 << 15, ZipfS: 1.3, StreamFrac: 0.50, Kind: KindFloat, WriteIntensity: 11.2, ReadFrac: 0.69},
+		{Name: "x264_s", Lines: 1 << 14, ZipfS: 1.3, StreamFrac: 0.40, Kind: KindRandom, WriteIntensity: 8.3, ReadFrac: 0.71},
+		{Name: "xalancbmk_s", Lines: 1 << 13, ZipfS: 1.6, StreamFrac: 0.15, Kind: KindInt, WriteIntensity: 6.9, ReadFrac: 0.78},
 	}
 }
 
@@ -109,12 +115,18 @@ func SpecByName(name string) (Spec, error) {
 }
 
 // Generator produces an endless stream of writeback records for one
-// Spec, deterministically from its seed.
+// Spec, deterministically from its seed. Address generation is
+// delegated to internal/workload: the spec's StreamFrac/ZipfS pair
+// becomes a workload.Mixture of a sequential stream and a Zipf hot set,
+// driven by the same PRNG streams this package has always used, so the
+// historical address sequences are preserved bit for bit.
 type Generator struct {
-	spec   Spec
-	rng    *prng.Rand
-	zipf   *rand.Zipf
-	cursor uint64
+	spec Spec
+	rng  *prng.Rand
+	mix  *workload.Mixture
+	// rwRng drives the read/write split of NextOp. It is a dedicated
+	// stream so the write-only Next sequence is untouched by ReadFrac.
+	rwRng *prng.Rand
 	// pointer-kind state: a stable "heap base" per generator.
 	heapBase uint64
 }
@@ -126,14 +138,15 @@ func NewGenerator(spec Spec, seed uint64) *Generator {
 	}
 	rng := prng.NewFrom(seed, "trace:"+spec.Name)
 	src := prng.NewFrom(seed, "trace-zipf:"+spec.Name)
-	s := spec.ZipfS
-	if s <= 1 {
-		s = 1.01
-	}
+	mix := workload.NewMixture(
+		workload.Arm{Frac: spec.StreamFrac, Pattern: workload.NewSequential(spec.Lines)},
+		workload.Arm{Frac: 1 - spec.StreamFrac, Pattern: workload.NewZipfHot(spec.Lines, spec.ZipfS, src)},
+	)
 	return &Generator{
 		spec:     spec,
 		rng:      rng,
-		zipf:     rand.NewZipf(rand.New(src), s, 1, uint64(spec.Lines-1)),
+		mix:      mix,
+		rwRng:    prng.NewFrom(seed, "trace-rw:"+spec.Name),
 		heapBase: rng.Uint64() &^ 0x7,
 	}
 }
@@ -141,19 +154,25 @@ func NewGenerator(spec Spec, seed uint64) *Generator {
 // Spec returns the generator's parameters.
 func (g *Generator) Spec() Spec { return g.spec }
 
-// Next fills rec with the next writeback.
+// Next fills rec with the next writeback (the write-only stream every
+// paper experiment replays).
 func (g *Generator) Next(rec *Record) {
-	if g.rng.Float64() < g.spec.StreamFrac {
-		g.cursor = (g.cursor + 1) % uint64(g.spec.Lines)
-		rec.Line = g.cursor
-	} else {
-		// Zipf ranks map to lines via a fixed multiplicative hash so the
-		// hot set is scattered across the footprint rather than packed
-		// at low addresses.
-		rank := g.zipf.Uint64()
-		rec.Line = (rank * 0x9E3779B97F4A7C15) % uint64(g.spec.Lines)
-	}
+	rec.Line = g.mix.NextLine(g.rng)
 	g.fillData(rec)
+}
+
+// NextOp fills rec with the next memory access of the mixed op stream
+// and reports whether it is a read (drawn at the spec's ReadFrac).
+// Reads carry the address only; rec.Data is left untouched. Addresses
+// come from the same pattern mixture Next walks (with ReadFrac == 0 the
+// two streams are identical).
+func (g *Generator) NextOp(rec *Record) (read bool) {
+	read = g.rwRng.Float64() < g.spec.ReadFrac
+	rec.Line = g.mix.NextLine(g.rng)
+	if !read {
+		g.fillData(rec)
+	}
+	return read
 }
 
 func (g *Generator) fillData(rec *Record) {

@@ -202,3 +202,61 @@ func TestGeneratorPanicsOnEmptyFootprint(t *testing.T) {
 	}()
 	NewGenerator(Spec{Name: "bad"}, 1)
 }
+
+func TestNextOpMixedStream(t *testing.T) {
+	spec, _ := SpecByName("mcf_s") // ReadFrac 0.72
+	a := NewGenerator(spec, 3)
+	b := NewGenerator(spec, 3)
+	var ra, rb Record
+	reads := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		readA := a.NextOp(&ra)
+		readB := b.NextOp(&rb)
+		if ra.Line != rb.Line || readA != readB {
+			t.Fatalf("mixed streams diverged at %d", i)
+		}
+		if !readA && ra.Data != rb.Data {
+			t.Fatalf("write data diverged at %d", i)
+		}
+		if ra.Line >= uint64(spec.Lines) {
+			t.Fatalf("op %d: line %d outside footprint %d", i, ra.Line, spec.Lines)
+		}
+		if readA {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < spec.ReadFrac-0.03 || frac > spec.ReadFrac+0.03 {
+		t.Errorf("observed read fraction %.3f, spec says %.2f", frac, spec.ReadFrac)
+	}
+}
+
+// TestNextOpZeroReadFracMatchesNext: with ReadFrac zeroed, the mixed
+// stream degenerates to exactly the write-only stream — the guarantee
+// that lets trace specs gain a read fraction without forking the
+// address/data logic.
+func TestNextOpZeroReadFracMatchesNext(t *testing.T) {
+	spec, _ := SpecByName("lbm_s")
+	spec.ReadFrac = 0
+	a := NewGenerator(spec, 9)
+	b := NewGenerator(spec, 9)
+	var ra, rb Record
+	for i := 0; i < 1000; i++ {
+		a.Next(&ra)
+		if read := b.NextOp(&rb); read {
+			t.Fatalf("op %d: read at ReadFrac 0", i)
+		}
+		if ra.Line != rb.Line || ra.Data != rb.Data {
+			t.Fatalf("op %d: NextOp diverges from Next at ReadFrac 0", i)
+		}
+	}
+}
+
+func TestBenchmarksHaveReadFractions(t *testing.T) {
+	for _, s := range Benchmarks() {
+		if s.ReadFrac <= 0 || s.ReadFrac >= 1 {
+			t.Errorf("%s: ReadFrac %v outside (0,1)", s.Name, s.ReadFrac)
+		}
+	}
+}

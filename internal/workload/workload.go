@@ -1,0 +1,309 @@
+// Package workload generates synthetic memory access streams: composable
+// address patterns (Zipf hot set, sequential stream, strided sweep,
+// pointer-chase dependent chain), weighted mixtures of patterns, and
+// phased streams that interleave reads and writes at a configurable read
+// fraction — the op-stream substrate behind internal/trace's SPEC-like
+// benchmarks and the workload-sweep experiment.
+//
+// Everything is deterministic given the PRNG streams it is constructed
+// with, which keeps every consumer (traces, experiments, benchmarks)
+// regenerable bit for bit.
+//
+// The split of responsibilities with internal/trace: this package owns
+// *where* accesses go and *whether* they read or write; trace owns the
+// benchmark parameterizations and the plaintext the writes carry.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/prng"
+	"repro/internal/shard"
+)
+
+// scatter is the fixed multiplicative hash used to spread rank-ordered
+// hot sets across the footprint rather than packing them at low
+// addresses (the same constant internal/trace has always used, so trace
+// address streams are preserved bit for bit).
+const scatter = 0x9E3779B97F4A7C15
+
+// Pattern generates a deterministic stream of line addresses in
+// [0, Lines()). NextLine draws any randomness it needs from the rng the
+// caller passes, so one selection stream can drive a whole mixture;
+// patterns with private state (cursors, chains, Zipf samplers) advance
+// it only when they are actually chosen.
+type Pattern interface {
+	// Lines is the footprint: every generated address is < Lines.
+	Lines() int
+	// NextLine returns the next address of the stream.
+	NextLine(rng *prng.Rand) uint64
+}
+
+// Sequential is a streaming cursor: 1, 2, ..., wrapping at the
+// footprint. It models the unit-stride writeback stream of a scientific
+// kernel sweeping its grid.
+type Sequential struct {
+	lines  uint64
+	cursor uint64
+}
+
+// NewSequential builds a sequential stream over lines addresses.
+func NewSequential(lines int) *Sequential {
+	mustLines(lines)
+	return &Sequential{lines: uint64(lines)}
+}
+
+// Lines implements Pattern.
+func (s *Sequential) Lines() int { return int(s.lines) }
+
+// NextLine implements Pattern. It consumes no randomness.
+func (s *Sequential) NextLine(*prng.Rand) uint64 {
+	s.cursor = (s.cursor + 1) % s.lines
+	return s.cursor
+}
+
+// Strided sweeps the footprint with a fixed stride, modeling column
+// walks over row-major arrays and banked-structure hopping.
+type Strided struct {
+	lines  uint64
+	stride uint64
+	cursor uint64
+}
+
+// NewStrided builds a strided stream; stride < 1 defaults to 1.
+func NewStrided(lines, stride int) *Strided {
+	mustLines(lines)
+	if stride < 1 {
+		stride = 1
+	}
+	return &Strided{lines: uint64(lines), stride: uint64(stride)}
+}
+
+// Lines implements Pattern.
+func (s *Strided) Lines() int { return int(s.lines) }
+
+// NextLine implements Pattern. It consumes no randomness.
+func (s *Strided) NextLine(*prng.Rand) uint64 {
+	s.cursor = (s.cursor + s.stride) % s.lines
+	return s.cursor
+}
+
+// ZipfHot samples a Zipf-skewed hot set: rank r is hit with probability
+// proportional to 1/(1+r)^s, and ranks are scattered over the footprint
+// by a fixed multiplicative hash so the hot lines are not all adjacent.
+type ZipfHot struct {
+	lines uint64
+	zipf  *rand.Zipf
+}
+
+// NewZipfHot builds a Zipf sampler over lines addresses with skew s
+// (clamped to > 1, as rand.Zipf requires; higher = hotter hot set),
+// drawing from src. The sampler owns src; callers must not share it.
+func NewZipfHot(lines int, s float64, src *prng.Rand) *ZipfHot {
+	mustLines(lines)
+	if s <= 1 {
+		s = 1.01
+	}
+	return &ZipfHot{
+		lines: uint64(lines),
+		zipf:  rand.NewZipf(rand.New(src), s, 1, uint64(lines-1)),
+	}
+}
+
+// Lines implements Pattern.
+func (z *ZipfHot) Lines() int { return int(z.lines) }
+
+// NextLine implements Pattern. Randomness comes from the sampler's own
+// source, not the passed rng, so mixture arms stay decorrelated.
+func (z *ZipfHot) NextLine(*prng.Rand) uint64 {
+	return (z.zipf.Uint64() * scatter) % z.lines
+}
+
+// PointerChase walks a random single-cycle permutation of the
+// footprint: each address is determined by the previous one, modeling
+// the dependent-load chains of linked-list and graph codes (mcf,
+// omnetpp). The cycle visits every line before repeating.
+type PointerChase struct {
+	next []uint32
+	cur  uint64
+}
+
+// NewPointerChase builds a dependent chain over lines addresses
+// (lines must fit in uint32), using rng to shuffle the permutation.
+func NewPointerChase(lines int, rng *prng.Rand) *PointerChase {
+	mustLines(lines)
+	if lines > 1<<32-1 {
+		panic("workload: pointer-chase footprint exceeds uint32")
+	}
+	// Sattolo's algorithm: a uniformly random cyclic permutation, so the
+	// chase is one cycle covering the whole footprint.
+	next := make([]uint32, lines)
+	for i := range next {
+		next[i] = uint32(i)
+	}
+	for i := lines - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	return &PointerChase{next: next}
+}
+
+// Lines implements Pattern.
+func (p *PointerChase) Lines() int { return len(p.next) }
+
+// NextLine implements Pattern. It consumes no randomness; the chain was
+// fixed at construction.
+func (p *PointerChase) NextLine(*prng.Rand) uint64 {
+	p.cur = uint64(p.next[p.cur])
+	return p.cur
+}
+
+// Arm weights a pattern inside a Mixture.
+type Arm struct {
+	// Frac is the probability this arm serves the next access.
+	Frac float64
+	// Pattern generates the arm's addresses.
+	Pattern Pattern
+}
+
+// Mixture picks one of its arms per access by cumulative fraction over
+// a single rng draw; the last arm absorbs any remaining probability
+// mass. Only the chosen arm's state advances, which is what lets a
+// mixture reproduce internal/trace's historical stream+Zipf interleave
+// exactly.
+type Mixture struct {
+	arms  []Arm
+	lines int
+}
+
+// NewMixture builds a mixture; all arms must share one footprint and
+// fractions must be non-negative.
+func NewMixture(arms ...Arm) *Mixture {
+	if len(arms) == 0 {
+		panic("workload: mixture needs at least one arm")
+	}
+	lines := arms[0].Pattern.Lines()
+	for _, a := range arms {
+		if a.Frac < 0 {
+			panic("workload: negative mixture fraction")
+		}
+		if a.Pattern.Lines() != lines {
+			panic("workload: mixture arms disagree on footprint")
+		}
+	}
+	return &Mixture{arms: arms, lines: lines}
+}
+
+// Lines implements Pattern.
+func (m *Mixture) Lines() int { return m.lines }
+
+// NextLine implements Pattern: one uniform draw selects the arm.
+func (m *Mixture) NextLine(rng *prng.Rand) uint64 {
+	f := rng.Float64()
+	cum := 0.0
+	for i := range m.arms {
+		cum += m.arms[i].Frac
+		if f < cum || i == len(m.arms)-1 {
+			return m.arms[i].Pattern.NextLine(rng)
+		}
+	}
+	panic("unreachable")
+}
+
+// Phase is one stage of a Stream: a pattern driven for Ops accesses at
+// the given read fraction.
+type Phase struct {
+	// Pattern generates this phase's addresses.
+	Pattern Pattern
+	// ReadFrac is the fraction of accesses that are reads (0 = all
+	// writes, 1 = all reads).
+	ReadFrac float64
+	// Ops is the phase length in accesses before the stream advances to
+	// the next phase (cycling); 0 means the phase never ends.
+	Ops int
+}
+
+// Stream interleaves reads and writes over a cycle of phases — the
+// mixed op-stream generator consumed by Apply-based drivers. A
+// single-phase stream is a plain pattern with a read fraction; multiple
+// phases model program phase behavior (e.g. a streaming init phase
+// followed by a pointer-chasing compute phase).
+type Stream struct {
+	phases []Phase
+	rng    *prng.Rand
+	idx    int
+	done   int
+}
+
+// NewStream builds a stream cycling through phases, drawing pattern
+// selection and read/write choices from a generator derived from seed.
+func NewStream(seed uint64, phases ...Phase) *Stream {
+	if len(phases) == 0 {
+		panic("workload: stream needs at least one phase")
+	}
+	for i := range phases {
+		if phases[i].Ops < 0 {
+			panic("workload: negative phase length")
+		}
+		if phases[i].ReadFrac < 0 || phases[i].ReadFrac > 1 {
+			panic(fmt.Sprintf("workload: phase %d read fraction %v out of [0,1]", i, phases[i].ReadFrac))
+		}
+	}
+	return &Stream{phases: phases, rng: prng.NewFrom(seed, "workload-stream")}
+}
+
+// Lines returns the footprint of the current phase's pattern.
+func (s *Stream) Lines() int { return s.phases[s.idx].Pattern.Lines() }
+
+// Next returns the next access: its line address and whether it is a
+// read.
+func (s *Stream) Next() (line uint64, read bool) {
+	ph := &s.phases[s.idx]
+	if ph.Ops > 0 && s.done >= ph.Ops {
+		s.idx = (s.idx + 1) % len(s.phases)
+		s.done = 0
+		ph = &s.phases[s.idx]
+	}
+	s.done++
+	line = ph.Pattern.NextLine(s.rng)
+	read = s.rng.Float64() < ph.ReadFrac
+	return line, read
+}
+
+// FillOp writes the next access into op: reads keep op.Data as the
+// caller's reusable destination buffer, writes get their plaintext from
+// fill (which may be nil for zero data). It lets hot loops build
+// shard.Engine.Apply batches without per-op allocation.
+func (s *Stream) FillOp(op *shard.Op, fill func(line uint64, data []byte)) {
+	line, read := s.Next()
+	op.Line = int(line)
+	if read {
+		op.Kind = shard.OpRead
+		return
+	}
+	op.Kind = shard.OpWrite
+	if fill != nil {
+		fill(line, op.Data)
+	} else {
+		clear(op.Data)
+	}
+}
+
+// Collect draws n ops from the stream, allocating a 64-byte buffer per
+// op (write plaintext via fill, or a read destination). Convenience for
+// tests and small drivers; hot paths should reuse buffers with FillOp.
+func Collect(s *Stream, n int, fill func(line uint64, data []byte)) []shard.Op {
+	ops := make([]shard.Op, n)
+	for i := range ops {
+		ops[i].Data = make([]byte, shard.LineSize)
+		s.FillOp(&ops[i], fill)
+	}
+	return ops
+}
+
+func mustLines(lines int) {
+	if lines <= 0 {
+		panic("workload: footprint must be positive")
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/shard"
+)
+
+func TestPatternsStayInFootprint(t *testing.T) {
+	const lines = 257
+	rng := prng.New(1)
+	for _, p := range []Pattern{
+		NewSequential(lines),
+		NewStrided(lines, 17),
+		NewZipfHot(lines, 1.3, prng.New(2)),
+		NewPointerChase(lines, prng.New(3)),
+	} {
+		if p.Lines() != lines {
+			t.Fatalf("%T.Lines() = %d, want %d", p, p.Lines(), lines)
+		}
+		for i := 0; i < 4*lines; i++ {
+			if l := p.NextLine(rng); l >= lines {
+				t.Fatalf("%T produced line %d outside [0,%d)", p, l, lines)
+			}
+		}
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	s := NewSequential(3)
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		got = append(got, s.NextLine(nil))
+	}
+	want := []uint64{1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequential stream %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPointerChaseIsOneFullCycle(t *testing.T) {
+	const lines = 101
+	p := NewPointerChase(lines, prng.New(7))
+	seen := make(map[uint64]bool)
+	start := p.NextLine(nil)
+	seen[start] = true
+	for i := 1; i < lines; i++ {
+		l := p.NextLine(nil)
+		if seen[l] {
+			t.Fatalf("chase revisited line %d after %d steps (cycle too short)", l, i)
+		}
+		seen[l] = true
+	}
+	if next := p.NextLine(nil); next != start {
+		t.Errorf("after %d steps chase landed on %d, want cycle start %d", lines, next, start)
+	}
+}
+
+func TestZipfHotConcentrates(t *testing.T) {
+	const lines, draws = 1 << 12, 20000
+	z := NewZipfHot(lines, 1.6, prng.New(11))
+	counts := map[uint64]int{}
+	for i := 0; i < draws; i++ {
+		counts[z.NextLine(nil)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / draws; frac < 0.10 {
+		t.Errorf("hottest line got %.1f%% of skewed draws, want a concentrated hot set", 100*frac)
+	}
+	if len(counts) < 10 {
+		t.Errorf("only %d distinct lines drawn; hot set should still have a tail", len(counts))
+	}
+}
+
+func TestMixtureRespectsFractions(t *testing.T) {
+	const lines, draws = 1 << 10, 20000
+	// Sequential addresses are dense and small-step; chase jumps. Count
+	// unit-step transitions to estimate the sequential fraction.
+	m := NewMixture(
+		Arm{Frac: 0.7, Pattern: NewSequential(lines)},
+		Arm{Frac: 0.3, Pattern: NewPointerChase(lines, prng.New(5))},
+	)
+	rng := prng.New(6)
+	prev := m.NextLine(rng)
+	unit := 0
+	for i := 1; i < draws; i++ {
+		l := m.NextLine(rng)
+		if l == (prev+1)%lines {
+			unit++
+		}
+		prev = l
+	}
+	frac := float64(unit) / draws
+	// The sequential arm advances only when chosen, so consecutive
+	// sequential picks are unit steps; expect roughly 0.7^2 < frac < 0.7.
+	if frac < 0.40 || frac > 0.75 {
+		t.Errorf("unit-step fraction %.2f, want ~0.49-0.70 for a 70%% sequential mixture", frac)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	mustPanic(t, "empty mixture", func() { NewMixture() })
+	mustPanic(t, "negative fraction", func() {
+		NewMixture(Arm{Frac: -0.1, Pattern: NewSequential(8)})
+	})
+	mustPanic(t, "footprint mismatch", func() {
+		NewMixture(
+			Arm{Frac: 0.5, Pattern: NewSequential(8)},
+			Arm{Frac: 0.5, Pattern: NewSequential(9)},
+		)
+	})
+}
+
+func TestStreamDeterministicAndReadFrac(t *testing.T) {
+	mk := func() *Stream {
+		return NewStream(42, Phase{
+			Pattern:  NewZipfHot(1<<10, 1.2, prng.New(9)),
+			ReadFrac: 0.25,
+		})
+	}
+	a, b := mk(), mk()
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		la, ra := a.Next()
+		lb, rb := b.Next()
+		if la != lb || ra != rb {
+			t.Fatalf("op %d: streams diverge (%d,%v) vs (%d,%v)", i, la, ra, lb, rb)
+		}
+		if ra {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("read fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestStreamPhasesCycle(t *testing.T) {
+	s := NewStream(1,
+		Phase{Pattern: NewSequential(100), ReadFrac: 0, Ops: 10},
+		Phase{Pattern: NewSequential(100), ReadFrac: 1, Ops: 5},
+	)
+	// Phase 1 is all-writes for 10 ops, phase 2 all-reads for 5, cycling.
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 10; i++ {
+			if _, read := s.Next(); read {
+				t.Fatalf("cycle %d op %d: read in the all-write phase", cycle, i)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if _, read := s.Next(); !read {
+				t.Fatalf("cycle %d op %d: write in the all-read phase", cycle, i)
+			}
+		}
+	}
+}
+
+func TestFillOpAndCollect(t *testing.T) {
+	s := NewStream(3, Phase{
+		Pattern:  NewSequential(64),
+		ReadFrac: 0.5,
+	})
+	ops := Collect(s, 500, func(line uint64, data []byte) {
+		data[0] = byte(line)
+	})
+	reads, writes := 0, 0
+	for i := range ops {
+		switch ops[i].Kind {
+		case shard.OpRead:
+			reads++
+		case shard.OpWrite:
+			writes++
+			if ops[i].Data[0] != byte(ops[i].Line) {
+				t.Fatalf("op %d: fill not applied", i)
+			}
+		}
+		if len(ops[i].Data) != shard.LineSize {
+			t.Fatalf("op %d: buffer len %d", i, len(ops[i].Data))
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Errorf("want a mix of reads and writes, got %d/%d", reads, writes)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: want panic", name)
+		}
+	}()
+	f()
+}

@@ -11,8 +11,22 @@ type WriteRequest = shard.WriteReq
 // ReadRequest is one line read in a ShardedMemory batch.
 type ReadRequest = shard.ReadReq
 
-// LiveCounters is a lock-free snapshot of engine-wide write totals,
-// pollable while batches are in flight.
+// Op is one element of a mixed read/write stream for Apply.
+type Op = shard.Op
+
+// Outcome is the per-op result of Apply.
+type Outcome = shard.Outcome
+
+// Op kinds for Op.Kind.
+const (
+	// OpWrite stores a 64-byte line.
+	OpWrite = shard.OpWrite
+	// OpRead retrieves a 64-byte line.
+	OpRead = shard.OpRead
+)
+
+// LiveCounters is a lock-free snapshot of engine-wide read and write
+// totals, pollable while batches are in flight.
 type LiveCounters = shard.Counters
 
 // ShardedMemoryConfig assembles a sharded, concurrency-safe memory.
@@ -110,25 +124,45 @@ func (m *ShardedMemory) Read(line int, dst []byte) ([]byte, error) {
 	return m.eng.Read(line, dst)
 }
 
+// Apply executes a mixed stream of reads and writes over the worker
+// pool and returns one Outcome per op, indexed like ops. Ops addressed
+// to the same shard apply in slice order — reads and writes interleave
+// exactly as submitted — so results are deterministic at any worker
+// count. Passing the previous call's outcome slice back as out makes
+// steady-state write dispatch allocation-free; read outcomes alias the
+// op's Data buffer when one is provided.
+func (m *ShardedMemory) Apply(ops []Op, out []Outcome) ([]Outcome, error) {
+	return m.eng.Apply(ops, out)
+}
+
 // WriteBatch dispatches the requests over the worker pool and returns
-// per-request stuck-at-wrong cell counts, indexed like reqs. Requests
-// to the same shard apply in slice order, so results are deterministic
-// at any worker count.
+// per-request stuck-at-wrong cell counts, indexed like reqs. It is a
+// thin wrapper over Apply; requests to the same shard apply in slice
+// order, so results are deterministic at any worker count.
 func (m *ShardedMemory) WriteBatch(reqs []WriteRequest) ([]int, error) {
 	return m.eng.WriteBatch(reqs)
 }
 
 // ReadBatch dispatches the reads over the worker pool and returns the
-// plaintexts, indexed like reqs.
+// plaintexts, indexed like reqs. out[i] aliases reqs[i].Dst when a
+// destination buffer was provided (no per-request allocation) and is
+// freshly allocated otherwise. It is a thin wrapper over Apply.
 func (m *ShardedMemory) ReadBatch(reqs []ReadRequest) ([][]byte, error) {
 	return m.eng.ReadBatch(reqs)
 }
+
+// Close releases the engine's persistent worker pool. It must not be
+// called concurrently with other methods; the memory remains usable
+// afterwards on the single-threaded dispatch path. Memories that live
+// for the whole process need not be closed.
+func (m *ShardedMemory) Close() { m.eng.Close() }
 
 // Stats returns exact statistics merged across all shards.
 func (m *ShardedMemory) Stats() Stats {
 	s := m.eng.Stats()
 	return Stats{
 		LineWrites:  s.LineWrites,
+		LineReads:   s.LineReads,
 		EnergyPJ:    s.EnergyPJ,
 		BitFlips:    s.BitFlips,
 		CellChanges: s.CellChanges,
@@ -143,6 +177,7 @@ func (m *ShardedMemory) ShardStats(s int) Stats {
 	st := m.eng.ShardStats(s)
 	return Stats{
 		LineWrites:  st.LineWrites,
+		LineReads:   st.LineReads,
 		EnergyPJ:    st.EnergyPJ,
 		BitFlips:    st.BitFlips,
 		CellChanges: st.CellChanges,

@@ -129,10 +129,13 @@ type Memory struct {
 	dev  *pcm.Device
 }
 
-// Stats reports accumulated write-path statistics.
+// Stats reports accumulated access-path statistics.
 type Stats struct {
 	// LineWrites is the number of Write calls served.
 	LineWrites int64
+	// LineReads is the number of Read calls served (each runs the full
+	// decode + decrypt pipeline).
+	LineReads int64
 	// EnergyPJ is the total write energy, including auxiliary bits.
 	EnergyPJ float64
 	// BitFlips counts logical bit transitions programmed.
@@ -217,6 +220,7 @@ func (m *Memory) Stats() Stats {
 	}
 	return Stats{
 		LineWrites:  s.LineWrites,
+		LineReads:   s.LineReads,
 		EnergyPJ:    s.EnergyPJ,
 		BitFlips:    s.BitFlips,
 		CellChanges: s.CellChanges,
