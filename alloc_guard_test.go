@@ -12,39 +12,76 @@ import (
 	"repro/internal/prng"
 )
 
-// TestApplySteadyStateWriteAllocs pins the steady-state write hot path
-// at zero heap allocations per op: reused op buffers + reused outcome
-// slice + recycled dispatch plan means Apply allocates nothing, at one
-// shard and across a multi-shard worker pool.
-func TestApplySteadyStateWriteAllocs(t *testing.T) {
-	for _, tc := range []struct{ shards, workers int }{{1, 1}, {4, 4}} {
-		m, err := NewShardedMemory(ShardedMemoryConfig{
-			Lines: 1 << 10, Shards: tc.shards, Workers: tc.workers, Seed: 1,
-			NewEncoder: func() Encoder { return NewVCCEncoder(256) },
-		})
-		if err != nil {
+// allocGuardOps builds a reusable mixed batch: every op carries its own
+// 64-byte buffer (write plaintext or read destination), so repeated
+// Apply calls recycle everything.
+func allocGuardOps(batch, lines int, readFrac float64, seed uint64) []Op {
+	rng := prng.New(seed)
+	ops := make([]Op, batch)
+	for i := range ops {
+		data := make([]byte, LineSize)
+		rng.Fill(data)
+		kind := OpWrite
+		if rng.Float64() < readFrac {
+			kind = OpRead
+		}
+		ops[i] = Op{Kind: kind, Line: (i * 13) % lines, Data: data}
+	}
+	return ops
+}
+
+// testSteadyStateAllocs pins one (engine, op mix) combination at zero
+// steady-state heap allocations per Apply.
+func testSteadyStateAllocs(t *testing.T, cfg ShardedMemoryConfig, readFrac float64) {
+	t.Helper()
+	m, err := NewShardedMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const batch = 64
+	ops := allocGuardOps(batch, cfg.Lines, readFrac, 2)
+	outs := make([]Outcome, batch)
+	apply := func() {
+		var err error
+		if outs, err = m.Apply(ops, outs); err != nil {
 			t.Fatal(err)
 		}
-		rng := prng.New(2)
-		const batch = 64
-		ops := make([]Op, batch)
-		for i := range ops {
-			data := make([]byte, LineSize)
-			rng.Fill(data)
-			ops[i] = Op{Kind: OpWrite, Line: (i * 13) % (1 << 10), Data: data}
+	}
+	// Warm the plan pool, per-shard scratch and (when configured) the
+	// cache: after two rounds every touched line is resident, so the
+	// steady state exercises hits plus recycled-entry evictions.
+	apply()
+	apply()
+	if avg := testing.AllocsPerRun(20, apply); avg != 0 {
+		t.Errorf("shards=%d workers=%d cache=%d/%v readfrac=%.2f: steady-state Apply allocates %.2f/op, want 0",
+			cfg.Shards, cfg.Workers, cfg.CacheLines, cfg.CachePolicy, readFrac, avg)
+	}
+}
+
+// TestApplySteadyStateAllocs pins the steady-state Apply hot paths at
+// zero heap allocations per op — write-only, read-only and mixed
+// streams, at one shard and across a multi-shard worker pool, uncached
+// and behind both cache policies (hits, misses and recycled-entry
+// evictions included).
+func TestApplySteadyStateAllocs(t *testing.T) {
+	base := func(shards, workers int) ShardedMemoryConfig {
+		return ShardedMemoryConfig{
+			Lines: 1 << 10, Shards: shards, Workers: workers, Seed: 1,
+			NewEncoder: func() Encoder { return NewVCCEncoder(256) },
 		}
-		outs := make([]Outcome, batch)
-		apply := func() {
-			var err error
-			if outs, err = m.Apply(ops, outs); err != nil {
-				t.Fatal(err)
+	}
+	for _, tc := range []struct{ shards, workers int }{{1, 1}, {4, 4}} {
+		for _, readFrac := range []float64{0, 0.5, 1} {
+			cfg := base(tc.shards, tc.workers)
+			testSteadyStateAllocs(t, cfg, readFrac)
+
+			cached := cfg
+			cached.CacheLines = 32 // far below the 64-op footprint: constant evictions
+			for _, policy := range []CachePolicy{WriteThrough, WriteBack} {
+				cached.CachePolicy = policy
+				testSteadyStateAllocs(t, cached, readFrac)
 			}
 		}
-		apply() // warm the plan pool and per-shard scratch
-		if avg := testing.AllocsPerRun(20, apply); avg != 0 {
-			t.Errorf("shards=%d workers=%d: steady-state write Apply allocates %.2f/op, want 0",
-				tc.shards, tc.workers, avg)
-		}
-		m.Close()
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/pcm"
 	"repro/internal/prng"
+	"repro/internal/workload"
 )
 
 // benchExperiment runs one experiment driver per iteration.
@@ -60,6 +61,7 @@ func BenchmarkSLCEnergy(b *testing.B)        { benchExperiment(b, "slc-energy") 
 func BenchmarkAblateCAFO(b *testing.B)       { benchExperiment(b, "ablate-cafo") }
 func BenchmarkShardReplay(b *testing.B)      { benchExperiment(b, "shard-replay") }
 func BenchmarkWorkloadSweep(b *testing.B)    { benchExperiment(b, "workload-sweep") }
+func BenchmarkCacheSweep(b *testing.B)       { benchExperiment(b, "cache-sweep") }
 
 // --- encoder micro-benchmarks -----------------------------------------
 
@@ -149,7 +151,7 @@ func BenchmarkMemoryWriteLine(b *testing.B) {
 // path (Apply) with reused op and outcome buffers: with ReportAllocs
 // the steady-state write hot path must measure 0 allocs/op — the
 // zero-allocation acceptance criterion (also pinned by
-// TestApplySteadyStateWriteAllocs).
+// TestApplySteadyStateAllocs).
 
 // shardedEncoders are the encoder families under benchmark. Factories,
 // not instances: each shard owns a private codec.
@@ -254,6 +256,74 @@ func BenchmarkShardedMixed(b *testing.B) {
 					if outs, err = mem.Apply(ops, outs); err != nil {
 						b.Fatal(err)
 					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedCached measures what the decoded-line cache buys on a
+// hit-heavy ZipfHot mixed workload (VCC 256, MLC, read fraction 0.75):
+// the same op batch through an uncached engine, a write-through cache
+// (hits skip decode+decrypt) and a write-back cache (plus deferred,
+// coalesced device writebacks). Cached variants must beat uncached on
+// both ns/op and, for write-back, device LineWrites — the PR's
+// performance acceptance criterion. Steady state stays 0 allocs/op.
+func BenchmarkShardedCached(b *testing.B) {
+	const (
+		lines     = 1 << 13
+		batchSize = 1024
+		cacheSz   = 512
+	)
+	for _, variant := range []struct {
+		name       string
+		cacheLines int
+		policy     CachePolicy
+	}{
+		{"uncached", 0, WriteThrough},
+		{"writethrough", cacheSz, WriteThrough},
+		{"writeback", cacheSz, WriteBack},
+	} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", variant.name, shards), func(b *testing.B) {
+				mem, err := NewShardedMemory(ShardedMemoryConfig{
+					Lines: lines, Shards: shards, Workers: shards, Seed: 1,
+					CacheLines:  variant.cacheLines,
+					CachePolicy: variant.policy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer mem.Close()
+				zipf := workload.NewZipfHot(lines, 1.3, prng.NewFrom(1, "bench-cached-zipf"))
+				zrng := prng.NewFrom(1, "bench-cached-lines")
+				rng := prng.New(3)
+				ops := make([]Op, batchSize)
+				for i := range ops {
+					data := make([]byte, LineSize)
+					rng.Fill(data)
+					kind := OpWrite
+					if rng.Float64() < 0.75 {
+						kind = OpRead
+					}
+					ops[i] = Op{Kind: kind, Line: int(zipf.NextLine(zrng)), Data: data}
+				}
+				outs := make([]Outcome, batchSize)
+				if outs, err = mem.Apply(ops, outs); err != nil { // warm plan + cache
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(batchSize) * LineSize)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if outs, err = mem.Apply(ops, outs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := mem.Stats()
+				if variant.cacheLines > 0 && st.CacheHits+st.CacheMisses > 0 {
+					b.ReportMetric(100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses), "hit%")
 				}
 			})
 		}

@@ -1,0 +1,345 @@
+package vcc
+
+// Tests of the decoded-line cache stack (internal/linecache behind
+// ShardedMemoryConfig.CacheLines): write-through must be op-for-op
+// indistinguishable from the uncached engine (fault corruption
+// included), write-back must converge to the same final plaintext after
+// Flush while strictly reducing device writebacks on hot workloads, and
+// cached results must stay deterministic at any shard/worker count.
+// Cache-off bit-identity is pinned by the pre-existing tests
+// (TestShardedSingleShardBitIdentical, TestMixedApplyOracle), which run
+// the default CacheLines == 0 configuration unchanged.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func cachedFrom(cfg MemoryConfig, shards, workers, cacheLines int, policy CachePolicy) ShardedMemoryConfig {
+	sc := shardedFrom(cfg, shards, workers)
+	sc.CacheLines = cacheLines
+	sc.CachePolicy = policy
+	return sc
+}
+
+// hotMixedOps builds a deterministic read-heavy op stream where 90% of
+// the traffic lands on a small hot set — the SPEC-like locality that
+// makes a line cache pay off.
+func hotMixedOps(n, lines, hotLines int, readFrac float64, seed uint64) []Op {
+	rng := prng.NewFrom(seed, "hot-mixed-ops")
+	ops := make([]Op, n)
+	for i := range ops {
+		line := rng.Intn(lines)
+		if rng.Float64() < 0.9 {
+			line = rng.Intn(hotLines)
+		}
+		if rng.Float64() < readFrac {
+			ops[i] = Op{Kind: OpRead, Line: line}
+		} else {
+			data := make([]byte, LineSize)
+			rng.Fill(data)
+			ops[i] = Op{Kind: OpWrite, Line: line, Data: data}
+		}
+	}
+	return ops
+}
+
+// TestWriteThroughOracle: a write-through cached one-shard engine must
+// be op-for-op identical to the uncached sequential oracle — same
+// per-op SAW counts, same read plaintexts (stuck-at-wrong corruption
+// included), same write-side statistics and final contents. Hits only
+// skip decode+decrypt, which touches LineReads/WordsDecoded and nothing
+// else.
+func TestWriteThroughOracle(t *testing.T) {
+	const lines = 256
+	cfg := fullConfig(lines, 31)
+	seq, err := NewMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedMemory(cachedFrom(cfg, 1, 2, 64, WriteThrough))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	ops := mixedOps(3000, lines, 13)
+	lastWritten := make([][]byte, lines)
+	corruptedReads := 0
+	for off := 0; off < len(ops); off += 97 {
+		end := off + 97
+		if end > len(ops) {
+			end = len(ops)
+		}
+		batch := ops[off:end]
+		outs, err := sh.Apply(batch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			op := &batch[i]
+			if op.Kind == OpWrite {
+				saw, err := seq.Write(op.Line, op.Data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if outs[i].SAWCells != saw {
+					t.Fatalf("op %d: cached SAW %d, oracle %d", off+i, outs[i].SAWCells, saw)
+				}
+				lastWritten[op.Line] = op.Data
+				continue
+			}
+			want, err := seq.Read(op.Line, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(outs[i].Data, want) {
+				t.Fatalf("op %d: cached read diverges from uncached oracle", off+i)
+			}
+			if lastWritten[op.Line] != nil && !bytes.Equal(want, lastWritten[op.Line]) {
+				corruptedReads++
+			}
+		}
+	}
+	if corruptedReads == 0 {
+		t.Error("no read observed stuck-at-wrong corruption; the fault-visibility check has no teeth")
+	}
+
+	got, want := sh.Stats(), seq.Stats()
+	if got.CacheHits == 0 {
+		t.Error("write-through cache never hit")
+	}
+	if got.LineWrites != want.LineWrites || got.EnergyPJ != want.EnergyPJ ||
+		got.BitFlips != want.BitFlips || got.CellChanges != want.CellChanges ||
+		got.SAWCells != want.SAWCells || got.FailedCells != want.FailedCells {
+		t.Errorf("write-side stats diverge:\ncached   %+v\nuncached %+v", got, want)
+	}
+	sh.Flush() // must be a no-op under write-through
+	if st := sh.Stats(); st.Writebacks != 0 || st.CoalescedWrites != 0 {
+		t.Errorf("write-through produced writebacks/coalesced: %+v", st)
+	}
+	for l := 0; l < lines; l++ {
+		a, err := seq.Read(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sh.Read(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("line %d contents diverge", l)
+		}
+	}
+}
+
+// TestWriteBackOracle is the acceptance criterion for the deferred
+// policy: in a fault-free configuration the final plaintext after
+// Flush must match the sequential oracle line for line, while the hot
+// workload's device writebacks come out strictly below the uncached
+// write count.
+func TestWriteBackOracle(t *testing.T) {
+	const lines = 256
+	cfg := MemoryConfig{
+		Lines:     lines,
+		Encoder:   NewVCCEncoder(256),
+		Objective: OptEnergy,
+		Key:       [32]byte{4, 5, 6},
+		Seed:      11,
+	}
+	seq, err := NewMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedMemory(cachedFrom(cfg, 1, 2, 64, WriteBack))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := hotMixedOps(4000, lines, 16, 0.6, 7)
+	logicalWrites := int64(0)
+	for i := range ops {
+		if ops[i].Kind == OpWrite {
+			logicalWrites++
+			if _, err := seq.Write(ops[i].Line, ops[i].Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := sh.Apply(ops, nil); err != nil {
+		t.Fatal(err)
+	}
+	sh.Close() // flushes every dirty line
+
+	st := sh.Stats()
+	if st.LineWrites >= logicalWrites {
+		t.Errorf("write-back did not reduce device writes: %d device RMWs for %d logical writes",
+			st.LineWrites, logicalWrites)
+	}
+	if st.CoalescedWrites == 0 {
+		t.Error("hot workload coalesced nothing")
+	}
+	if st.LineWrites+st.CoalescedWrites != logicalWrites {
+		t.Errorf("post-flush accounting broken: LineWrites %d + CoalescedWrites %d != logical %d",
+			st.LineWrites, st.CoalescedWrites, logicalWrites)
+	}
+	if st.Writebacks == 0 {
+		t.Error("no deferred writebacks recorded")
+	}
+	for l := 0; l < lines; l++ {
+		a, err := seq.Read(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sh.Read(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("line %d: final plaintext diverges from the mixed-Apply oracle", l)
+		}
+	}
+}
+
+// TestCachedApplyDeterministic: cached results — outcomes, stats and
+// post-Flush contents — are identical at any worker count, for both
+// policies and several shard counts (run under -race this is also the
+// cached-path concurrency check).
+func TestCachedApplyDeterministic(t *testing.T) {
+	const lines = 300
+	for _, policy := range []CachePolicy{WriteThrough, WriteBack} {
+		for _, shards := range []int{2, 5} {
+			var refStats Stats
+			var refOuts []Outcome
+			var refData [][]byte
+			var refLines [][]byte
+			for _, workers := range []int{1, 4, 8} {
+				m, err := NewShardedMemory(ShardedMemoryConfig{
+					Lines: lines, Shards: shards, Workers: workers, Seed: 9, FaultRate: 1e-2,
+					NewEncoder:  func() Encoder { return NewVCCEncoder(256) },
+					CacheLines:  32,
+					CachePolicy: policy,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops := mixedOps(2000, lines, 5)
+				outs, err := m.Apply(ops, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := make([][]byte, len(outs))
+				for i := range outs {
+					if outs[i].Data != nil {
+						data[i] = bytes.Clone(outs[i].Data)
+					}
+				}
+				m.Flush()
+				st := m.Stats()
+				contents := make([][]byte, lines)
+				for l := 0; l < lines; l++ {
+					contents[l], err = m.Read(l, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				m.Close()
+				if workers == 1 {
+					refStats, refOuts, refData, refLines = st, outs, data, contents
+					continue
+				}
+				if st != refStats {
+					t.Errorf("policy=%v shards=%d workers=%d: stats %+v differ from 1-worker %+v",
+						policy, shards, workers, st, refStats)
+				}
+				for i := range outs {
+					if outs[i].SAWCells != refOuts[i].SAWCells || !bytes.Equal(data[i], refData[i]) {
+						t.Fatalf("policy=%v shards=%d workers=%d: op %d outcome diverges",
+							policy, shards, workers, i)
+					}
+				}
+				for l := range contents {
+					if !bytes.Equal(contents[l], refLines[l]) {
+						t.Fatalf("policy=%v shards=%d workers=%d: line %d diverges post-Flush",
+							policy, shards, workers, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCloseFlushesWriteBack: Close must persist dirty write-back lines
+// (the documented Close flush semantics), and the engine stays usable
+// afterwards on the single-threaded path.
+func TestCloseFlushesWriteBack(t *testing.T) {
+	const lines = 64
+	m, err := NewShardedMemory(ShardedMemoryConfig{
+		Lines: lines, Shards: 2, Workers: 2, Seed: 3,
+		NewEncoder:  func() Encoder { return NewFNWEncoder(16) },
+		CacheLines:  16,
+		CachePolicy: WriteBack,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, lines)
+	rng := prng.New(8)
+	for l := 0; l < lines; l++ {
+		want[l] = make([]byte, LineSize)
+		rng.Fill(want[l])
+		if _, err := m.Write(l, want[l]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().LineWrites == int64(lines) {
+		t.Fatal("nothing was deferred; the write-back test is vacuous")
+	}
+	m.Close()
+	if got := m.Stats().Writebacks; got == 0 {
+		t.Error("Close did not flush dirty lines")
+	}
+	for l := 0; l < lines; l++ {
+		got, err := m.Read(l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[l]) {
+			t.Fatalf("line %d lost after Close", l)
+		}
+	}
+}
+
+// TestCacheCountersMatchLive: the lock-free Counters snapshot carries
+// the cache fields end-to-end.
+func TestCacheCountersMatchLive(t *testing.T) {
+	m, err := NewShardedMemory(ShardedMemoryConfig{
+		Lines: 128, Shards: 4, Workers: 4, Seed: 5,
+		NewEncoder:  func() Encoder { return NewFNWEncoder(16) },
+		CacheLines:  8,
+		CachePolicy: WriteBack,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ops := hotMixedOps(1500, 128, 8, 0.7, 21)
+	if _, err := m.Apply(ops, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	st, live := m.Stats(), m.Counters()
+	if live.CacheHits != st.CacheHits || live.CacheMisses != st.CacheMisses ||
+		live.CacheEvictions != st.CacheEvictions || live.Writebacks != st.Writebacks ||
+		live.CoalescedWrites != st.CoalescedWrites {
+		t.Errorf("live cache counters %+v disagree with stats %+v", live, st)
+	}
+	if st.CacheEvictions == 0 {
+		t.Error("8-line caches over a 128-line footprint must evict")
+	}
+	if st.CacheHits == 0 || st.CoalescedWrites == 0 {
+		t.Errorf("hot workload produced no cache activity: %+v", st)
+	}
+}

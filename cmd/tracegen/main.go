@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/coset"
+	"repro/internal/linecache"
 	"repro/internal/prng"
 	"repro/internal/shard"
 	"repro/internal/trace"
@@ -62,6 +63,9 @@ func main() {
 		encoder = flag.String("encoder", "vcc", "replay: vcc|vccgen|rcc|fnw|flipcy|none")
 		fault   = flag.Float64("fault", 0, "replay: per-cell stuck-at fault rate")
 		slc     = flag.Bool("slc", false, "replay: single-level cells instead of MLC")
+		cache   = flag.Bool("cache", false, "replay: front each shard with a decoded-line LRU cache")
+		cacheLn = flag.Int("cachelines", 1024, "replay -cache: per-shard cache capacity in lines")
+		cachePl = flag.String("cachepolicy", "wt", "replay -cache: write policy, writethrough|wt|writeback|wb")
 	)
 	flag.Parse()
 
@@ -91,10 +95,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracegen: -mix and -bench are mutually exclusive")
 			os.Exit(2)
 		}
+		var policy linecache.Policy
+		if *cache {
+			var err error
+			if policy, err = linecache.ParsePolicy(*cachePl); err != nil {
+				fail(err)
+			}
+			if *cacheLn <= 0 {
+				fmt.Fprintf(os.Stderr, "tracegen: -cachelines %d must be positive\n", *cacheLn)
+				os.Exit(2)
+			}
+		}
 		cfg := replayConfig{
 			shards: *shards, workers: *workers, lines: *memLine, batch: *batch,
 			encoder: *encoder, fault: *fault, slc: *slc, seed: *seed,
 			readFrac: *rfrac,
+			cache:    *cache, cacheLines: *cacheLn, cachePolicy: policy,
 		}
 		var src opSource
 		switch {
@@ -184,6 +200,11 @@ type replayConfig struct {
 	// of ops issued as OpRead. -1 selects the benchmark spec's
 	// characterized read fraction (meaningful with -bench only).
 	readFrac float64
+	// cache fronts each shard with a decoded-line LRU of cacheLines
+	// lines under cachePolicy.
+	cache       bool
+	cacheLines  int
+	cachePolicy linecache.Policy
 }
 
 // opSource feeds the replay loop one op at a time. next fills op —
@@ -370,7 +391,7 @@ func runReplay(src opSource, cfg replayConfig) error {
 	if err != nil {
 		return err
 	}
-	eng, err := shard.New(shard.Config{
+	scfg := shard.Config{
 		Lines:     cfg.lines,
 		Shards:    cfg.shards,
 		Workers:   cfg.workers,
@@ -379,7 +400,12 @@ func runReplay(src opSource, cfg replayConfig) error {
 		SLC:       cfg.slc,
 		FaultRate: cfg.fault,
 		Seed:      cfg.seed,
-	})
+	}
+	if cfg.cache {
+		scfg.CacheLines = cfg.cacheLines
+		scfg.CachePolicy = cfg.cachePolicy
+	}
+	eng, err := shard.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -409,22 +435,39 @@ func runReplay(src opSource, cfg replayConfig) error {
 			break
 		}
 	}
+	// Deferred write-back lines are real device work; flush inside the
+	// timed region so write-back throughput is not overstated.
+	eng.Flush()
 	elapsed := time.Since(start)
 	st := eng.Stats()
-	total := st.LineWrites + st.LineReads
-	fmt.Printf("replayed       %d ops (%d writes, %d reads)\n",
-		total, st.LineWrites, st.LineReads)
-	fmt.Printf("engine         %d shard(s), %d worker(s), %s encoder\n",
-		eng.Shards(), eng.Workers(), cfg.encoder)
+	// Logical (request-level) totals: cache hits are reads the decode
+	// pipeline never saw, coalesced writes are device RMWs that never
+	// happened. Uncached, both terms are zero and these reduce to the
+	// device counters.
+	writes := st.LineWrites + st.CoalescedWrites
+	reads := st.LineReads + st.CacheHits
+	total := writes + reads
+	fmt.Printf("replayed       %d ops (%d writes, %d reads)\n", total, writes, reads)
+	engine := fmt.Sprintf("%d shard(s), %d worker(s), %s encoder", eng.Shards(), eng.Workers(), cfg.encoder)
+	if cfg.cache {
+		engine += fmt.Sprintf(", %d-line %s cache/shard", cfg.cacheLines, cfg.cachePolicy)
+	}
+	fmt.Printf("engine         %s\n", engine)
 	fmt.Printf("elapsed        %.3fs\n", elapsed.Seconds())
 	fmt.Printf("throughput     %.0f lines/sec (%.0f writes/sec, %.0f reads/sec)\n",
 		float64(total)/elapsed.Seconds(),
-		float64(st.LineWrites)/elapsed.Seconds(),
-		float64(st.LineReads)/elapsed.Seconds())
+		float64(writes)/elapsed.Seconds(),
+		float64(reads)/elapsed.Seconds())
 	fmt.Printf("write energy   %.4g pJ (aux %.4g pJ)\n", st.EnergyPJ, st.AuxEnergyPJ)
 	fmt.Printf("bit flips      %d\n", st.BitFlips)
 	fmt.Printf("SAW cells      %d\n", st.SAWCells)
 	fmt.Printf("words decoded  %d\n", st.WordsDecoded)
+	if cfg.cache {
+		fmt.Printf("cache          %d hits, %d misses (%.1f%% hit rate)\n",
+			st.CacheHits, st.CacheMisses, 100*st.HitRate())
+		fmt.Printf("device writes  %d (%d deferred writebacks, %d coalesced away)\n",
+			st.LineWrites, st.Writebacks, st.CoalescedWrites)
+	}
 	for s := 0; s < eng.Shards(); s++ {
 		ss := eng.ShardStats(s)
 		fmt.Printf("shard %-3d      %d writes, %d reads\n", s, ss.LineWrites, ss.LineReads)

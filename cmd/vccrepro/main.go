@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/linecache"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
 		shards  = flag.Int("shards", 1, "shard count for sharded-replay experiments")
 		workers = flag.Int("workers", 1, "worker pool bound: parallel experiments and sharded replay")
+		cacheLn = flag.Int("cachelines", 0, "per-shard decoded-line cache capacity for experiments that honor it (workload-sweep); 0 = uncached")
+		cachePl = flag.String("cachepolicy", "wt", "cache write policy with -cachelines: writethrough|wt|writeback|wb")
 	)
 	flag.Parse()
 
@@ -74,7 +77,13 @@ func main() {
 	if *workers < 1 {
 		*workers = 1
 	}
-	opts := experiments.Opts{Mode: m, Seed: *seed, Shards: *shards, Workers: *workers}
+	policy, err := linecache.ParsePolicy(*cachePl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+		os.Exit(2)
+	}
+	opts := experiments.Opts{Mode: m, Seed: *seed, Shards: *shards, Workers: *workers,
+		CacheLines: *cacheLn, CachePolicy: policy}
 	start := time.Now()
 	emit := func(id string, res *experiments.Result) {
 		fmt.Print(res.Table())

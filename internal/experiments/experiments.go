@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/linecache"
 )
 
 // Mode scales experiment size.
@@ -106,6 +108,13 @@ type Opts struct {
 	// Workers bounds the worker pool of sharded drivers; 0 defaults to
 	// the shard count.
 	Workers int
+	// CacheLines fronts each shard of sharded drivers that honor it
+	// (workload-sweep) with a decoded-line cache of this capacity; 0
+	// (the default) runs uncached. cache-sweep sweeps its own cache
+	// dimension and ignores this.
+	CacheLines int
+	// CachePolicy selects the cache write policy for CacheLines > 0.
+	CachePolicy linecache.Policy
 }
 
 // Runner produces a Result from (mode, seed) — the signature of every

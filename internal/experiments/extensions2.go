@@ -137,12 +137,12 @@ func runAblateVisibility(mode Mode, seed uint64) *Result {
 		buf := make([]byte, 64)
 		var perPass []int64
 		for p := 0; p < passes; p++ {
-			before := ctrl.Stats.SAWCells
+			before := ctrl.Stats().SAWCells
 			for l := 0; l < lines; l++ {
 				rng.Fill(buf)
 				ctrl.WriteLine(l, buf)
 			}
-			perPass = append(perPass, ctrl.Stats.SAWCells-before)
+			perPass = append(perPass, ctrl.Stats().SAWCells-before)
 		}
 		return perPass
 	}

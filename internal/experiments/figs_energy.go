@@ -94,9 +94,9 @@ func runSim(c simConfig) simOutcome {
 		}
 	}
 	return simOutcome{
-		energyPJ: ctrl.Stats.EnergyPJ,
-		auxPJ:    ctrl.Stats.AuxEnergyPJ,
-		sawCells: ctrl.Stats.SAWCells,
+		energyPJ: ctrl.Stats().EnergyPJ,
+		auxPJ:    ctrl.Stats().AuxEnergyPJ,
+		sawCells: ctrl.Stats().SAWCells,
 		sawBits:  sawBits,
 		bitsW:    int64(c.writes) * 512,
 	}

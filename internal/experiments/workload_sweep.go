@@ -46,24 +46,32 @@ func sweepPattern(name string, lines int, seed uint64) []workload.Phase {
 // (Engine.Apply) with every workload pattern at read fractions 0-0.75
 // (VCC 256, Opt.Energy, AES-CTR, 1e-2 faults — the fig9 configuration)
 // and reports per-cell energy/SAW totals alongside wall-clock
-// throughput. All statistics columns are deterministic in (mode, seed,
-// shards) at any worker count; only the ops/sec column is
-// machine-dependent.
+// throughput. With Opts.CacheLines > 0 every engine runs behind the
+// decoded-line cache and the cache columns light up (the uncached
+// default reports them as zero/0.0%). All statistics columns are
+// deterministic in (mode, seed, shards, cache) at any worker count;
+// only the ops/sec column is machine-dependent.
 func runWorkloadSweep(o Opts) *Result {
 	lines, totalOps := sizes(o.Mode)
 	shards := o.Shards
 	if shards <= 0 {
 		shards = 1
 	}
+	cacheDesc := ""
+	if o.CacheLines > 0 {
+		cacheDesc = fmt.Sprintf(", %d-line %s cache/shard", o.CacheLines, o.CachePolicy)
+	}
+	title := fmt.Sprintf("Mixed op-stream sweep (VCC 256, Opt.Energy, %d shard(s)%s)", shards, cacheDesc)
 	res := &Result{
 		ID:    "workload-sweep",
-		Title: fmt.Sprintf("Mixed op-stream sweep (VCC 256, Opt.Energy, %d shard(s))", shards),
+		Title: title,
 		Header: []string{"pattern", "read_frac", "writes", "reads",
-			"energy_pJ", "pJ_per_write", "SAW_cells", "ops_per_sec"},
+			"energy_pJ", "pJ_per_write", "SAW_cells", "hit_rate", "coalesced", "ops_per_sec"},
 		Notes: []string{
 			"every row replays the same op budget through Engine.Apply in mixed batches",
 			"energy scales with the write fraction: reads decode without programming cells",
-			"ops_per_sec is wall-clock and machine-dependent; all other columns are deterministic in (mode, seed, shards)",
+			"hit_rate/coalesced surface the decoded-line cache counters; they are zero at the uncached default (vccrepro -cachelines enables the cache; cache-sweep sweeps the cache dimension itself)",
+			"ops_per_sec is wall-clock and machine-dependent; all other columns are deterministic in (mode, seed, shards, cache)",
 			"the phased pattern alternates 512-op streaming and pointer-chase phases (phase mixing)",
 		},
 	}
@@ -71,14 +79,16 @@ func runWorkloadSweep(o Opts) *Result {
 	for _, pat := range []string{"seq", "zipf", "stride", "chase", "phased"} {
 		for _, rf := range []float64{0, 0.25, 0.5, 0.75} {
 			eng, err := shard.New(shard.Config{
-				Lines:     lines,
-				Shards:    shards,
-				Workers:   o.Workers,
-				NewCodec:  func() coset.Codec { return coset.NewVCCStored(64, 16, 256, o.Seed) },
-				Objective: coset.ObjEnergySAW,
-				Key:       simKey,
-				FaultRate: 1e-2,
-				Seed:      o.Seed,
+				Lines:       lines,
+				Shards:      shards,
+				Workers:     o.Workers,
+				NewCodec:    func() coset.Codec { return coset.NewVCCStored(64, 16, 256, o.Seed) },
+				Objective:   coset.ObjEnergySAW,
+				Key:         simKey,
+				FaultRate:   1e-2,
+				Seed:        o.Seed,
+				CacheLines:  o.CacheLines,
+				CachePolicy: o.CachePolicy,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("workload-sweep: %v", err))
@@ -108,6 +118,7 @@ func runWorkloadSweep(o Opts) *Result {
 				}
 				done += n
 			}
+			eng.Flush() // write-back caches: account deferred RMWs in this row
 			elapsed := time.Since(start)
 			st := eng.Stats()
 			perWrite := 0.0
@@ -117,6 +128,7 @@ func runWorkloadSweep(o Opts) *Result {
 			res.Rows = append(res.Rows, []string{
 				pat, fmtF(rf), fmtI(st.LineWrites), fmtI(st.LineReads),
 				fmtF(st.EnergyPJ), fmtF(perWrite), fmtI(st.SAWCells),
+				fmtPct(100 * st.HitRate()), fmtI(st.CoalescedWrites),
 				fmtF(float64(totalOps) / elapsed.Seconds()),
 			})
 			eng.Close()

@@ -1,0 +1,375 @@
+// Package linecache implements a per-shard LRU cache of decoded 64-byte
+// plaintext lines, layered as a memctrl.LineStore decorator between
+// shard.Engine and the memory controller.
+//
+// The paper's datapath pays coset decode + AES-CTR decrypt on every read
+// and a full encode + encrypt + read-modify-write on every writeback.
+// With SPEC-like read fractions of 0.55-0.78 most traffic is reads that
+// keep hitting the same hot lines, so caching the decoded plaintext in
+// front of the controller removes the bulk of that work:
+//
+//   - WriteThrough: every write still goes straight to the device (the
+//     paper's per-writeback energy accounting is untouched), but the
+//     plaintext is retained so subsequent read hits skip decode+decrypt.
+//   - WriteBack: writes are absorbed into the cache and marked dirty;
+//     the device write (encode + encrypt + RMW) is deferred until the
+//     line is evicted or Flush is called, so repeated writes to a hot
+//     line coalesce into one device writeback.
+//
+// Fault visibility. The cache must not mask the paper's failure mode:
+// data stored over stuck-at-wrong cells has to read back corrupted. Two
+// rules guarantee that. First, read misses install exactly the (possibly
+// corrupted) plaintext the inner store returned. Second, whenever a
+// device write reports SAW cells the cached copy is discarded instead of
+// retained, so the next read falls through to the device and observes
+// the corruption. A dirty write-back line legitimately serves its stored
+// plaintext before eviction: the device has not been written yet, so no
+// corruption exists to observe.
+//
+// The cache is deterministic: hits, evictions and flush order depend
+// only on the sequence of calls, never on map iteration order (eviction
+// follows the intrusive LRU list; Flush walks that list too). Steady
+// state allocates nothing: evicted entries are recycled through a free
+// list. Like every LineStore, a Cache is not safe for concurrent use;
+// shard.Engine serializes access per shard.
+package linecache
+
+import (
+	"fmt"
+
+	"repro/internal/cryptmem"
+	"repro/internal/memctrl"
+)
+
+// LineSize is the cached line granularity in bytes.
+const LineSize = cryptmem.LineSize
+
+// Policy selects how writes interact with the cache.
+type Policy uint8
+
+const (
+	// WriteThrough sends every write to the inner store immediately and
+	// caches the plaintext for later read hits. Post-write device state
+	// is bit-identical to running without the cache.
+	WriteThrough Policy = iota
+	// WriteBack absorbs writes into the cache and defers the device
+	// writeback until eviction or Flush, coalescing repeated writes to
+	// the same line into one device RMW.
+	WriteBack
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case WriteThrough:
+		return "writethrough"
+	case WriteBack:
+		return "writeback"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy maps the accepted spellings ("writethrough"/"wt",
+// "writeback"/"wb") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "writethrough", "wt":
+		return WriteThrough, nil
+	case "writeback", "wb":
+		return WriteBack, nil
+	}
+	return 0, fmt.Errorf("linecache: unknown policy %q (writethrough|wt|writeback|wb)", s)
+}
+
+// Config assembles a Cache.
+type Config struct {
+	// Inner is the decorated store (required). In the engine's stack
+	// this is the shard's memctrl.Controller.
+	Inner memctrl.LineStore
+	// Lines is the cache capacity in 64-byte lines (required, > 0).
+	Lines int
+	// Policy selects write-through (default) or write-back.
+	Policy Policy
+}
+
+// entry is one cached line, threaded on the intrusive LRU list.
+type entry struct {
+	line       int
+	dirty      bool
+	data       [LineSize]byte
+	prev, next *entry
+}
+
+// Cache is an LRU decoded-line cache decorating an inner LineStore.
+type Cache struct {
+	inner  memctrl.LineStore
+	policy Policy
+	cap    int
+
+	byLine map[int]*entry
+	// head/tail delimit the LRU list: head.next is most recent,
+	// tail.prev is the eviction victim. Both are sentinels.
+	head, tail entry
+	// free recycles evicted entries so steady state allocates nothing.
+	free *entry
+
+	hits      int64
+	misses    int64
+	evictions int64
+	// writebacks counts deferred device writes issued on eviction/Flush.
+	writebacks int64
+	// coalesced counts writes absorbed into an already-dirty line.
+	coalesced int64
+}
+
+var _ memctrl.LineStore = (*Cache)(nil)
+
+// New builds a Cache over cfg.Inner.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Inner == nil {
+		return nil, fmt.Errorf("linecache: Inner store is required")
+	}
+	if cfg.Lines <= 0 {
+		return nil, fmt.Errorf("linecache: Lines must be positive, got %d", cfg.Lines)
+	}
+	if cfg.Policy != WriteThrough && cfg.Policy != WriteBack {
+		return nil, fmt.Errorf("linecache: unknown policy %d", cfg.Policy)
+	}
+	c := &Cache{
+		inner:  cfg.Inner,
+		policy: cfg.Policy,
+		cap:    cfg.Lines,
+		byLine: make(map[int]*entry, cfg.Lines),
+	}
+	c.head.next, c.tail.prev = &c.tail, &c.head
+	return c, nil
+}
+
+// Policy returns the write policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Cap returns the capacity in lines.
+func (c *Cache) Cap() int { return c.cap }
+
+// Len returns the number of currently cached lines.
+func (c *Cache) Len() int { return len(c.byLine) }
+
+// NumLines implements LineStore.
+func (c *Cache) NumLines() int { return c.inner.NumLines() }
+
+// --- LRU list plumbing -------------------------------------------------
+
+func (c *Cache) unlink(e *entry) {
+	e.prev.next, e.next.prev = e.next, e.prev
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev, e.next = &c.head, c.head.next
+	e.prev.next, e.next.prev = e, e
+}
+
+func (c *Cache) touch(e *entry) {
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// drop removes e from the cache entirely and recycles it.
+func (c *Cache) drop(e *entry) {
+	c.unlink(e)
+	delete(c.byLine, e.line)
+	e.next = c.free
+	c.free = e
+}
+
+// newEntry returns a recycled (or freshly allocated) entry for line.
+func (c *Cache) newEntry(line int) *entry {
+	e := c.free
+	if e != nil {
+		c.free = e.next
+	} else {
+		e = &entry{}
+	}
+	e.line, e.dirty = line, false
+	return e
+}
+
+// install binds line to a fresh MRU entry, evicting the LRU victim if
+// the cache is full, and returns it.
+func (c *Cache) install(line int) *entry {
+	if len(c.byLine) >= c.cap {
+		c.evict(c.tail.prev)
+	}
+	e := c.newEntry(line)
+	c.byLine[line] = e
+	c.pushFront(e)
+	return e
+}
+
+// evict removes the given entry, writing it back first when dirty.
+func (c *Cache) evict(e *entry) {
+	if e.dirty {
+		c.inner.WriteLine(e.line, e.data[:])
+		c.writebacks++
+	}
+	c.evictions++
+	c.drop(e)
+}
+
+// --- LineStore implementation ------------------------------------------
+
+// sawCells sums the stuck-at-wrong cells of one write's outcomes.
+func sawCells(outs []memctrl.WordOutcome) int {
+	saw := 0
+	for i := range outs {
+		saw += outs[i].SAWCells
+	}
+	return saw
+}
+
+// WriteLine implements LineStore. Under WriteThrough the write reaches
+// the device immediately and the per-word outcomes pass through
+// verbatim; under WriteBack the plaintext is absorbed into the cache and
+// an empty outcome slice is returned (the device outcomes materialize on
+// eviction or Flush, visible through Stats).
+func (c *Cache) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
+	if len(plaintext) != LineSize {
+		// Validate before absorbing: under WriteBack a short buffer would
+		// otherwise be truncated silently instead of panicking like the
+		// controller does, and the two policies must reject alike.
+		panic("linecache: WriteLine needs a 64-byte line")
+	}
+	if c.policy == WriteThrough {
+		outs := c.inner.WriteLine(line, plaintext)
+		if sawCells(outs) > 0 {
+			// The device mangled the line; retaining the clean plaintext
+			// would mask the corruption on the next read hit.
+			if e, ok := c.byLine[line]; ok {
+				c.drop(e)
+			}
+			return outs
+		}
+		e, ok := c.byLine[line]
+		if !ok {
+			e = c.install(line)
+		} else {
+			c.touch(e)
+		}
+		copy(e.data[:], plaintext)
+		return outs
+	}
+	// WriteBack: absorb, defer the device write.
+	e, ok := c.byLine[line]
+	if !ok {
+		e = c.install(line)
+	} else {
+		c.touch(e)
+		if e.dirty {
+			c.coalesced++
+		}
+	}
+	e.dirty = true
+	copy(e.data[:], plaintext)
+	return nil
+}
+
+// ReadLine implements LineStore: hits copy the cached plaintext into dst
+// without touching the decode+decrypt pipeline; misses fall through to
+// the inner store and install whatever it returned (corruption
+// included).
+func (c *Cache) ReadLine(line int, dst []byte) []byte {
+	if dst == nil {
+		dst = make([]byte, LineSize)
+	}
+	if len(dst) != LineSize {
+		panic("linecache: ReadLine needs a 64-byte buffer")
+	}
+	if e, ok := c.byLine[line]; ok {
+		c.touch(e)
+		copy(dst, e.data[:])
+		c.hits++
+		return dst
+	}
+	c.misses++
+	out := c.inner.ReadLine(line, dst)
+	e := c.install(line)
+	copy(e.data[:], out)
+	return out
+}
+
+// Flush implements LineStore: every dirty line is written back to the
+// inner store (in LRU-list order, least recent first — deterministic)
+// and marked clean; entries whose writeback reported SAW cells are
+// dropped so the corruption stays visible. Clean entries stay cached.
+func (c *Cache) Flush() {
+	for e := c.tail.prev; e != &c.head; {
+		prev := e.prev
+		if e.dirty {
+			outs := c.inner.WriteLine(e.line, e.data[:])
+			c.writebacks++
+			e.dirty = false
+			if sawCells(outs) > 0 {
+				c.drop(e)
+			}
+		}
+		e = prev
+	}
+	c.inner.Flush()
+}
+
+// Invalidate drops every cached line without writing anything back.
+// Dirty data is lost; callers that need it persisted must Flush first.
+func (c *Cache) Invalidate() {
+	for e := c.tail.prev; e != &c.head; {
+		prev := e.prev
+		c.drop(e)
+		e = prev
+	}
+}
+
+// Stats implements LineStore: the inner store's counters plus this
+// cache's. LineWrites/LineReads keep their device-level meaning (RMWs
+// programmed, lines decoded); logical request-level totals decompose as
+//
+//	reads served  = LineReads + CacheHits
+//	writes served = LineWrites + CoalescedWrites + still-dirty lines
+//
+// and after a Flush the still-dirty term is zero: every absorbed write
+// has either become one of the deferred device writebacks or was
+// coalesced away — which is exactly the device work the write-back
+// policy eliminated.
+func (c *Cache) Stats() memctrl.Stats {
+	s := c.inner.Stats()
+	s.CacheHits += c.hits
+	s.CacheMisses += c.misses
+	s.CacheEvictions += c.evictions
+	s.Writebacks += c.writebacks
+	s.CoalescedWrites += c.coalesced
+	return s
+}
+
+// ResetStats implements LineStore, zeroing cache and inner counters.
+// Cached contents (including dirty lines) are untouched.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.evictions, c.writebacks, c.coalesced = 0, 0, 0, 0, 0
+	c.inner.ResetStats()
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any read.
+func (c *Cache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+// DirtyLines returns the number of cached lines awaiting writeback.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for e := c.head.next; e != &c.tail; e = e.next {
+		if e.dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,363 @@
+package linecache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/memctrl"
+)
+
+// stubStore is a deterministic in-memory LineStore for cache-semantics
+// tests. Lines listed in corrupt have their first byte inverted by every
+// write — the stub's stand-in for a stuck-at-wrong cell — and the write
+// outcome reports one SAW cell, exactly like a real controller would.
+type stubStore struct {
+	lines   map[int]*[LineSize]byte
+	corrupt map[int]bool
+	stats   memctrl.Stats
+	outc    [1]memctrl.WordOutcome
+}
+
+func newStub(corrupt ...int) *stubStore {
+	s := &stubStore{lines: map[int]*[LineSize]byte{}, corrupt: map[int]bool{}}
+	for _, l := range corrupt {
+		s.corrupt[l] = true
+	}
+	return s
+}
+
+func (s *stubStore) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
+	buf, ok := s.lines[line]
+	if !ok {
+		buf = new([LineSize]byte)
+		s.lines[line] = buf
+	}
+	copy(buf[:], plaintext)
+	s.stats.LineWrites++
+	saw := 0
+	if s.corrupt[line] {
+		buf[0] ^= 0xFF
+		saw = 1
+		s.stats.SAWCells++
+	}
+	s.outc[0] = memctrl.WordOutcome{Word: line * memctrl.WordsPerLine, SAWCells: saw}
+	return s.outc[:]
+}
+
+func (s *stubStore) ReadLine(line int, dst []byte) []byte {
+	if dst == nil {
+		dst = make([]byte, LineSize)
+	}
+	if buf, ok := s.lines[line]; ok {
+		copy(dst, buf[:])
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	s.stats.LineReads++
+	return dst
+}
+
+func (s *stubStore) Flush()               {}
+func (s *stubStore) Stats() memctrl.Stats { return s.stats }
+func (s *stubStore) ResetStats()          { s.stats = memctrl.Stats{} }
+func (s *stubStore) NumLines() int        { return 1 << 20 }
+
+func mk(t *testing.T, inner memctrl.LineStore, lines int, p Policy) *Cache {
+	t.Helper()
+	c, err := New(Config{Inner: inner, Lines: lines, Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func line(b byte) []byte {
+	d := make([]byte, LineSize)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Lines: 4}); err == nil {
+		t.Error("want error for missing inner store")
+	}
+	if _, err := New(Config{Inner: newStub(), Lines: 0}); err == nil {
+		t.Error("want error for zero capacity")
+	}
+	if _, err := New(Config{Inner: newStub(), Lines: 4, Policy: Policy(9)}); err == nil {
+		t.Error("want error for unknown policy")
+	}
+}
+
+// TestShortBufferPanics: both policies must reject malformed buffers
+// identically — a write-back absorb must not silently truncate input
+// the controller would have panicked on.
+func TestShortBufferPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: short buffer did not panic", name)
+			}
+		}()
+		f()
+	}
+	for _, p := range []Policy{WriteThrough, WriteBack} {
+		c := mk(t, newStub(), 4, p)
+		expectPanic(fmt.Sprintf("WriteLine/%v", p), func() { c.WriteLine(0, make([]byte, 8)) })
+		expectPanic(fmt.Sprintf("ReadLine/%v", p), func() { c.ReadLine(0, make([]byte, 8)) })
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{
+		"wt": WriteThrough, "writethrough": WriteThrough,
+		"wb": WriteBack, "writeback": WriteBack,
+	} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("lru"); err == nil {
+		t.Error("want error for unknown policy name")
+	}
+}
+
+// TestWriteThroughSemantics: writes reach the inner store immediately
+// and in order; subsequent reads hit the cache and never touch the
+// inner read pipeline.
+func TestWriteThroughSemantics(t *testing.T) {
+	inner := newStub()
+	c := mk(t, inner, 8, WriteThrough)
+	for l := 0; l < 4; l++ {
+		outs := c.WriteLine(l, line(byte(l+1)))
+		if len(outs) != 1 {
+			t.Fatalf("write-through must pass outcomes through, got %d", len(outs))
+		}
+	}
+	if inner.stats.LineWrites != 4 {
+		t.Fatalf("inner saw %d writes, want 4", inner.stats.LineWrites)
+	}
+	for l := 0; l < 4; l++ {
+		got := c.ReadLine(l, nil)
+		if !bytes.Equal(got, line(byte(l+1))) {
+			t.Fatalf("line %d: wrong plaintext", l)
+		}
+	}
+	if inner.stats.LineReads != 0 {
+		t.Errorf("read hits leaked to the inner store: %d", inner.stats.LineReads)
+	}
+	st := c.Stats()
+	if st.CacheHits != 4 || st.CacheMisses != 0 {
+		t.Errorf("hits=%d misses=%d, want 4/0", st.CacheHits, st.CacheMisses)
+	}
+	if hr := c.HitRate(); hr != 1 {
+		t.Errorf("hit rate %v, want 1", hr)
+	}
+}
+
+// TestWriteBackCoalescing: repeated writes to one hot line must reach
+// the device exactly once, at Flush.
+func TestWriteBackCoalescing(t *testing.T) {
+	inner := newStub()
+	c := mk(t, inner, 8, WriteBack)
+	for i := 0; i < 10; i++ {
+		if outs := c.WriteLine(3, line(byte(i))); len(outs) != 0 {
+			t.Fatalf("deferred write returned %d outcomes, want none", len(outs))
+		}
+	}
+	if inner.stats.LineWrites != 0 {
+		t.Fatalf("deferred writes leaked: inner saw %d", inner.stats.LineWrites)
+	}
+	if got := c.Stats().CoalescedWrites; got != 9 {
+		t.Fatalf("coalesced %d writes, want 9", got)
+	}
+	if c.DirtyLines() != 1 {
+		t.Fatalf("dirty lines %d, want 1", c.DirtyLines())
+	}
+	c.Flush()
+	if inner.stats.LineWrites != 1 {
+		t.Fatalf("flush issued %d device writes, want 1", inner.stats.LineWrites)
+	}
+	if !bytes.Equal(inner.ReadLine(3, nil), line(9)) {
+		t.Fatal("device holds a stale version after flush")
+	}
+	if c.DirtyLines() != 0 {
+		t.Error("lines still dirty after flush")
+	}
+	c.Flush() // idempotent
+	if inner.stats.LineWrites != 1 || c.Stats().Writebacks != 1 {
+		t.Error("second flush must be a no-op")
+	}
+	// The flushed line stays cached (clean): reads still hit.
+	if got := c.ReadLine(3, nil); !bytes.Equal(got, line(9)) {
+		t.Fatal("flushed line lost from cache")
+	}
+	if c.Stats().CacheMisses != 0 {
+		t.Error("read after flush missed; clean line should stay cached")
+	}
+}
+
+// TestLRUEviction: capacity overflow evicts the least recently used
+// line; dirty victims are written back, clean ones dropped silently.
+func TestLRUEviction(t *testing.T) {
+	inner := newStub()
+	c := mk(t, inner, 2, WriteBack)
+	c.WriteLine(1, line(1))
+	c.WriteLine(2, line(2))
+	c.ReadLine(1, nil) // 1 becomes MRU; 2 is now the victim
+	c.WriteLine(3, line(3))
+	if inner.stats.LineWrites != 1 {
+		t.Fatalf("eviction issued %d writebacks, want 1 (line 2)", inner.stats.LineWrites)
+	}
+	if !bytes.Equal(inner.ReadLine(2, nil), line(2)) {
+		t.Fatal("evicted dirty line not written back")
+	}
+	st := c.Stats()
+	if st.CacheEvictions != 1 || st.Writebacks != 1 {
+		t.Errorf("evictions=%d writebacks=%d, want 1/1", st.CacheEvictions, st.Writebacks)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d lines, want 2", c.Len())
+	}
+	// Clean eviction: read-miss install of line 4 evicts clean line 1
+	// (LRU after the line-3 write) with no writeback.
+	c.Flush()
+	before := inner.stats.LineWrites
+	c.ReadLine(4, nil)
+	if inner.stats.LineWrites != before {
+		t.Error("clean eviction must not write back")
+	}
+}
+
+// TestFaultVisibilityWriteThrough: when the device corrupts a
+// write-through store (SAW cells in the outcome), the cache must not
+// retain the clean plaintext — the very next read has to observe the
+// corruption, exactly as it would uncached.
+func TestFaultVisibilityWriteThrough(t *testing.T) {
+	inner := newStub(5)
+	c := mk(t, inner, 8, WriteThrough)
+	want := line(0xAB)
+	outs := c.WriteLine(5, want)
+	if sawCells(outs) == 0 {
+		t.Fatal("stub did not report the SAW cell")
+	}
+	got := c.ReadLine(5, nil)
+	if bytes.Equal(got, want) {
+		t.Fatal("cache masked the stuck-at-wrong corruption")
+	}
+	if !bytes.Equal(got, inner.ReadLine(5, nil)) {
+		t.Fatal("cached read diverges from device contents")
+	}
+	// The corrupted read-miss result is now cached; further reads hit
+	// and still return the corrupted bytes.
+	again := c.ReadLine(5, nil)
+	if !bytes.Equal(again, got) {
+		t.Fatal("repeated read changed contents")
+	}
+	if c.Stats().CacheHits != 1 {
+		t.Error("second read should hit the (corrupted) cached copy")
+	}
+}
+
+// TestFaultVisibilityWriteBack: before the deferred writeback the cache
+// legitimately serves the stored plaintext (the device holds nothing
+// newer); after eviction or Flush the corruption must read back.
+func TestFaultVisibilityWriteBack(t *testing.T) {
+	t.Run("eviction", func(t *testing.T) {
+		inner := newStub(7)
+		c := mk(t, inner, 1, WriteBack)
+		want := line(0x11)
+		c.WriteLine(7, want)
+		if got := c.ReadLine(7, nil); !bytes.Equal(got, want) {
+			t.Fatal("pre-eviction read must serve the pending plaintext")
+		}
+		c.WriteLine(8, line(0x22)) // capacity 1: evicts 7, corrupting writeback
+		got := c.ReadLine(7, nil)
+		if bytes.Equal(got, want) {
+			t.Fatal("post-eviction read masked the corruption")
+		}
+	})
+	t.Run("flush", func(t *testing.T) {
+		inner := newStub(7)
+		c := mk(t, inner, 4, WriteBack)
+		want := line(0x11)
+		c.WriteLine(7, want)
+		c.Flush()
+		got := c.ReadLine(7, nil)
+		if bytes.Equal(got, want) {
+			t.Fatal("post-flush read masked the corruption")
+		}
+		if !bytes.Equal(got, inner.ReadLine(7, nil)) {
+			t.Fatal("post-flush read diverges from device contents")
+		}
+	})
+}
+
+// TestFlushOrderDeterministic: Flush walks the LRU list, so the inner
+// store sees dirty lines least-recently-used first, independent of map
+// iteration order.
+func TestFlushOrderDeterministic(t *testing.T) {
+	order := []int{}
+	inner := &orderStub{stubStore: *newStub(), order: &order}
+	c := mk(t, inner, 8, WriteBack)
+	for _, l := range []int{4, 2, 6, 1} {
+		c.WriteLine(l, line(byte(l)))
+	}
+	c.ReadLine(2, nil) // 2 becomes MRU
+	c.Flush()
+	want := []int{4, 6, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("flushed %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("flushed %v, want %v", order, want)
+		}
+	}
+}
+
+type orderStub struct {
+	stubStore
+	order *[]int
+}
+
+func (s *orderStub) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
+	*s.order = append(*s.order, line)
+	return s.stubStore.WriteLine(line, plaintext)
+}
+
+// TestInvalidate drops everything without writebacks.
+func TestInvalidate(t *testing.T) {
+	inner := newStub()
+	c := mk(t, inner, 4, WriteBack)
+	c.WriteLine(1, line(1))
+	c.WriteLine(2, line(2))
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d lines after Invalidate", c.Len())
+	}
+	if inner.stats.LineWrites != 0 {
+		t.Error("Invalidate must not write back")
+	}
+}
+
+// TestResetStats zeroes counters but keeps contents.
+func TestResetStats(t *testing.T) {
+	inner := newStub()
+	c := mk(t, inner, 4, WriteBack)
+	c.WriteLine(1, line(9))
+	c.ReadLine(1, nil)
+	c.ResetStats()
+	if st := c.Stats(); st != (memctrl.Stats{}) {
+		t.Errorf("stats not cleared: %+v", st)
+	}
+	if got := c.ReadLine(1, nil); !bytes.Equal(got, line(9)) {
+		t.Error("ResetStats must not drop cached contents")
+	}
+}

@@ -25,6 +25,36 @@ import (
 // WordsPerLine is the number of 64-bit blocks in a 512-bit cache line.
 const WordsPerLine = 8
 
+// LineStore is the per-shard line storage abstraction: anything that can
+// absorb 64-byte plaintext writebacks and serve 64-byte plaintext reads
+// at line granularity. The concrete Controller is the bottom of every
+// stack; decorators (internal/linecache) wrap an inner LineStore and
+// forward what they do not handle themselves.
+//
+// Implementations are not safe for concurrent use; shard.Engine
+// serializes access per shard.
+type LineStore interface {
+	// WriteLine absorbs one 64-byte plaintext writeback and returns the
+	// per-word device outcomes, valid until the next call. Stores that
+	// defer the device write (a write-back cache) return an empty slice:
+	// the outcomes materialize later, on Flush or eviction, and are then
+	// visible only through Stats.
+	WriteLine(line int, plaintext []byte) []WordOutcome
+	// ReadLine serves one 64-byte plaintext read into dst (allocated
+	// when nil).
+	ReadLine(line int, dst []byte) []byte
+	// Flush forces every deferred write down to the device. It is a
+	// no-op for stores that write through.
+	Flush()
+	// Stats returns the accumulated statistics of the whole stack below
+	// (and including) this store.
+	Stats() Stats
+	// ResetStats zeroes the accumulated statistics of the whole stack.
+	ResetStats()
+	// NumLines returns the line capacity of the store.
+	NumLines() int
+}
+
 // Config assembles a controller.
 type Config struct {
 	// Device is the PCM array. Its geometry must hold an integer number
@@ -46,7 +76,10 @@ type Config struct {
 	FaultRepo *faultrepo.Repo
 }
 
-// Stats accumulates controller-level counters.
+// Stats accumulates the counters of a LineStore stack. It is the shared
+// statistics currency from the controller up through shard.Counters to
+// vcc.Stats: the cache-decorator fields (CacheHits through
+// CoalescedWrites) stay zero for a bare Controller.
 type Stats struct {
 	// LineWrites is the number of cache-line writebacks processed.
 	LineWrites int64
@@ -70,6 +103,71 @@ type Stats struct {
 	// WordsDecoded counts 64-bit words run through the coset decoder on
 	// the read path.
 	WordsDecoded int64
+	// CacheHits counts reads served from a decoded-line cache without
+	// touching the decode+decrypt pipeline (see internal/linecache).
+	CacheHits int64
+	// CacheMisses counts cached reads that had to fall through to the
+	// inner store.
+	CacheMisses int64
+	// CacheEvictions counts lines evicted from a decoded-line cache.
+	CacheEvictions int64
+	// Writebacks counts deferred device writebacks issued by a
+	// write-back cache on eviction or Flush.
+	Writebacks int64
+	// CoalescedWrites counts writes absorbed into an already-dirty
+	// cached line — device work a write-back cache eliminated entirely.
+	CoalescedWrites int64
+}
+
+// Add folds o into s field-wise.
+func (s *Stats) Add(o Stats) {
+	s.LineWrites += o.LineWrites
+	s.EnergyPJ += o.EnergyPJ
+	s.AuxEnergyPJ += o.AuxEnergyPJ
+	s.BitFlips += o.BitFlips
+	s.CellChanges += o.CellChanges
+	s.SAWCells += o.SAWCells
+	s.SAWWords += o.SAWWords
+	s.NewlyFailedCells += o.NewlyFailedCells
+	s.LineReads += o.LineReads
+	s.WordsDecoded += o.WordsDecoded
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvictions += o.CacheEvictions
+	s.Writebacks += o.Writebacks
+	s.CoalescedWrites += o.CoalescedWrites
+}
+
+// HitRate returns CacheHits / (CacheHits + CacheMisses), or 0 before
+// any cached read — the shared definition used by every stats surface
+// (experiment tables, tracegen replay output).
+func (s Stats) HitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// Delta returns s - o field-wise (the statistics accumulated between
+// two snapshots).
+func (s Stats) Delta(o Stats) Stats {
+	return Stats{
+		LineWrites:       s.LineWrites - o.LineWrites,
+		EnergyPJ:         s.EnergyPJ - o.EnergyPJ,
+		AuxEnergyPJ:      s.AuxEnergyPJ - o.AuxEnergyPJ,
+		BitFlips:         s.BitFlips - o.BitFlips,
+		CellChanges:      s.CellChanges - o.CellChanges,
+		SAWCells:         s.SAWCells - o.SAWCells,
+		SAWWords:         s.SAWWords - o.SAWWords,
+		NewlyFailedCells: s.NewlyFailedCells - o.NewlyFailedCells,
+		LineReads:        s.LineReads - o.LineReads,
+		WordsDecoded:     s.WordsDecoded - o.WordsDecoded,
+		CacheHits:        s.CacheHits - o.CacheHits,
+		CacheMisses:      s.CacheMisses - o.CacheMisses,
+		CacheEvictions:   s.CacheEvictions - o.CacheEvictions,
+		Writebacks:       s.Writebacks - o.Writebacks,
+		CoalescedWrites:  s.CoalescedWrites - o.CoalescedWrites,
+	}
 }
 
 // WordOutcome describes one word of a line write.
@@ -83,7 +181,8 @@ type WordOutcome struct {
 	Res pcm.WriteResult
 }
 
-// Controller drives the datapath. It is not safe for concurrent use.
+// Controller drives the datapath. It is the bottom LineStore of every
+// per-shard stack. It is not safe for concurrent use.
 type Controller struct {
 	cfg      Config
 	mlcPlane bool
@@ -92,13 +191,18 @@ type Controller struct {
 	// read paths perform no heap allocations: the encrypted-line buffer,
 	// the word-packing buffer, the per-word outcome array and one coset
 	// evaluator rebound (Reset) per word instead of reallocated.
+	// words is shared by the write path (packing the encrypted line) and
+	// the read path (collecting decoded words); the controller is
+	// single-threaded per shard, so the two never overlap.
 	lineBuf [cryptmem.LineSize]byte
 	words   [WordsPerLine]uint64
 	outc    [WordsPerLine]WordOutcome
 	ev      coset.Evaluator
 
-	Stats Stats
+	stats Stats
 }
+
+var _ LineStore = (*Controller)(nil)
 
 // New builds a controller, validating geometry.
 func New(cfg Config) (*Controller, error) {
@@ -213,18 +317,18 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 		auxE := energy.AuxBitsEnergy(mode, c.aux[w], aux, c.cfg.Codec.AuxBits())
 		c.aux[w] = aux
 
-		c.Stats.EnergyPJ += res.EnergyPJ + auxE
-		c.Stats.AuxEnergyPJ += auxE
-		c.Stats.BitFlips += int64(res.BitFlips)
-		c.Stats.CellChanges += int64(res.CellChanges)
-		c.Stats.SAWCells += int64(res.SAWCells)
+		c.stats.EnergyPJ += res.EnergyPJ + auxE
+		c.stats.AuxEnergyPJ += auxE
+		c.stats.BitFlips += int64(res.BitFlips)
+		c.stats.CellChanges += int64(res.CellChanges)
+		c.stats.SAWCells += int64(res.SAWCells)
 		if res.SAWCells > 0 {
-			c.Stats.SAWWords++
+			c.stats.SAWWords++
 		}
-		c.Stats.NewlyFailedCells += int64(res.NewlyFailed)
+		c.stats.NewlyFailedCells += int64(res.NewlyFailed)
 		c.outc[col] = WordOutcome{Word: w, SAWCells: res.SAWCells, Res: res}
 	}
-	c.Stats.LineWrites++
+	c.stats.LineWrites++
 	return c.outc[:]
 }
 
@@ -240,26 +344,32 @@ func (c *Controller) ReadLine(line int, dst []byte) []byte {
 		panic("memctrl: ReadLine needs a 64-byte buffer")
 	}
 	dev := c.cfg.Device
-	var words [WordsPerLine]uint64
 	for col := 0; col < WordsPerLine; col++ {
 		w := line*WordsPerLine + col
 		stored := dev.Read(w)
 		if c.mlcPlane {
 			left, right := bitutil.SplitPlanes(stored)
 			plane := c.cfg.Codec.Decode(right, c.aux[w], left)
-			words[col] = bitutil.MergePlanes(left, plane)
+			c.words[col] = bitutil.MergePlanes(left, plane)
 		} else {
-			words[col] = c.cfg.Codec.Decode(stored, c.aux[w], 0)
+			c.words[col] = c.cfg.Codec.Decode(stored, c.aux[w], 0)
 		}
 	}
-	bitutil.WordsToBytesInto(dst, words[:])
+	bitutil.WordsToBytesInto(dst, c.words[:])
 	if c.cfg.Crypt != nil {
 		c.cfg.Crypt.DecryptLine(line, c.cfg.Crypt.Counter(line), dst, dst)
 	}
-	c.Stats.LineReads++
-	c.Stats.WordsDecoded += WordsPerLine
+	c.stats.LineReads++
+	c.stats.WordsDecoded += WordsPerLine
 	return dst
 }
 
+// Flush implements LineStore; the controller writes through, so there is
+// nothing to flush.
+func (c *Controller) Flush() {}
+
+// Stats returns the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
 // ResetStats zeroes the accumulated statistics.
-func (c *Controller) ResetStats() { c.Stats = Stats{} }
+func (c *Controller) ResetStats() { c.stats = Stats{} }

@@ -112,7 +112,7 @@ func TestVCCSavesEnergyVsUnencoded(t *testing.T) {
 			rng.Fill(pt)
 			ctrl.WriteLine(int(rng.Uint64n(uint64(ctrl.NumLines()))), pt)
 		}
-		return ctrl.Stats.EnergyPJ
+		return ctrl.Stats().EnergyPJ
 	}
 	eID := run(coset.NewIdentity(64))
 	eVCC := run(coset.NewVCCGenerated(16, 256))
@@ -138,7 +138,7 @@ func TestSAWReducedByVCC(t *testing.T) {
 			rng.Fill(pt)
 			ctrl.WriteLine(int(rng.Uint64n(uint64(ctrl.NumLines()))), pt)
 		}
-		return ctrl.Stats.SAWCells
+		return ctrl.Stats().SAWCells
 	}
 	sID := run(coset.NewIdentity(64))
 	if sID == 0 {
@@ -166,17 +166,17 @@ func TestSAWReducedByVCC(t *testing.T) {
 func TestStatsAccumulate(t *testing.T) {
 	ctrl := newMLCController(t, coset.NewVCCGenerated(16, 64), coset.ObjEnergySAW, nil)
 	ctrl.WriteLine(0, linePattern(1))
-	if ctrl.Stats.LineWrites != 1 {
+	if ctrl.Stats().LineWrites != 1 {
 		t.Error("line writes not counted")
 	}
-	if ctrl.Stats.EnergyPJ <= 0 {
+	if ctrl.Stats().EnergyPJ <= 0 {
 		t.Error("no energy recorded")
 	}
-	if ctrl.Stats.EnergyPJ < ctrl.Stats.AuxEnergyPJ {
+	if ctrl.Stats().EnergyPJ < ctrl.Stats().AuxEnergyPJ {
 		t.Error("aux energy exceeds total")
 	}
 	ctrl.ResetStats()
-	if ctrl.Stats.LineWrites != 0 {
+	if ctrl.Stats().LineWrites != 0 {
 		t.Error("reset failed")
 	}
 }
@@ -257,12 +257,12 @@ func TestFaultRepoVisibility(t *testing.T) {
 	var early, late int64
 	const passes = 6
 	for p := 0; p < passes; p++ {
-		before := ctrl.Stats.SAWCells
+		before := ctrl.Stats().SAWCells
 		for l := 0; l < ctrl.NumLines(); l++ {
 			rng.Fill(buf)
 			ctrl.WriteLine(l, buf)
 		}
-		delta := ctrl.Stats.SAWCells - before
+		delta := ctrl.Stats().SAWCells - before
 		if p == 0 {
 			early = delta
 		}

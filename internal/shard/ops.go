@@ -109,23 +109,24 @@ func (e *Engine) putPlan(p *plan) {
 func (p *plan) runShard(s int) {
 	e := p.e
 	b := e.backends[s]
-	before := b.Ctrl.Stats
+	before := b.Store.Stats()
 	for _, i := range p.byShard[s] {
 		op := &p.ops[i]
 		local := e.part.LocalOf(op.Line)
 		if op.Kind == OpWrite {
 			p.out[i] = Outcome{SAWCells: b.WriteLine(local, op.Data)}
 		} else {
-			p.out[i] = Outcome{Data: b.Ctrl.ReadLine(local, op.Data)}
+			p.out[i] = Outcome{Data: b.Store.ReadLine(local, op.Data)}
 		}
 	}
-	e.live.add(statsDelta(b.Ctrl.Stats, before))
+	e.live.add(b.Store.Stats().Delta(before))
 }
 
 // worker serves the persistent pool: it claims tasks until the jobs
 // channel closes, taking the shard lock around each one.
-func (e *Engine) worker() {
-	for t := range e.jobs {
+func worker(jobs <-chan task) {
+	for t := range jobs {
+		e := t.p.e
 		e.mu[t.shard].Lock()
 		t.p.runShard(t.shard)
 		e.mu[t.shard].Unlock()

@@ -5,6 +5,14 @@
 // coset codec instance and PRNG streams derived from the master seed —
 // so shards share no mutable state whatsoever.
 //
+// Each shard's pipeline is assembled as a memctrl.LineStore stack: the
+// controller at the bottom, optionally decorated by a per-shard
+// decoded-line cache (internal/linecache) when the configuration asks
+// for one. The engine dispatches every operation against the top of the
+// stack, so enabling the cache changes no dispatch code anywhere — and
+// with the cache disabled the stack is exactly the bare controller,
+// bit-identical to the pre-cache engine.
+//
 // Batches are dispatched over a bounded worker pool. A shard is only
 // ever touched by one worker at a time (a per-shard mutex enforces
 // this), and within a batch each shard processes its requests in the
@@ -34,6 +42,7 @@ import (
 
 	"repro/internal/coset"
 	"repro/internal/cryptmem"
+	"repro/internal/linecache"
 	"repro/internal/memctrl"
 	"repro/internal/pcm"
 	"repro/internal/prng"
@@ -97,11 +106,24 @@ type BackendConfig struct {
 	EnduranceCoV float64
 	// Seed drives all stochastic initialization of this shard.
 	Seed uint64
+	// CacheLines, when positive, fronts the controller with a
+	// decoded-line LRU cache of that many 64-byte lines
+	// (internal/linecache). 0 leaves the stack as the bare controller.
+	CacheLines int
+	// CachePolicy selects the cache's write policy (write-through by
+	// default); meaningful only with CacheLines > 0.
+	CachePolicy linecache.Policy
 }
 
-// Backend is one shard's fully-assembled pipeline. It is not safe for
-// concurrent use; the Engine serializes access per shard.
+// Backend is one shard's fully-assembled pipeline, a LineStore stack.
+// It is not safe for concurrent use; the Engine serializes access per
+// shard.
 type Backend struct {
+	// Store is the top of the stack — the cache when one is configured,
+	// the controller otherwise. All I/O dispatches through it.
+	Store memctrl.LineStore
+	// Ctrl is the bottom of the stack, the controller that owns the
+	// device datapath.
 	Ctrl *memctrl.Controller
 	Dev  *pcm.Device
 }
@@ -154,14 +176,28 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{Ctrl: ctrl, Dev: dev}, nil
+	b := &Backend{Store: ctrl, Ctrl: ctrl, Dev: dev}
+	if cfg.CacheLines > 0 {
+		cache, err := linecache.New(linecache.Config{
+			Inner:  ctrl,
+			Lines:  cfg.CacheLines,
+			Policy: cfg.CachePolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Store = cache
+	}
+	return b, nil
 }
 
 // WriteLine writes one line at a shard-local index and returns the
-// stuck-at-wrong cell count of the stored result.
+// stuck-at-wrong cell count of the stored result. Under a write-back
+// cache a deferred write returns 0: its SAW cells materialize on
+// eviction or Flush and are visible through Stats only.
 func (b *Backend) WriteLine(local int, data []byte) int {
 	saw := 0
-	for _, o := range b.Ctrl.WriteLine(local, data) {
+	for _, o := range b.Store.WriteLine(local, data) {
 		saw += o.SAWCells
 	}
 	return saw
@@ -200,6 +236,13 @@ type Config struct {
 	// Seed is the master seed. With one shard it is used directly; with
 	// more, each shard derives a decorrelated child seed from it.
 	Seed uint64
+	// CacheLines, when positive, gives every shard a decoded-line LRU
+	// cache of that many lines in front of its controller. 0 disables
+	// caching (the stack is then bit-identical to the pre-cache engine).
+	CacheLines int
+	// CachePolicy selects write-through (default) or write-back for the
+	// per-shard caches.
+	CachePolicy linecache.Policy
 }
 
 // ShardSeed returns the seed for shard i of n derived from the master
@@ -248,14 +291,20 @@ type ReadReq struct {
 }
 
 // Counters is a point-in-time snapshot of engine-wide totals, merged
-// lock-free from per-shard deltas (see Engine.Counters).
+// lock-free from per-shard deltas (see Engine.Counters). The cache
+// fields stay zero on an uncached engine.
 type Counters struct {
-	LineWrites  int64
-	LineReads   int64
-	EnergyPJ    float64
-	BitFlips    int64
-	CellChanges int64
-	SAWCells    int64
+	LineWrites      int64
+	LineReads       int64
+	EnergyPJ        float64
+	BitFlips        int64
+	CellChanges     int64
+	SAWCells        int64
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEvictions  int64
+	Writebacks      int64
+	CoalescedWrites int64
 }
 
 // counters is the atomic accumulator behind Counters. Integer fields
@@ -267,6 +316,11 @@ type counters struct {
 	bitFlips    atomic.Int64
 	cellChanges atomic.Int64
 	sawCells    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	evictions   atomic.Int64
+	writebacks  atomic.Int64
+	coalesced   atomic.Int64
 	energyBits  atomic.Uint64
 }
 
@@ -276,6 +330,11 @@ func (c *counters) add(d memctrl.Stats) {
 	c.bitFlips.Add(d.BitFlips)
 	c.cellChanges.Add(d.CellChanges)
 	c.sawCells.Add(d.SAWCells)
+	c.cacheHits.Add(d.CacheHits)
+	c.cacheMisses.Add(d.CacheMisses)
+	c.evictions.Add(d.CacheEvictions)
+	c.writebacks.Add(d.Writebacks)
+	c.coalesced.Add(d.CoalescedWrites)
 	for {
 		old := c.energyBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + d.EnergyPJ)
@@ -287,12 +346,17 @@ func (c *counters) add(d memctrl.Stats) {
 
 func (c *counters) snapshot() Counters {
 	return Counters{
-		LineWrites:  c.lineWrites.Load(),
-		LineReads:   c.lineReads.Load(),
-		EnergyPJ:    math.Float64frombits(c.energyBits.Load()),
-		BitFlips:    c.bitFlips.Load(),
-		CellChanges: c.cellChanges.Load(),
-		SAWCells:    c.sawCells.Load(),
+		LineWrites:      c.lineWrites.Load(),
+		LineReads:       c.lineReads.Load(),
+		EnergyPJ:        math.Float64frombits(c.energyBits.Load()),
+		BitFlips:        c.bitFlips.Load(),
+		CellChanges:     c.cellChanges.Load(),
+		SAWCells:        c.sawCells.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		CacheMisses:     c.cacheMisses.Load(),
+		CacheEvictions:  c.evictions.Load(),
+		Writebacks:      c.writebacks.Load(),
+		CoalescedWrites: c.coalesced.Load(),
 	}
 }
 
@@ -302,6 +366,11 @@ func (c *counters) reset() {
 	c.bitFlips.Store(0)
 	c.cellChanges.Store(0)
 	c.sawCells.Store(0)
+	c.cacheHits.Store(0)
+	c.cacheMisses.Store(0)
+	c.evictions.Store(0)
+	c.writebacks.Store(0)
+	c.coalesced.Store(0)
 	c.energyBits.Store(0)
 }
 
@@ -356,6 +425,8 @@ func New(cfg Config) (*Engine, error) {
 			EnduranceWrites:   cfg.EnduranceWrites,
 			EnduranceCoV:      cfg.EnduranceCoV,
 			Seed:              ShardSeed(cfg.Seed, i, shards),
+			CacheLines:        cfg.CacheLines,
+			CachePolicy:       cfg.CachePolicy,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -377,17 +448,39 @@ func New(cfg Config) (*Engine, error) {
 		// the workers when an engine is torn down mid-process.
 		e.jobs = make(chan task, shards)
 		for w := 0; w < workers; w++ {
-			go e.worker()
+			// Workers receive the channel by value: a worker that never
+			// claims a task has no synchronization edge with the rest of
+			// the engine, so it must not read the e.jobs field that Close
+			// overwrites.
+			go worker(e.jobs)
 		}
 	}
 	return e, nil
 }
 
-// Close shuts down the persistent worker pool. It must not be called
-// concurrently with other methods; after Close the engine remains
-// usable, falling back to single-threaded dispatch. Engines that live
-// for the whole process need not be closed.
+// Flush forces every shard's deferred writes (dirty write-back cache
+// lines) down to its device, folding the resulting statistics into the
+// live counters. It is a no-op on uncached and write-through engines.
+// Safe for concurrent use; each shard flushes under its own lock.
+func (e *Engine) Flush() {
+	for i, b := range e.backends {
+		e.mu[i].Lock()
+		before := b.Store.Stats()
+		b.Store.Flush()
+		delta := b.Store.Stats().Delta(before)
+		e.mu[i].Unlock()
+		e.live.add(delta)
+	}
+}
+
+// Close flushes deferred writes and shuts down the persistent worker
+// pool. It must not be called concurrently with other methods; after
+// Close the engine remains usable, falling back to single-threaded
+// dispatch. Engines that live for the whole process need not be closed —
+// but write-back cached engines must be Flushed (or Closed) before the
+// device state is inspected.
 func (e *Engine) Close() {
+	e.Flush()
 	if e.jobs != nil {
 		close(e.jobs)
 		e.jobs = nil
@@ -425,9 +518,9 @@ func (e *Engine) Write(line int, data []byte) (int, error) {
 	s := e.part.ShardOf(line)
 	e.mu[s].Lock()
 	b := e.backends[s]
-	before := b.Ctrl.Stats
+	before := b.Store.Stats()
 	saw := b.WriteLine(e.part.LocalOf(line), data)
-	delta := statsDelta(b.Ctrl.Stats, before)
+	delta := b.Store.Stats().Delta(before)
 	e.mu[s].Unlock()
 	e.live.add(delta)
 	return saw, nil
@@ -444,9 +537,9 @@ func (e *Engine) Read(line int, dst []byte) ([]byte, error) {
 	s := e.part.ShardOf(line)
 	e.mu[s].Lock()
 	b := e.backends[s]
-	before := b.Ctrl.Stats
-	out := b.Ctrl.ReadLine(e.part.LocalOf(line), dst)
-	delta := statsDelta(b.Ctrl.Stats, before)
+	before := b.Store.Stats()
+	out := b.Store.ReadLine(e.part.LocalOf(line), dst)
+	delta := b.Store.Stats().Delta(before)
 	e.mu[s].Unlock()
 	e.live.add(delta)
 	return out, nil
@@ -495,50 +588,25 @@ func (e *Engine) ReadBatch(reqs []ReadReq) ([][]byte, error) {
 	return out, nil
 }
 
-// statsDelta returns after - before, field-wise.
-func statsDelta(after, before memctrl.Stats) memctrl.Stats {
-	return memctrl.Stats{
-		LineWrites:       after.LineWrites - before.LineWrites,
-		EnergyPJ:         after.EnergyPJ - before.EnergyPJ,
-		AuxEnergyPJ:      after.AuxEnergyPJ - before.AuxEnergyPJ,
-		BitFlips:         after.BitFlips - before.BitFlips,
-		CellChanges:      after.CellChanges - before.CellChanges,
-		SAWCells:         after.SAWCells - before.SAWCells,
-		SAWWords:         after.SAWWords - before.SAWWords,
-		NewlyFailedCells: after.NewlyFailedCells - before.NewlyFailedCells,
-		LineReads:        after.LineReads - before.LineReads,
-		WordsDecoded:     after.WordsDecoded - before.WordsDecoded,
-	}
-}
-
-// Stats returns the exact merged controller statistics across shards,
-// taking each shard's lock in turn. With one shard this is the
+// Stats returns the exact merged store-stack statistics across shards,
+// taking each shard's lock in turn. With one uncached shard this is the
 // controller's Stats verbatim (bit-identical to the sequential engine).
 func (e *Engine) Stats() memctrl.Stats {
 	var total memctrl.Stats
 	for i, b := range e.backends {
 		e.mu[i].Lock()
-		s := b.Ctrl.Stats
+		s := b.Store.Stats()
 		e.mu[i].Unlock()
-		total.LineWrites += s.LineWrites
-		total.EnergyPJ += s.EnergyPJ
-		total.AuxEnergyPJ += s.AuxEnergyPJ
-		total.BitFlips += s.BitFlips
-		total.CellChanges += s.CellChanges
-		total.SAWCells += s.SAWCells
-		total.SAWWords += s.SAWWords
-		total.NewlyFailedCells += s.NewlyFailedCells
-		total.LineReads += s.LineReads
-		total.WordsDecoded += s.WordsDecoded
+		total.Add(s)
 	}
 	return total
 }
 
-// ShardStats returns shard s's controller statistics.
+// ShardStats returns shard s's store-stack statistics.
 func (e *Engine) ShardStats(s int) memctrl.Stats {
 	e.mu[s].Lock()
 	defer e.mu[s].Unlock()
-	return e.backends[s].Ctrl.Stats
+	return e.backends[s].Store.Stats()
 }
 
 // Counters returns the live lock-free totals. Unlike Stats it never
@@ -569,12 +637,12 @@ func (e *Engine) StuckCells() int {
 	return total
 }
 
-// ResetStats clears controller statistics and live counters (device
-// state is untouched).
+// ResetStats clears store-stack statistics and live counters (device
+// and cache contents are untouched).
 func (e *Engine) ResetStats() {
 	for i, b := range e.backends {
 		e.mu[i].Lock()
-		b.Ctrl.ResetStats()
+		b.Store.ResetStats()
 		e.mu[i].Unlock()
 	}
 	e.live.reset()

@@ -2,6 +2,7 @@ package vcc
 
 import (
 	"repro/internal/coset"
+	"repro/internal/linecache"
 	"repro/internal/shard"
 )
 
@@ -28,6 +29,22 @@ const (
 // LiveCounters is a lock-free snapshot of engine-wide read and write
 // totals, pollable while batches are in flight.
 type LiveCounters = shard.Counters
+
+// CachePolicy selects how the optional decoded-line cache handles
+// writes (see ShardedMemoryConfig.CacheLines).
+type CachePolicy = linecache.Policy
+
+// Cache write policies.
+const (
+	// WriteThrough sends every write to the device immediately; cache
+	// hits only skip decode+decrypt on reads. Device state is
+	// bit-identical to running uncached.
+	WriteThrough = linecache.WriteThrough
+	// WriteBack defers the device write (encode+encrypt+RMW) until
+	// eviction or Flush, coalescing repeated writes to hot lines into
+	// one device writeback.
+	WriteBack = linecache.WriteBack
+)
 
 // ShardedMemoryConfig assembles a sharded, concurrency-safe memory.
 type ShardedMemoryConfig struct {
@@ -64,6 +81,16 @@ type ShardedMemoryConfig struct {
 	// Seed is the master seed; shards derive decorrelated child seeds
 	// from it (the single-shard configuration uses it directly).
 	Seed uint64
+	// CacheLines, when positive, fronts every shard's controller with a
+	// per-shard LRU cache of that many decoded 64-byte plaintext lines
+	// (internal/linecache): read hits skip the decode+decrypt pipeline
+	// entirely. 0 disables caching, leaving the engine bit-identical to
+	// previous behavior.
+	CacheLines int
+	// CachePolicy selects WriteThrough (default) or WriteBack for the
+	// per-shard caches; meaningful only with CacheLines > 0. WriteBack
+	// defers device writebacks until eviction, Flush or Close.
+	CachePolicy CachePolicy
 }
 
 // ShardedMemory is the concurrent variant of Memory: the line address
@@ -96,6 +123,8 @@ func NewShardedMemory(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
 		EnduranceWrites:   cfg.EnduranceWrites,
 		EnduranceCoV:      cfg.EnduranceCoV,
 		Seed:              cfg.Seed,
+		CacheLines:        cfg.CacheLines,
+		CachePolicy:       cfg.CachePolicy,
 	})
 	if err != nil {
 		return nil, err
@@ -151,23 +180,36 @@ func (m *ShardedMemory) ReadBatch(reqs []ReadRequest) ([][]byte, error) {
 	return m.eng.ReadBatch(reqs)
 }
 
-// Close releases the engine's persistent worker pool. It must not be
-// called concurrently with other methods; the memory remains usable
-// afterwards on the single-threaded dispatch path. Memories that live
-// for the whole process need not be closed.
+// Flush forces deferred writes (dirty write-back cache lines) down to
+// the devices. It is a no-op without a cache or under WriteThrough;
+// with WriteBack the device state only reflects every Apply'd write
+// after a Flush (or Close). Safe for concurrent use.
+func (m *ShardedMemory) Flush() { m.eng.Flush() }
+
+// Close flushes deferred writes and releases the engine's persistent
+// worker pool. It must not be called concurrently with other methods;
+// the memory remains usable afterwards on the single-threaded dispatch
+// path. Uncached memories that live for the whole process need not be
+// closed; write-back cached ones should be Flushed or Closed before
+// their final statistics are read.
 func (m *ShardedMemory) Close() { m.eng.Close() }
 
 // Stats returns exact statistics merged across all shards.
 func (m *ShardedMemory) Stats() Stats {
 	s := m.eng.Stats()
 	return Stats{
-		LineWrites:  s.LineWrites,
-		LineReads:   s.LineReads,
-		EnergyPJ:    s.EnergyPJ,
-		BitFlips:    s.BitFlips,
-		CellChanges: s.CellChanges,
-		SAWCells:    s.SAWCells,
-		FailedCells: m.eng.FailedCells(),
+		LineWrites:      s.LineWrites,
+		LineReads:       s.LineReads,
+		EnergyPJ:        s.EnergyPJ,
+		BitFlips:        s.BitFlips,
+		CellChanges:     s.CellChanges,
+		SAWCells:        s.SAWCells,
+		FailedCells:     m.eng.FailedCells(),
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		CacheEvictions:  s.CacheEvictions,
+		Writebacks:      s.Writebacks,
+		CoalescedWrites: s.CoalescedWrites,
 	}
 }
 
@@ -176,12 +218,17 @@ func (m *ShardedMemory) Stats() Stats {
 func (m *ShardedMemory) ShardStats(s int) Stats {
 	st := m.eng.ShardStats(s)
 	return Stats{
-		LineWrites:  st.LineWrites,
-		LineReads:   st.LineReads,
-		EnergyPJ:    st.EnergyPJ,
-		BitFlips:    st.BitFlips,
-		CellChanges: st.CellChanges,
-		SAWCells:    st.SAWCells,
+		LineWrites:      st.LineWrites,
+		LineReads:       st.LineReads,
+		EnergyPJ:        st.EnergyPJ,
+		BitFlips:        st.BitFlips,
+		CellChanges:     st.CellChanges,
+		SAWCells:        st.SAWCells,
+		CacheHits:       st.CacheHits,
+		CacheMisses:     st.CacheMisses,
+		CacheEvictions:  st.CacheEvictions,
+		Writebacks:      st.Writebacks,
+		CoalescedWrites: st.CoalescedWrites,
 	}
 }
 

@@ -147,6 +147,22 @@ type Stats struct {
 	SAWCells int64
 	// FailedCells is the number of cells whose endurance is exhausted.
 	FailedCells int64
+	// CacheHits counts reads served from the decoded-line cache without
+	// running decode+decrypt (always 0 without a cache; see
+	// ShardedMemoryConfig.CacheLines).
+	CacheHits int64
+	// CacheMisses counts cached reads that fell through to the device
+	// pipeline.
+	CacheMisses int64
+	// CacheEvictions counts lines evicted from the decoded-line cache —
+	// the capacity-pressure signal for sizing CacheLines.
+	CacheEvictions int64
+	// Writebacks counts deferred device writebacks issued by the
+	// write-back cache policy on eviction or Flush.
+	Writebacks int64
+	// CoalescedWrites counts writes absorbed into an already-dirty
+	// cached line — device writebacks the write-back policy eliminated.
+	CoalescedWrites int64
 }
 
 // NewMemory builds a Memory from cfg. The pipeline assembly lives in
@@ -213,7 +229,7 @@ func (m *Memory) Read(line int, dst []byte) ([]byte, error) {
 
 // Stats returns accumulated statistics.
 func (m *Memory) Stats() Stats {
-	s := m.ctrl.Stats
+	s := m.ctrl.Stats()
 	var failed int64
 	if w := m.dev.Config().Wear; w != nil {
 		failed = int64(w.FailedCells())
