@@ -85,3 +85,89 @@ func TestApplySteadyStateAllocs(t *testing.T) {
 		}
 	}
 }
+
+// testSteadyStateAllocsAsync pins the pipelined Submit/Wait path at
+// zero steady-state heap allocations per rotation: depth slots each own
+// their op and outcome buffers, and one measured run submits every slot
+// and waits the oldest, exactly like a pipelined producer loop.
+func testSteadyStateAllocsAsync(t *testing.T, cfg ShardedMemoryConfig, readFrac float64, depth int) {
+	t.Helper()
+	m, err := NewShardedMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	sess := m.Session()
+	const batch = 64
+	type slot struct {
+		ops []Op
+		out []Outcome
+		tk  *Ticket
+	}
+	slots := make([]slot, depth)
+	for i := range slots {
+		slots[i].ops = allocGuardOps(batch, cfg.Lines, readFrac, uint64(3+i))
+		slots[i].out = make([]Outcome, batch)
+	}
+	rotate := func() {
+		for i := range slots {
+			sl := &slots[i]
+			if sl.tk != nil {
+				if _, err := sl.tk.Wait(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tk, err := sess.Submit(sl.ops, sl.out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sl.tk = tk
+		}
+	}
+	drain := func() {
+		for i := range slots {
+			if slots[i].tk != nil {
+				if _, err := slots[i].tk.Wait(); err != nil {
+					t.Fatal(err)
+				}
+				slots[i].tk = nil
+			}
+		}
+	}
+	// Warm the ticket pool, per-shard scratch and (when configured) the
+	// cache at full pipeline depth.
+	rotate()
+	rotate()
+	avg := testing.AllocsPerRun(20, rotate)
+	drain()
+	if avg != 0 {
+		t.Errorf("shards=%d cache=%d/%v readfrac=%.2f depth=%d: steady-state Submit/Wait allocates %.2f/rotation, want 0",
+			cfg.Shards, cfg.CacheLines, cfg.CachePolicy, readFrac, depth, avg)
+	}
+}
+
+// TestSubmitSteadyStateAllocs extends the 0-alloc guarantee to the
+// asynchronous path: pooled tickets plus recycled per-slot buffers keep
+// a pipelined producer at zero allocations per rotation, uncached and
+// behind both cache policies, at one shard and across four.
+func TestSubmitSteadyStateAllocs(t *testing.T) {
+	base := func(shards int) ShardedMemoryConfig {
+		return ShardedMemoryConfig{
+			Lines: 1 << 10, Shards: shards, Workers: shards, Seed: 1,
+			NewEncoder: func() Encoder { return NewVCCEncoder(256) },
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		for _, readFrac := range []float64{0, 0.5} {
+			cfg := base(shards)
+			testSteadyStateAllocsAsync(t, cfg, readFrac, 4)
+
+			cached := cfg
+			cached.CacheLines = 32
+			for _, policy := range []CachePolicy{WriteThrough, WriteBack} {
+				cached.CachePolicy = policy
+				testSteadyStateAllocsAsync(t, cached, readFrac, 4)
+			}
+		}
+	}
+}

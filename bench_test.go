@@ -62,6 +62,7 @@ func BenchmarkAblateCAFO(b *testing.B)       { benchExperiment(b, "ablate-cafo")
 func BenchmarkShardReplay(b *testing.B)      { benchExperiment(b, "shard-replay") }
 func BenchmarkWorkloadSweep(b *testing.B)    { benchExperiment(b, "workload-sweep") }
 func BenchmarkCacheSweep(b *testing.B)       { benchExperiment(b, "cache-sweep") }
+func BenchmarkAsyncSweep(b *testing.B)       { benchExperiment(b, "async-sweep") }
 
 // --- encoder micro-benchmarks -----------------------------------------
 
@@ -324,6 +325,88 @@ func BenchmarkShardedCached(b *testing.B) {
 				st := mem.Stats()
 				if variant.cacheLines > 0 && st.CacheHits+st.CacheMisses > 0 {
 					b.ReportMetric(100*float64(st.CacheHits)/float64(st.CacheHits+st.CacheMisses), "hit%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedAsync measures the pipelined Submit/Wait path (VCC
+// 256, MLC, mixed 0.5 read fraction) across in-flight depths and shard
+// counts: each iteration submits one batch and waits only for the
+// oldest in-flight ticket, exactly like a pipelined producer. Depth 1
+// is the synchronous baseline (Submit immediately followed by Wait).
+// With ReportAllocs the steady state must measure 0 allocs/op — the
+// pooled-ticket acceptance criterion (also pinned by
+// TestSubmitSteadyStateAllocs). Producer/consumer overlap only shows
+// wall-clock gains on multi-core hosts; on one core the deeper
+// pipelines just document the queue-handoff overhead.
+func BenchmarkShardedAsync(b *testing.B) {
+	const (
+		lines     = 1 << 13
+		batchSize = 1024
+	)
+	for _, depth := range []int{1, 4, 16} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("inflight=%d/shards=%d", depth, shards), func(b *testing.B) {
+				mem, err := NewShardedMemory(ShardedMemoryConfig{
+					Lines: lines, Shards: shards, Workers: shards, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer mem.Close()
+				sess := mem.Session()
+				rng := prng.New(3)
+				type slot struct {
+					ops []Op
+					out []Outcome
+					tk  *Ticket
+				}
+				slots := make([]slot, depth)
+				for s := range slots {
+					slots[s].ops = make([]Op, batchSize)
+					slots[s].out = make([]Outcome, batchSize)
+					for i := range slots[s].ops {
+						data := make([]byte, LineSize)
+						rng.Fill(data)
+						kind := OpWrite
+						if rng.Float64() < 0.5 {
+							kind = OpRead
+						}
+						slots[s].ops[i] = Op{Kind: kind, Line: (s*batchSize + i*7) % lines, Data: data}
+					}
+				}
+				rotate := func(s int) {
+					sl := &slots[s%depth]
+					if sl.tk != nil {
+						if _, err := sl.tk.Wait(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					tk, err := sess.Submit(sl.ops, sl.out)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sl.tk = tk
+				}
+				for s := 0; s < 2*depth; s++ { // warm tickets, plans and pipeline
+					rotate(s)
+				}
+				b.SetBytes(int64(batchSize) * LineSize)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rotate(i)
+				}
+				b.StopTimer()
+				for s := range slots {
+					if slots[s].tk != nil {
+						if _, err := slots[s].tk.Wait(); err != nil {
+							b.Fatal(err)
+						}
+						slots[s].tk = nil
+					}
 				}
 			})
 		}

@@ -12,6 +12,7 @@
 //	tracegen -replay -in lbm.vcct -shards 8 -encoder rcc
 //	tracegen -bench mcf_s -n 100000 -replay -readfrac -1   # mixed ops at the spec's read fraction
 //	tracegen -replay -mix "seq:0.5,zipf:0.4,chase:0.1" -readfrac 0.6 -n 100000
+//	tracegen -bench lbm_s -n 100000 -replay -shards 4 -async -inflight 8
 //
 // Replay mode drives the access stream through the full
 // encrypt-encode-program pipeline of a vcc.ShardedMemory equivalent
@@ -22,6 +23,12 @@
 // patterns seq, zipf, stride and chase). -readfrac interleaves reads
 // into any of the three; with -bench, -readfrac -1 uses the
 // benchmark's own characterized read fraction.
+//
+// -async replays the identical stream twice — a synchronous Apply
+// baseline and a pipelined run keeping -inflight tickets in flight
+// through the engine's issue queues — and reports the throughput split
+// plus a bit-identity check of the two runs' statistics. Pipelining
+// only gains wall clock on multi-core hosts.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 
 	"repro/internal/coset"
 	"repro/internal/linecache"
+	"repro/internal/memctrl"
 	"repro/internal/prng"
 	"repro/internal/shard"
 	"repro/internal/trace"
@@ -44,28 +52,30 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available benchmarks")
-		bench   = flag.String("bench", "", "benchmark name")
-		n       = flag.Int("n", 100000, "number of writeback records")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		out     = flag.String("o", "", "output file (default <bench>.vcct)")
-		stats   = flag.Bool("stats", false, "print address-stream statistics instead of writing a file")
-		replay  = flag.Bool("replay", false, "replay the trace through the sharded memory engine")
-		in      = flag.String("in", "", "replay a saved .vcct file instead of generating")
-		mix     = flag.String("mix", "", "replay a synthetic workload mixture, e.g. \"seq:0.5,zipf:0.4,chase:0.1\" (patterns: seq, zipf, stride, chase)")
-		rfrac   = flag.Float64("readfrac", 0, "replay: fraction of ops issued as reads; -1 = the benchmark spec's characterized read fraction")
-		zipfS   = flag.Float64("zipfs", 1.2, "replay -mix: Zipf skew of the zipf pattern")
-		stride  = flag.Int("stride", 64, "replay -mix: stride of the stride pattern")
-		shards  = flag.Int("shards", 1, "replay: shard count")
-		workers = flag.Int("workers", 0, "replay: worker pool bound (default min(shards, GOMAXPROCS))")
-		memLine = flag.Int("lines", 1<<16, "replay: memory capacity in cache lines")
-		batch   = flag.Int("batch", 256, "replay: writes per dispatched batch")
-		encoder = flag.String("encoder", "vcc", "replay: vcc|vccgen|rcc|fnw|flipcy|none")
-		fault   = flag.Float64("fault", 0, "replay: per-cell stuck-at fault rate")
-		slc     = flag.Bool("slc", false, "replay: single-level cells instead of MLC")
-		cache   = flag.Bool("cache", false, "replay: front each shard with a decoded-line LRU cache")
-		cacheLn = flag.Int("cachelines", 1024, "replay -cache: per-shard cache capacity in lines")
-		cachePl = flag.String("cachepolicy", "wt", "replay -cache: write policy, writethrough|wt|writeback|wb")
+		list     = flag.Bool("list", false, "list available benchmarks")
+		bench    = flag.String("bench", "", "benchmark name")
+		n        = flag.Int("n", 100000, "number of writeback records")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output file (default <bench>.vcct)")
+		stats    = flag.Bool("stats", false, "print address-stream statistics instead of writing a file")
+		replay   = flag.Bool("replay", false, "replay the trace through the sharded memory engine")
+		in       = flag.String("in", "", "replay a saved .vcct file instead of generating")
+		mix      = flag.String("mix", "", "replay a synthetic workload mixture, e.g. \"seq:0.5,zipf:0.4,chase:0.1\" (patterns: seq, zipf, stride, chase)")
+		rfrac    = flag.Float64("readfrac", 0, "replay: fraction of ops issued as reads; -1 = the benchmark spec's characterized read fraction")
+		zipfS    = flag.Float64("zipfs", 1.2, "replay -mix: Zipf skew of the zipf pattern")
+		stride   = flag.Int("stride", 64, "replay -mix: stride of the stride pattern")
+		shards   = flag.Int("shards", 1, "replay: shard count")
+		workers  = flag.Int("workers", 0, "replay: worker pool bound (default min(shards, GOMAXPROCS))")
+		memLine  = flag.Int("lines", 1<<16, "replay: memory capacity in cache lines")
+		batch    = flag.Int("batch", 256, "replay: writes per dispatched batch")
+		encoder  = flag.String("encoder", "vcc", "replay: vcc|vccgen|rcc|fnw|flipcy|none")
+		fault    = flag.Float64("fault", 0, "replay: per-cell stuck-at fault rate")
+		slc      = flag.Bool("slc", false, "replay: single-level cells instead of MLC")
+		cache    = flag.Bool("cache", false, "replay: front each shard with a decoded-line LRU cache")
+		cacheLn  = flag.Int("cachelines", 1024, "replay -cache: per-shard cache capacity in lines")
+		cachePl  = flag.String("cachepolicy", "wt", "replay -cache: write policy, writethrough|wt|writeback|wb")
+		async    = flag.Bool("async", false, "replay: pipeline batches through the asynchronous Submit path and report the sync-vs-async throughput split")
+		inflight = flag.Int("inflight", 4, "replay -async: tickets kept in flight per producer")
 	)
 	flag.Parse()
 
@@ -106,13 +116,21 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *async && *inflight < 1 {
+			fmt.Fprintf(os.Stderr, "tracegen: -inflight %d must be at least 1\n", *inflight)
+			os.Exit(2)
+		}
 		cfg := replayConfig{
 			shards: *shards, workers: *workers, lines: *memLine, batch: *batch,
 			encoder: *encoder, fault: *fault, slc: *slc, seed: *seed,
 			readFrac: *rfrac,
 			cache:    *cache, cacheLines: *cacheLn, cachePolicy: policy,
+			async: *async, inFlight: *inflight,
 		}
-		var src opSource
+		// The replay source is built through a factory: -async replays the
+		// identical stream twice (sync baseline, then pipelined) to report
+		// the throughput split, so sources must be reconstructible.
+		var mkSource func() (opSource, error)
 		switch {
 		case *in != "":
 			f, err := os.Open(*in)
@@ -124,24 +142,20 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			src = newRecordSource(records, cfg)
+			mkSource = func() (opSource, error) { return newRecordSource(records, cfg), nil }
 		case *mix != "":
-			s, err := newMixSource(*mix, *n, *zipfS, *stride, cfg)
-			if err != nil {
-				fail(err)
-			}
-			src = s
+			mkSource = func() (opSource, error) { return newMixSource(*mix, *n, *zipfS, *stride, cfg) }
 		case *bench != "":
 			spec, err := trace.SpecByName(*bench)
 			if err != nil {
 				fail(err)
 			}
-			src = newBenchSource(spec, *n, cfg)
+			mkSource = func() (opSource, error) { return newBenchSource(spec, *n, cfg), nil }
 		default:
 			fmt.Fprintln(os.Stderr, "tracegen: -replay needs -bench, -in or -mix (see -list)")
 			os.Exit(2)
 		}
-		if err := runReplay(src, cfg); err != nil {
+		if err := runReplay(mkSource, cfg); err != nil {
 			fail(err)
 		}
 		return
@@ -205,6 +219,10 @@ type replayConfig struct {
 	cache       bool
 	cacheLines  int
 	cachePolicy linecache.Policy
+	// async replays twice — synchronous Apply baseline, then pipelined
+	// Submit with inFlight tickets per producer — and reports the split.
+	async    bool
+	inFlight int
 }
 
 // opSource feeds the replay loop one op at a time. next fills op —
@@ -382,14 +400,11 @@ func newCodec(name string, seed uint64) (func() coset.Codec, error) {
 	return nil, fmt.Errorf("unknown encoder %q (vcc|vccgen|rcc|fnw|flipcy|none)", name)
 }
 
-// runReplay drives the op stream through a sharded engine in mixed
-// batches (Engine.Apply) and prints statistics and throughput. All op
-// and outcome buffers are allocated once up front, so the loop itself
-// runs on the engine's allocation-free dispatch path.
-func runReplay(src opSource, cfg replayConfig) error {
+// buildEngine assembles the replay engine from the flag bundle.
+func buildEngine(cfg replayConfig) (*shard.Engine, error) {
 	mk, err := newCodec(cfg.encoder, cfg.seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	scfg := shard.Config{
 		Lines:     cfg.lines,
@@ -405,40 +420,65 @@ func runReplay(src opSource, cfg replayConfig) error {
 		scfg.CacheLines = cfg.cacheLines
 		scfg.CachePolicy = cfg.cachePolicy
 	}
-	eng, err := shard.New(scfg)
+	return shard.New(scfg)
+}
+
+// replayOnce drives one full pass of the op stream through a fresh
+// engine via workload.RunPipelinedFrom — depth 1 (Submit immediately
+// followed by Wait, i.e. exactly Apply) for the synchronous baseline,
+// cfg.inFlight tickets in flight for the pipelined run — and returns
+// the engine (flushed, still open) plus the wall-clock time. All op
+// and outcome buffers are allocated once up front, so the loop runs on
+// the engine's allocation-free dispatch path.
+func replayOnce(mkSource func() (opSource, error), cfg replayConfig, async bool) (*shard.Engine, time.Duration, error) {
+	src, err := mkSource()
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
-	if cfg.batch < 1 {
-		cfg.batch = 1
+	eng, err := buildEngine(cfg)
+	if err != nil {
+		return nil, 0, err
 	}
-	ops := make([]shard.Op, cfg.batch)
-	bufs := make([]byte, cfg.batch*shard.LineSize)
-	var outs []shard.Outcome
+	depth := 1
+	if async {
+		depth = cfg.inFlight
+	}
 	start := time.Now()
-	for {
-		n := 0
-		for n < cfg.batch {
-			ops[n].Data = bufs[n*shard.LineSize : (n+1)*shard.LineSize]
-			if !src.next(&ops[n]) {
-				break
-			}
-			n++
-		}
-		if n == 0 {
-			break
-		}
-		if outs, err = eng.Apply(ops[:n], outs); err != nil {
-			return err
-		}
-		if n < cfg.batch {
-			break
-		}
+	if err := workload.RunPipelinedFrom(eng, src.next, workload.PipelineConfig{
+		Batch: cfg.batch, Depth: depth,
+	}); err != nil {
+		return nil, 0, err
 	}
 	// Deferred write-back lines are real device work; flush inside the
 	// timed region so write-back throughput is not overstated.
 	eng.Flush()
-	elapsed := time.Since(start)
+	return eng, time.Since(start), nil
+}
+
+// runReplay replays the op stream and prints statistics and throughput.
+// With cfg.async it replays the identical stream twice — a synchronous
+// baseline and the pipelined async path — and reports both, verifying
+// that every statistic is bit-identical across submission modes.
+func runReplay(mkSource func() (opSource, error), cfg replayConfig) error {
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	var syncStats *memctrl.Stats
+	var syncElapsed time.Duration
+	if cfg.async {
+		syncEng, elapsed, err := replayOnce(mkSource, cfg, false)
+		if err != nil {
+			return err
+		}
+		st := syncEng.Stats()
+		syncStats, syncElapsed = &st, elapsed
+		syncEng.Close()
+	}
+	eng, elapsed, err := replayOnce(mkSource, cfg, cfg.async)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
 	st := eng.Stats()
 	// Logical (request-level) totals: cache hits are reads the decode
 	// pipeline never saw, coalesced writes are device RMWs that never
@@ -453,11 +493,30 @@ func runReplay(src opSource, cfg replayConfig) error {
 		engine += fmt.Sprintf(", %d-line %s cache/shard", cfg.cacheLines, cfg.cachePolicy)
 	}
 	fmt.Printf("engine         %s\n", engine)
+	if cfg.async {
+		fmt.Printf("submission     async, %d ticket(s) in flight, batch %d\n", cfg.inFlight, cfg.batch)
+	} else {
+		fmt.Printf("submission     sync, batch %d\n", cfg.batch)
+	}
 	fmt.Printf("elapsed        %.3fs\n", elapsed.Seconds())
 	fmt.Printf("throughput     %.0f lines/sec (%.0f writes/sec, %.0f reads/sec)\n",
 		float64(total)/elapsed.Seconds(),
 		float64(writes)/elapsed.Seconds(),
 		float64(reads)/elapsed.Seconds())
+	if syncStats != nil {
+		// The sync-vs-async split: same stream, same engine config, two
+		// submission modes. Gains need multiple cores; on one core the
+		// async path pays a small queue-handoff overhead instead.
+		fmt.Printf("sync baseline  %.0f lines/sec (%.3fs); async/sync speedup %.2fx\n",
+			float64(total)/syncElapsed.Seconds(), syncElapsed.Seconds(),
+			syncElapsed.Seconds()/elapsed.Seconds())
+		if *syncStats != st {
+			fmt.Printf("WARNING        sync and async statistics diverge (submission-order bug):\n  sync  %+v\n  async %+v\n",
+				*syncStats, st)
+		} else {
+			fmt.Printf("determinism    sync and async statistics are bit-identical\n")
+		}
+	}
 	fmt.Printf("write energy   %.4g pJ (aux %.4g pJ)\n", st.EnergyPJ, st.AuxEnergyPJ)
 	fmt.Printf("bit flips      %d\n", st.BitFlips)
 	fmt.Printf("SAW cells      %d\n", st.SAWCells)

@@ -9,6 +9,8 @@
 //	vccrepro -run all -csv out/      # everything, also as CSV files
 //	vccrepro -run all -workers 8     # fan experiments out over 8 workers
 //	vccrepro -run shard-replay -shards 4  # concurrent sharded trace replay
+//	vccrepro -run async-sweep             # sync Apply vs pipelined Submit/Wait
+//	vccrepro -run workload-sweep -inflight 8  # drive a sweep through the async path
 //
 // Experiment ids follow the paper's numbering (fig1..fig13, table1,
 // table2) plus the ablations (ablate-*). Output tables carry notes
@@ -35,15 +37,16 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		run     = flag.String("run", "", "experiment id to run, or 'all'")
-		mode    = flag.String("mode", "quick", "quick or full")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
-		shards  = flag.Int("shards", 1, "shard count for sharded-replay experiments")
-		workers = flag.Int("workers", 1, "worker pool bound: parallel experiments and sharded replay")
-		cacheLn = flag.Int("cachelines", 0, "per-shard decoded-line cache capacity for experiments that honor it (workload-sweep); 0 = uncached")
-		cachePl = flag.String("cachepolicy", "wt", "cache write policy with -cachelines: writethrough|wt|writeback|wb")
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		mode     = flag.String("mode", "quick", "quick or full")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		csvDir   = flag.String("csv", "", "also write results as CSV files into this directory")
+		shards   = flag.Int("shards", 1, "shard count for sharded-replay experiments")
+		workers  = flag.Int("workers", 1, "worker pool bound: parallel experiments and sharded replay")
+		cacheLn  = flag.Int("cachelines", 0, "per-shard decoded-line cache capacity for experiments that honor it (workload-sweep); 0 = uncached")
+		cachePl  = flag.String("cachepolicy", "wt", "cache write policy with -cachelines: writethrough|wt|writeback|wb")
+		inFlight = flag.Int("inflight", 0, "issue op streams asynchronously with this many tickets in flight, for experiments that honor it (workload-sweep); 0 = synchronous Apply")
 	)
 	flag.Parse()
 
@@ -83,7 +86,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Opts{Mode: m, Seed: *seed, Shards: *shards, Workers: *workers,
-		CacheLines: *cacheLn, CachePolicy: policy}
+		CacheLines: *cacheLn, CachePolicy: policy, InFlight: *inFlight}
 	start := time.Now()
 	emit := func(id string, res *experiments.Result) {
 		fmt.Print(res.Table())

@@ -85,24 +85,8 @@ func runCacheSweep(o Opts) *Result {
 				stream := workload.NewStream(o.Seed, phases...)
 				fillRng := prng.NewFrom(o.Seed, "cache-sweep-data:"+pat)
 				fill := func(_ uint64, data []byte) { fillRng.Fill(data) }
-				ops := make([]shard.Op, batchSize)
-				bufs := make([]byte, batchSize*shard.LineSize)
-				var outs []shard.Outcome
 				start := time.Now()
-				for done := 0; done < totalOps; {
-					n := batchSize
-					if totalOps-done < n {
-						n = totalOps - done
-					}
-					for i := 0; i < n; i++ {
-						ops[i].Data = bufs[i*shard.LineSize : (i+1)*shard.LineSize]
-						stream.FillOp(&ops[i], fill)
-					}
-					if outs, err = eng.Apply(ops[:n], outs); err != nil {
-						panic(fmt.Sprintf("cache-sweep: %v", err))
-					}
-					done += n
-				}
+				runSyncStream("cache-sweep", eng, stream, totalOps, batchSize, fill)
 				eng.Flush() // write-back: account every deferred RMW
 				elapsed := time.Since(start)
 				st := eng.Stats()

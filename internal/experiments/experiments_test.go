@@ -86,6 +86,55 @@ func TestShardReplayDriver(t *testing.T) {
 	}
 }
 
+// TestAsyncSweepDriver: the async-sweep table must carry identical
+// statistics columns across submission modes within each
+// (pattern, shards) group — the driver itself panics on divergence, so
+// here we check shape plus the sync/async row structure.
+func TestAsyncSweepDriver(t *testing.T) {
+	r := runQ(t, "async-sweep")
+	if len(r.Rows) != 2*2*4 { // patterns x shards x (sync + 3 depths)
+		t.Fatalf("want 16 rows, got %d", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		sync := i%4 == 0
+		if sync && (row[2] != "sync" || row[3] != "-") {
+			t.Errorf("row %d: want sync/- submission cells, got %v/%v", i, row[2], row[3])
+		}
+		if !sync && row[2] != "async" {
+			t.Errorf("row %d: want async submission, got %v", i, row[2])
+		}
+		if cell(row[4]) <= 0 || cell(row[5]) <= 0 {
+			t.Errorf("row %d: no traffic replayed: %v", i, row)
+		}
+	}
+}
+
+// TestWorkloadSweepInFlightInvariant: driving workload-sweep through
+// the pipelined async path must reproduce the synchronous statistics
+// bit for bit (only the machine-dependent ops_per_sec column may move).
+func TestWorkloadSweepInFlightInvariant(t *testing.T) {
+	syncRes, err := RunOpts("workload-sweep", Opts{Mode: Quick, Seed: 1, Shards: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncRes, err := RunOpts("workload-sweep", Opts{Mode: Quick, Seed: 1, Shards: 2, Workers: 2, InFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syncRes.Rows) != len(asyncRes.Rows) {
+		t.Fatalf("row counts diverge: %d vs %d", len(syncRes.Rows), len(asyncRes.Rows))
+	}
+	for i := range syncRes.Rows {
+		a, b := syncRes.Rows[i], asyncRes.Rows[i]
+		for c := 0; c < len(a)-1; c++ { // last column is wall-clock
+			if a[c] != b[c] {
+				t.Errorf("row %d col %d (%s): sync %v, async %v",
+					i, c, syncRes.Header[c], a[c], b[c])
+			}
+		}
+	}
+}
+
 // cell parses a numeric table cell (strips % suffix).
 func cell(s string) float64 {
 	s = strings.TrimSuffix(s, "%")

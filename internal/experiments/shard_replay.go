@@ -91,6 +91,7 @@ func runShardReplay(o Opts) *Result {
 			bm.Name, fmtI(st.LineWrites), fmtF(st.EnergyPJ), fmtI(st.SAWCells),
 			fmtI(maxW), fmtI(minW),
 		})
+		eng.Close() // release the per-shard drainer goroutines
 	}
 	return res
 }

@@ -42,6 +42,32 @@ func sweepPattern(name string, lines int, seed uint64) []workload.Phase {
 	}
 }
 
+// runSyncStream replays totalOps accesses from the stream through the
+// engine with synchronous batched Apply and reused buffers — the
+// non-pipelined baseline loop shared by the workload-sweep, cache-sweep
+// and async-sweep drivers. id labels the panic on engine errors.
+func runSyncStream(id string, eng *shard.Engine, stream *workload.Stream,
+	totalOps, batchSize int, fill func(uint64, []byte)) {
+	ops := make([]shard.Op, batchSize)
+	bufs := make([]byte, batchSize*shard.LineSize)
+	var outs []shard.Outcome
+	for done := 0; done < totalOps; {
+		n := batchSize
+		if totalOps-done < n {
+			n = totalOps - done
+		}
+		for i := 0; i < n; i++ {
+			ops[i].Data = bufs[i*shard.LineSize : (i+1)*shard.LineSize]
+			stream.FillOp(&ops[i], fill)
+		}
+		var err error
+		if outs, err = eng.Apply(ops[:n], outs); err != nil {
+			panic(fmt.Sprintf("%s: %v", id, err))
+		}
+		done += n
+	}
+}
+
 // runWorkloadSweep drives the sharded engine's mixed op path
 // (Engine.Apply) with every workload pattern at read fractions 0-0.75
 // (VCC 256, Opt.Energy, AES-CTR, 1e-2 faults — the fig9 configuration)
@@ -61,6 +87,9 @@ func runWorkloadSweep(o Opts) *Result {
 	if o.CacheLines > 0 {
 		cacheDesc = fmt.Sprintf(", %d-line %s cache/shard", o.CacheLines, o.CachePolicy)
 	}
+	if o.InFlight > 0 {
+		cacheDesc += fmt.Sprintf(", async x%d in flight", o.InFlight)
+	}
 	title := fmt.Sprintf("Mixed op-stream sweep (VCC 256, Opt.Energy, %d shard(s)%s)", shards, cacheDesc)
 	res := &Result{
 		ID:    "workload-sweep",
@@ -71,6 +100,7 @@ func runWorkloadSweep(o Opts) *Result {
 			"every row replays the same op budget through Engine.Apply in mixed batches",
 			"energy scales with the write fraction: reads decode without programming cells",
 			"hit_rate/coalesced surface the decoded-line cache counters; they are zero at the uncached default (vccrepro -cachelines enables the cache; cache-sweep sweeps the cache dimension itself)",
+			"with Opts.InFlight > 0 (vccrepro -inflight) the stream goes through the pipelined async Submit path; statistics are identical, only ops_per_sec can move (async-sweep sweeps the in-flight dimension itself)",
 			"ops_per_sec is wall-clock and machine-dependent; all other columns are deterministic in (mode, seed, shards, cache)",
 			"the phased pattern alternates 512-op streaming and pointer-chase phases (phase mixing)",
 		},
@@ -100,23 +130,17 @@ func runWorkloadSweep(o Opts) *Result {
 			stream := workload.NewStream(o.Seed, phases...)
 			fillRng := prng.NewFrom(o.Seed, "sweep-data:"+pat)
 			fill := func(_ uint64, data []byte) { fillRng.Fill(data) }
-			ops := make([]shard.Op, batchSize)
-			bufs := make([]byte, batchSize*shard.LineSize)
-			var outs []shard.Outcome
 			start := time.Now()
-			for done := 0; done < totalOps; {
-				n := batchSize
-				if totalOps-done < n {
-					n = totalOps - done
-				}
-				for i := 0; i < n; i++ {
-					ops[i].Data = bufs[i*shard.LineSize : (i+1)*shard.LineSize]
-					stream.FillOp(&ops[i], fill)
-				}
-				if outs, err = eng.Apply(ops[:n], outs); err != nil {
+			if o.InFlight > 0 {
+				// Same op sequence through the pipelined async path:
+				// statistics are unchanged, only wall clock can move.
+				if err := workload.RunPipelined(eng, stream, totalOps, workload.PipelineConfig{
+					Batch: batchSize, Depth: o.InFlight, Fill: fill,
+				}); err != nil {
 					panic(fmt.Sprintf("workload-sweep: %v", err))
 				}
-				done += n
+			} else {
+				runSyncStream("workload-sweep", eng, stream, totalOps, batchSize, fill)
 			}
 			eng.Flush() // write-back caches: account deferred RMWs in this row
 			elapsed := time.Since(start)

@@ -2,21 +2,23 @@ package shard
 
 import (
 	"fmt"
-	"sync"
 )
 
-// This file implements the engine's unified mixed op-stream path.
-// WriteBatch/ReadBatch (shard.go) are thin compatibility wrappers over
-// Apply; Apply itself is the hot path and is engineered so steady-state
-// dispatch performs zero heap allocations per op:
+// This file defines the mixed op-stream types and the synchronous
+// Apply entry point. Apply is a thin Submit+Wait wrapper over the
+// asynchronous issue queues (async.go) — as are WriteBatch/ReadBatch
+// and the single-op Write/Read (shard.go) — so the whole request
+// surface funnels through one path with one ordering and allocation
+// contract:
 //
-//   - the shard grouping plan (per-shard index lists, active-shard list,
-//     completion WaitGroup) lives in a per-engine sync.Pool and is
-//     recycled across batches;
+//   - the shard grouping state (per-shard index lists, active-shard
+//     list, completion signal) lives in pooled tickets recycled across
+//     batches;
 //   - results go into a caller-reusable Outcome slice;
-//   - multi-worker dispatch feeds a persistent worker pool (spawned once
-//     at New) through a buffered channel of by-value tasks, so no
-//     goroutines, channels or closures are created per batch.
+//   - dispatch feeds per-shard bounded issue queues drained by
+//     persistent goroutines (spawned once at New) through by-value
+//     entries, so no goroutines, channels or closures are created per
+//     batch.
 
 // OpKind distinguishes reads from writes in a mixed op stream.
 type OpKind uint8
@@ -47,12 +49,13 @@ type Op struct {
 	// Line is the global line index.
 	Line int
 	// Data is the 64-byte plaintext to store (OpWrite; the engine does
-	// not retain it past the Apply call) or an optional destination
+	// not retain it past the op's completion) or an optional destination
 	// buffer (OpRead; allocated when nil).
 	Data []byte
 }
 
-// Outcome is the per-op result of Apply, indexed like the op slice.
+// Outcome is the per-op result of Apply/Submit, indexed like the op
+// slice.
 type Outcome struct {
 	// SAWCells is the stuck-at-wrong cell count of the stored line
 	// (OpWrite only).
@@ -63,136 +66,48 @@ type Outcome struct {
 	Data []byte
 }
 
-// task is one unit of worker-pool work: run plan p's ops for one shard.
-// Tasks travel by value through the jobs channel, so dispatch allocates
-// nothing.
-type task struct {
-	p     *plan
-	shard int
-}
-
-// plan is the reusable scratch state of one Apply call.
-type plan struct {
-	e   *Engine
-	ops []Op
-	out []Outcome
-	// byShard[s] lists op indices owned by shard s, in submission order.
-	byShard [][]int
-	// active lists the shards with at least one op, in first-touch order.
-	active []int
-	wg     sync.WaitGroup
-}
-
-// getPlan fetches a recycled plan (or builds one) and binds it to the
-// batch.
-func (e *Engine) getPlan(ops []Op, out []Outcome) *plan {
-	p := e.plans.Get().(*plan)
-	p.ops, p.out = ops, out
-	return p
-}
-
-// putPlan resets and recycles a plan. Only the shards actually touched
-// are cleared, so huge shard counts don't pay a full sweep per batch;
-// the caller's op/outcome slices are released to keep the pool from
-// pinning them.
-func (e *Engine) putPlan(p *plan) {
-	for _, s := range p.active {
-		p.byShard[s] = p.byShard[s][:0]
-	}
-	p.active = p.active[:0]
-	p.ops, p.out = nil, nil
-	e.plans.Put(p)
-}
-
-// runShard executes plan p's ops for shard s in submission order. The
-// caller must hold e.mu[s].
-func (p *plan) runShard(s int) {
-	e := p.e
-	b := e.backends[s]
-	before := b.Store.Stats()
-	for _, i := range p.byShard[s] {
-		op := &p.ops[i]
-		local := e.part.LocalOf(op.Line)
-		if op.Kind == OpWrite {
-			p.out[i] = Outcome{SAWCells: b.WriteLine(local, op.Data)}
-		} else {
-			p.out[i] = Outcome{Data: b.Store.ReadLine(local, op.Data)}
-		}
-	}
-	e.live.add(b.Store.Stats().Delta(before))
-}
-
-// worker serves the persistent pool: it claims tasks until the jobs
-// channel closes, taking the shard lock around each one.
-func worker(jobs <-chan task) {
-	for t := range jobs {
-		e := t.p.e
-		e.mu[t.shard].Lock()
-		t.p.runShard(t.shard)
-		e.mu[t.shard].Unlock()
-		t.p.wg.Done()
-	}
-}
-
-// Apply executes a mixed stream of reads and writes and returns one
-// Outcome per op, indexed like ops. Ops are validated up front; on error
-// nothing is executed.
-//
-// Ordering: ops addressed to the same shard are applied in slice order,
-// interleaving reads and writes exactly as submitted, so a batch is
-// equivalent to a deterministic sequential interleaving regardless of
-// worker count (ops on different shards touch disjoint state and may
-// run in any order).
-//
-// Allocation: out is reused when it has capacity for len(ops) outcomes
-// and allocated otherwise; pass the previous call's slice back to make
-// steady-state write dispatch allocation-free. Read outcomes alias the
-// op's Data buffer when one is provided and allocate one otherwise.
-func (e *Engine) Apply(ops []Op, out []Outcome) ([]Outcome, error) {
+// validateOps rejects malformed ops before anything is enqueued.
+func (e *Engine) validateOps(ops []Op) error {
 	for i := range ops {
 		op := &ops[i]
 		if err := e.checkLine(op.Line); err != nil {
-			return nil, fmt.Errorf("op %d: %w", i, err)
+			return fmt.Errorf("op %d: %w", i, err)
 		}
 		switch op.Kind {
 		case OpWrite:
 			if len(op.Data) != LineSize {
-				return nil, fmt.Errorf("op %d: write needs %d bytes, got %d", i, LineSize, len(op.Data))
+				return fmt.Errorf("op %d: write needs %d bytes, got %d", i, LineSize, len(op.Data))
 			}
 		case OpRead:
 			if op.Data != nil && len(op.Data) != LineSize {
-				return nil, fmt.Errorf("op %d: read needs a %d-byte buffer, got %d", i, LineSize, len(op.Data))
+				return fmt.Errorf("op %d: read needs a %d-byte buffer, got %d", i, LineSize, len(op.Data))
 			}
 		default:
-			return nil, fmt.Errorf("op %d: unknown kind %d", i, op.Kind)
+			return fmt.Errorf("op %d: unknown kind %d", i, op.Kind)
 		}
 	}
-	if cap(out) >= len(ops) {
-		out = out[:len(ops)]
-	} else {
-		out = make([]Outcome, len(ops))
+	return nil
+}
+
+// Apply executes a mixed stream of reads and writes and returns one
+// Outcome per op, indexed like ops. It is Submit followed by Wait — the
+// synchronous view of the issue queues. Ops are validated up front; on
+// error nothing is executed. After Close it returns ErrClosed.
+//
+// Ordering: ops addressed to the same shard are applied in slice order,
+// interleaving reads and writes exactly as submitted, so a batch is
+// equivalent to a deterministic sequential interleaving regardless of
+// worker count or concurrent in-flight tickets on other shards (ops on
+// different shards touch disjoint state and may run in any order).
+//
+// Allocation: out is reused when it has capacity for len(ops) outcomes
+// and allocated otherwise; pass the previous call's slice back to make
+// steady-state dispatch allocation-free. Read outcomes alias the op's
+// Data buffer when one is provided and allocate one otherwise.
+func (e *Engine) Apply(ops []Op, out []Outcome) ([]Outcome, error) {
+	t, err := e.Submit(ops, out)
+	if err != nil {
+		return nil, err
 	}
-	p := e.getPlan(ops, out)
-	for i := range ops {
-		s := e.part.ShardOf(ops[i].Line)
-		if len(p.byShard[s]) == 0 {
-			p.active = append(p.active, s)
-		}
-		p.byShard[s] = append(p.byShard[s], i)
-	}
-	if e.jobs == nil || len(p.active) <= 1 {
-		for _, s := range p.active {
-			e.mu[s].Lock()
-			p.runShard(s)
-			e.mu[s].Unlock()
-		}
-	} else {
-		p.wg.Add(len(p.active))
-		for _, s := range p.active {
-			e.jobs <- task{p: p, shard: s}
-		}
-		p.wg.Wait()
-	}
-	e.putPlan(p)
-	return out, nil
+	return t.Wait()
 }

@@ -13,24 +13,31 @@
 // with the cache disabled the stack is exactly the bare controller,
 // bit-identical to the pre-cache engine.
 //
-// Batches are dispatched over a bounded worker pool. A shard is only
-// ever touched by one worker at a time (a per-shard mutex enforces
-// this), and within a batch each shard processes its requests in the
-// batch's submission order. Two consequences matter:
+// Requests flow through per-shard bounded issue queues (async.go):
+// Submit groups a batch's ops by shard, enqueues one entry per touched
+// shard and returns a Ticket immediately; a dedicated drainer goroutine
+// per shard applies entries FIFO, so op-stream generation overlaps
+// encoding across shards. Apply/WriteBatch/ReadBatch and the single-op
+// Write/Read are synchronous Submit+Wait wrappers — every caller
+// funnels through the one asynchronous path. Three consequences matter:
 //
-//   - No locks are needed inside the pipeline, which keeps the
-//     single-shard configuration on exactly the code path of the
-//     sequential engine: with Shards == 1 the engine is bit-identical
-//     to a vcc.Memory built from the same configuration (same seed →
-//     same cells, energy, SAW counts).
-//   - Results are deterministic regardless of worker scheduling: each
-//     shard's device evolves only under its own ordered request stream,
-//     so (config, seed, request sequence) fully determines every
-//     statistic, at any worker count.
+//   - A shard is only ever touched by its own drainer (plus a per-shard
+//     mutex excluding snapshot readers), so no locks are needed inside
+//     the pipeline. This keeps the single-shard configuration on
+//     exactly the code path of the sequential engine: with Shards == 1
+//     the engine is bit-identical to a vcc.Memory built from the same
+//     configuration (same seed → same cells, energy, SAW counts).
+//   - Results are deterministic regardless of scheduling: each shard's
+//     device evolves only under its own FIFO request stream, so
+//     (config, seed, request sequence) fully determines every statistic
+//     and outcome, at any shard, worker or in-flight-ticket count.
+//   - Backpressure is structural: a shard's queue holds at most
+//     QueueDepth tickets, so a fast producer blocks in Submit instead
+//     of growing unbounded in-flight state.
 //
 // Engine-wide totals are additionally folded into lock-free atomic
-// counters (Counters) after every job, so monitoring code can observe
-// throughput mid-batch without stopping the pool.
+// counters (Counters) after every queue entry, so monitoring code can
+// observe throughput mid-batch without stopping the drainers.
 package shard
 
 import (
@@ -218,10 +225,16 @@ type Config struct {
 	Lines int
 	// Shards is the shard count; 0 defaults to 1. Must not exceed Lines.
 	Shards int
-	// Workers bounds the worker pool serving batches; 0 defaults to
-	// min(Shards, GOMAXPROCS). Values above Shards are clamped: a shard
-	// is single-threaded, so extra workers could never be scheduled.
+	// Workers bounds how many shard drainers may run concurrently; 0
+	// defaults to min(Shards, GOMAXPROCS). Values above Shards are
+	// clamped: a shard is single-threaded, so extra workers could never
+	// be scheduled. The bound affects wall-clock parallelism only —
+	// per-shard FIFO order fixes every result at any worker count.
 	Workers int
+	// QueueDepth bounds the per-shard issue queue: at most this many
+	// tickets may be queued on one shard before Submit blocks
+	// (backpressure). 0 defaults to DefaultQueueDepth.
+	QueueDepth int
 	// NewCodec builds one codec instance per shard (codecs may carry
 	// scratch state and cannot be shared). Required.
 	NewCodec func() coset.Codec
@@ -374,19 +387,33 @@ func (c *counters) reset() {
 	c.energyBits.Store(0)
 }
 
-// Engine is the sharded, concurrency-safe memory engine. All methods
-// may be called from multiple goroutines (except Close).
+// Engine is the sharded, concurrency-safe memory engine. All methods,
+// including Close, may be called from multiple goroutines.
 type Engine struct {
 	part     Partition
 	backends []*Backend
-	mu       []sync.Mutex // mu[i] serializes access to backends[i]
-	workers  int
-	live     counters
-	// plans recycles Apply scratch state (see ops.go).
-	plans sync.Pool
-	// jobs feeds the persistent worker pool; nil when the engine runs
-	// single-threaded (Workers <= 1 or one shard).
-	jobs chan task
+	// mu[i] excludes the snapshot readers (Stats, ShardStats, ...) from
+	// backends[i] while its drainer runs a queue entry.
+	mu      []sync.Mutex
+	workers int
+	live    counters
+	// tickets recycles Submit scratch state (see async.go).
+	tickets sync.Pool
+	// queues[s] is shard s's bounded issue queue, drained FIFO by a
+	// dedicated goroutine for the life of the engine.
+	queues []chan issue
+	// sem bounds cross-shard drainer parallelism to the configured
+	// worker count; nil when Workers >= Shards (no bound needed).
+	sem chan struct{}
+	// qmu pairs Submit's enqueue (read lock) with Close's teardown
+	// (write lock); closed is guarded by it.
+	qmu    sync.RWMutex
+	closed bool
+	// closedCh is closed once teardown completes, so concurrent Close
+	// calls can wait for the winner.
+	closedCh chan struct{}
+	// drained counts live drainer goroutines.
+	drained sync.WaitGroup
 }
 
 // New builds an engine from cfg.
@@ -433,58 +460,32 @@ func New(cfg Config) (*Engine, error) {
 		}
 		backends[i] = b
 	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
 	e := &Engine{
 		part:     part,
 		backends: backends,
 		mu:       make([]sync.Mutex, shards),
 		workers:  workers,
+		queues:   make([]chan issue, shards),
+		closedCh: make(chan struct{}),
 	}
-	e.plans.New = func() any {
-		return &plan{e: e, byShard: make([][]int, shards)}
+	e.tickets.New = func() any {
+		return &Ticket{e: e, byShard: make([][]int, shards), done: make(chan struct{}, 1)}
 	}
-	if workers > 1 {
-		// The persistent pool exists for the engine's lifetime so batch
-		// dispatch never creates goroutines or channels; Close releases
-		// the workers when an engine is torn down mid-process.
-		e.jobs = make(chan task, shards)
-		for w := 0; w < workers; w++ {
-			// Workers receive the channel by value: a worker that never
-			// claims a task has no synchronization edge with the rest of
-			// the engine, so it must not read the e.jobs field that Close
-			// overwrites.
-			go worker(e.jobs)
-		}
+	if workers < shards {
+		e.sem = make(chan struct{}, workers)
+	}
+	// The drainers exist for the engine's lifetime so dispatch never
+	// creates goroutines or channels per batch; Close releases them.
+	e.drained.Add(shards)
+	for s := range e.queues {
+		e.queues[s] = make(chan issue, depth)
+		go e.drain(s)
 	}
 	return e, nil
-}
-
-// Flush forces every shard's deferred writes (dirty write-back cache
-// lines) down to its device, folding the resulting statistics into the
-// live counters. It is a no-op on uncached and write-through engines.
-// Safe for concurrent use; each shard flushes under its own lock.
-func (e *Engine) Flush() {
-	for i, b := range e.backends {
-		e.mu[i].Lock()
-		before := b.Store.Stats()
-		b.Store.Flush()
-		delta := b.Store.Stats().Delta(before)
-		e.mu[i].Unlock()
-		e.live.add(delta)
-	}
-}
-
-// Close flushes deferred writes and shuts down the persistent worker
-// pool. It must not be called concurrently with other methods; after
-// Close the engine remains usable, falling back to single-threaded
-// dispatch. Engines that live for the whole process need not be closed —
-// but write-back cached engines must be Flushed (or Closed) before the
-// device state is inspected.
-func (e *Engine) Close() {
-	e.Flush()
-	if e.jobs != nil {
-		close(e.jobs)
-		e.jobs = nil
-	}
 }
 
 // Lines returns the total capacity in cache lines.
@@ -508,41 +509,27 @@ func (e *Engine) checkLine(line int) error {
 
 // Write stores one 64-byte line through its owning shard's pipeline and
 // returns the number of stuck-at-wrong cells the write could not avoid.
+// It is a single-op Apply, so it rides the shard's issue queue behind
+// any ticket submitted before it; hot loops should batch through Apply
+// or pipeline through Submit instead.
 func (e *Engine) Write(line int, data []byte) (int, error) {
-	if err := e.checkLine(line); err != nil {
+	ops := [1]Op{{Kind: OpWrite, Line: line, Data: data}}
+	var outs [1]Outcome
+	if _, err := e.Apply(ops[:], outs[:]); err != nil {
 		return 0, err
 	}
-	if len(data) != LineSize {
-		return 0, fmt.Errorf("shard: Write needs %d bytes, got %d", LineSize, len(data))
-	}
-	s := e.part.ShardOf(line)
-	e.mu[s].Lock()
-	b := e.backends[s]
-	before := b.Store.Stats()
-	saw := b.WriteLine(e.part.LocalOf(line), data)
-	delta := b.Store.Stats().Delta(before)
-	e.mu[s].Unlock()
-	e.live.add(delta)
-	return saw, nil
+	return outs[0].SAWCells, nil
 }
 
-// Read retrieves one line into dst (allocated when nil).
+// Read retrieves one line into dst (allocated when nil). Like Write it
+// is a single-op Apply over the issue queues.
 func (e *Engine) Read(line int, dst []byte) ([]byte, error) {
-	if err := e.checkLine(line); err != nil {
+	ops := [1]Op{{Kind: OpRead, Line: line, Data: dst}}
+	var outs [1]Outcome
+	if _, err := e.Apply(ops[:], outs[:]); err != nil {
 		return nil, err
 	}
-	if dst != nil && len(dst) != LineSize {
-		return nil, fmt.Errorf("shard: Read needs a %d-byte buffer", LineSize)
-	}
-	s := e.part.ShardOf(line)
-	e.mu[s].Lock()
-	b := e.backends[s]
-	before := b.Store.Stats()
-	out := b.Store.ReadLine(e.part.LocalOf(line), dst)
-	delta := b.Store.Stats().Delta(before)
-	e.mu[s].Unlock()
-	e.live.add(delta)
-	return out, nil
+	return outs[0].Data, nil
 }
 
 // WriteBatch stores every request and returns the per-request

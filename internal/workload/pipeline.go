@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"repro/internal/shard"
+)
+
+// PipelineConfig parameterizes the pipelined drivers.
+type PipelineConfig struct {
+	// Batch is the number of ops per submitted ticket (default 256).
+	Batch int
+	// Depth is the number of tickets kept in flight (default 4). Depth 1
+	// degenerates to synchronous Apply-style dispatch (Submit followed
+	// immediately by Wait); deeper pipelines overlap op-stream
+	// generation with encoding across shards.
+	Depth int
+	// Fill provides write plaintext for RunPipelined, as in
+	// Stream.FillOp (nil zeroes). RunPipelinedFrom ignores it: there the
+	// source callback fills ops itself.
+	Fill func(line uint64, data []byte)
+}
+
+// RunPipelinedFrom drives ops pulled from next through the engine's
+// async submission path, keeping Depth tickets in flight, until next
+// reports exhaustion. Each of the Depth slots owns its op, plaintext
+// and outcome buffers: next receives ops whose Data field is a
+// reusable 64-byte buffer (write plaintext or read destination) and
+// returns false — without consuming the op — when the stream ends. A
+// slot is refilled as soon as its previous ticket completes and
+// resubmitted while the remaining slots are still encoding, so the
+// producer loop allocates nothing in steady state (pooled tickets,
+// per-slot reused buffers).
+//
+// The op sequence — and therefore every engine statistic — is exactly
+// the one a synchronous next+Apply loop would produce, at any Depth:
+// ops are drawn in submission order and per-shard queues preserve that
+// order. Only wall-clock throughput changes, and producer/consumer
+// overlap only shows gains on multi-core hosts.
+func RunPipelinedFrom(eng *shard.Engine, next func(*shard.Op) bool, cfg PipelineConfig) error {
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 256
+	}
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = 4
+	}
+	type slot struct {
+		ops  []shard.Op
+		bufs []byte
+		out  []shard.Outcome
+		tk   *shard.Ticket
+	}
+	slots := make([]slot, depth)
+	for i := range slots {
+		slots[i].ops = make([]shard.Op, batch)
+		slots[i].bufs = make([]byte, batch*shard.LineSize)
+		slots[i].out = make([]shard.Outcome, batch)
+	}
+	idx := 0
+	for {
+		sl := &slots[idx%depth]
+		idx++
+		if sl.tk != nil {
+			if _, err := sl.tk.Wait(); err != nil {
+				return err
+			}
+			sl.tk = nil
+		}
+		n := 0
+		for n < batch {
+			sl.ops[n].Data = sl.bufs[n*shard.LineSize : (n+1)*shard.LineSize]
+			if !next(&sl.ops[n]) {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		tk, err := eng.Submit(sl.ops[:n], sl.out[:n])
+		if err != nil {
+			return err
+		}
+		sl.tk = tk
+		if n < batch {
+			break
+		}
+	}
+	for i := range slots {
+		if slots[i].tk != nil {
+			if _, err := slots[i].tk.Wait(); err != nil {
+				return err
+			}
+			slots[i].tk = nil
+		}
+	}
+	return nil
+}
+
+// RunPipelined drives totalOps accesses from the stream through
+// RunPipelinedFrom, filling write plaintext via cfg.Fill.
+func RunPipelined(eng *shard.Engine, stream *Stream, totalOps int, cfg PipelineConfig) error {
+	issued := 0
+	return RunPipelinedFrom(eng, func(op *shard.Op) bool {
+		if issued >= totalOps {
+			return false
+		}
+		issued++
+		stream.FillOp(op, cfg.Fill)
+		return true
+	}, cfg)
+}

@@ -30,6 +30,19 @@ const (
 // totals, pollable while batches are in flight.
 type LiveCounters = shard.Counters
 
+// Ticket tracks one asynchronous Submit until completion; Wait blocks
+// for the outcomes and recycles the ticket (see Session).
+type Ticket = shard.Ticket
+
+// Session is an asynchronous submission handle over a ShardedMemory's
+// per-shard issue queues (see ShardedMemory.Session).
+type Session = shard.Session
+
+// ErrClosed is returned by Submit — and by Apply, Write, Read,
+// WriteBatch and ReadBatch, which are wrappers over it — once the
+// memory has been Closed.
+var ErrClosed = shard.ErrClosed
+
 // CachePolicy selects how the optional decoded-line cache handles
 // writes (see ShardedMemoryConfig.CacheLines).
 type CachePolicy = linecache.Policy
@@ -55,9 +68,14 @@ type ShardedMemoryConfig struct {
 	// controller, encryption unit and derived PRNG streams. 0 defaults
 	// to 1, which is bit-identical to Memory.
 	Shards int
-	// Workers bounds the goroutine pool serving batches; 0 defaults to
-	// min(Shards, GOMAXPROCS).
+	// Workers bounds how many shard drainers may run concurrently; 0
+	// defaults to min(Shards, GOMAXPROCS). Results never depend on it.
 	Workers int
+	// QueueDepth bounds each shard's issue queue: at most this many
+	// in-flight tickets may be queued per shard before Submit (and the
+	// synchronous wrappers) block — the async path's backpressure bound.
+	// 0 defaults to shard.DefaultQueueDepth.
+	QueueDepth int
 	// NewEncoder builds one encoder per shard; defaults to
 	// NewVCCEncoder(256). A factory rather than an instance because
 	// codecs may carry scratch state and must not be shared across
@@ -94,12 +112,16 @@ type ShardedMemoryConfig struct {
 }
 
 // ShardedMemory is the concurrent variant of Memory: the line address
-// space is interleaved across independent shards and batches are served
-// by a bounded worker pool. All methods are safe for concurrent use.
+// space is interleaved across independent shards and every request
+// flows through bounded per-shard issue queues — asynchronously via
+// Session.Submit, or synchronously via the Apply/Write/Read wrappers
+// over the same path. All methods are safe for concurrent use.
 //
 // With Shards == 1 every result — cells, energy, SAW counts, Stats —
 // is bit-identical to a Memory built from the same configuration and
-// seed, so sequential experiments stay valid on this engine.
+// seed, so sequential experiments stay valid on this engine; and at
+// any shard count, results are bit-identical at any worker count or
+// async in-flight depth.
 type ShardedMemory struct {
 	eng *shard.Engine
 }
@@ -114,6 +136,7 @@ func NewShardedMemory(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
 		Lines:             cfg.Lines,
 		Shards:            cfg.Shards,
 		Workers:           cfg.Workers,
+		QueueDepth:        cfg.QueueDepth,
 		NewCodec:          func() coset.Codec { return newEnc() },
 		Objective:         cfg.Objective,
 		SLC:               cfg.SLC,
@@ -153,18 +176,34 @@ func (m *ShardedMemory) Read(line int, dst []byte) ([]byte, error) {
 	return m.eng.Read(line, dst)
 }
 
-// Apply executes a mixed stream of reads and writes over the worker
-// pool and returns one Outcome per op, indexed like ops. Ops addressed
-// to the same shard apply in slice order — reads and writes interleave
-// exactly as submitted — so results are deterministic at any worker
-// count. Passing the previous call's outcome slice back as out makes
-// steady-state write dispatch allocation-free; read outcomes alias the
-// op's Data buffer when one is provided.
+// Apply executes a mixed stream of reads and writes over the per-shard
+// issue queues and returns one Outcome per op, indexed like ops. It is
+// Submit+Wait — the synchronous view of the async path (see Session).
+// Ops addressed to the same shard apply in slice order — reads and
+// writes interleave exactly as submitted — so results are deterministic
+// at any shard, worker or in-flight-ticket count. Passing the previous
+// call's outcome slice back as out makes steady-state dispatch
+// allocation-free; read outcomes alias the op's Data buffer when one is
+// provided. After Close it returns ErrClosed.
 func (m *ShardedMemory) Apply(ops []Op, out []Outcome) ([]Outcome, error) {
 	return m.eng.Apply(ops, out)
 }
 
-// WriteBatch dispatches the requests over the worker pool and returns
+// Session returns an asynchronous submission handle over the memory's
+// issue queues. Session.Submit enqueues a mixed op batch and returns a
+// Ticket immediately, so one producer can keep several batches in
+// flight and overlap op-stream generation with encoding across shards;
+// Ticket.Wait blocks for the outcomes. Session.SubmitFunc is the
+// completion-callback form, and Session.Drain blocks until everything
+// submitted through the session has completed.
+//
+// Ordering and determinism match Apply exactly: per-shard submission
+// order, bit-identical outcomes and statistics at any in-flight depth.
+// Backpressure is ShardedMemoryConfig.QueueDepth tickets per shard.
+// Multiple sessions may share one memory.
+func (m *ShardedMemory) Session() *Session { return m.eng.NewSession() }
+
+// WriteBatch dispatches the requests over the issue queues and returns
 // per-request stuck-at-wrong cell counts, indexed like reqs. It is a
 // thin wrapper over Apply; requests to the same shard apply in slice
 // order, so results are deterministic at any worker count.
@@ -172,7 +211,7 @@ func (m *ShardedMemory) WriteBatch(reqs []WriteRequest) ([]int, error) {
 	return m.eng.WriteBatch(reqs)
 }
 
-// ReadBatch dispatches the reads over the worker pool and returns the
+// ReadBatch dispatches the reads over the issue queues and returns the
 // plaintexts, indexed like reqs. out[i] aliases reqs[i].Dst when a
 // destination buffer was provided (no per-request allocation) and is
 // freshly allocated otherwise. It is a thin wrapper over Apply.
@@ -181,17 +220,20 @@ func (m *ShardedMemory) ReadBatch(reqs []ReadRequest) ([][]byte, error) {
 }
 
 // Flush forces deferred writes (dirty write-back cache lines) down to
-// the devices. It is a no-op without a cache or under WriteThrough;
-// with WriteBack the device state only reflects every Apply'd write
-// after a Flush (or Close). Safe for concurrent use.
+// the devices. It is a no-op without a cache, under WriteThrough, or
+// after Close; with WriteBack the device state only reflects every
+// submitted write after a Flush (or Close). Safe for concurrent use: it
+// rides the issue queues as a barrier, covering everything submitted
+// before it.
 func (m *ShardedMemory) Flush() { m.eng.Flush() }
 
-// Close flushes deferred writes and releases the engine's persistent
-// worker pool. It must not be called concurrently with other methods;
-// the memory remains usable afterwards on the single-threaded dispatch
-// path. Uncached memories that live for the whole process need not be
-// closed; write-back cached ones should be Flushed or Closed before
-// their final statistics are read.
+// Close drains in-flight tickets, flushes deferred writes, and shuts
+// down the issue queues. It is idempotent and safe for concurrent use.
+// After Close, Submit and every wrapper over it (Apply, Write, Read,
+// WriteBatch, ReadBatch) return ErrClosed; Stats, ShardStats, Counters
+// and StuckCells keep working. Memories that live for the whole process
+// need not be closed; write-back cached ones must be Flushed or Closed
+// before their final statistics are read.
 func (m *ShardedMemory) Close() { m.eng.Close() }
 
 // Stats returns exact statistics merged across all shards.

@@ -12,8 +12,9 @@
 //     encryption unit, coset encoder, fault injection, endurance — with
 //     cache-line Read/Write and detailed energy/wear statistics.
 //   - ShardedMemory: the concurrency-safe variant, interleaving the line
-//     address space across independent shards with batched I/O served by
-//     a bounded worker pool (bit-identical to Memory at one shard).
+//     address space across independent shards, with synchronous batched
+//     I/O and an asynchronous Session/Submit/Ticket path over bounded
+//     per-shard issue queues (bit-identical to Memory at one shard).
 //   - The experiment registry regenerating every table and figure of the
 //     paper (see cmd/vccrepro and EXPERIMENTS.md).
 //
