@@ -86,6 +86,35 @@ func TestApplySteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestApplySteadyStateAllocsSlicedEncoders extends the 0-alloc guard
+// across the partition-sliced encode fast path's codec variants: stored
+// kernels on MLC and SLC, Algorithm 2 generated kernels on the MLC
+// right-digit plane, and FNW's sliced per-sub-block path. The sliced
+// context and search scratch are controller/codec-owned and warmed by
+// the first Apply, so the steady state must stay allocation-free from
+// Submit through EncodeSliced.
+func TestApplySteadyStateAllocsSlicedEncoders(t *testing.T) {
+	for _, enc := range []struct {
+		name string
+		mk   func() Encoder
+		slc  bool
+	}{
+		{"VCCStored-MLC", func() Encoder { return NewVCCEncoder(256) }, false},
+		{"VCCStored-SLC", func() Encoder { return NewVCCEncoder(256) }, true},
+		{"VCCGenerated-MLC", func() Encoder { return NewVCCGeneratedEncoder(256) }, false},
+		{"FNW16-MLC", func() Encoder { return NewFNWEncoder(16) }, false},
+		{"FNW16-SLC", func() Encoder { return NewFNWEncoder(16) }, true},
+	} {
+		t.Run(enc.name, func(t *testing.T) {
+			cfg := ShardedMemoryConfig{
+				Lines: 1 << 10, Shards: 2, Workers: 2, Seed: 1,
+				NewEncoder: enc.mk, SLC: enc.slc,
+			}
+			testSteadyStateAllocs(t, cfg, 0.25)
+		})
+	}
+}
+
 // testSteadyStateAllocsAsync pins the pipelined Submit/Wait path at
 // zero steady-state heap allocations per rotation: depth slots each own
 // their op and outcome buffers, and one measured run submits every slot

@@ -10,6 +10,7 @@ package vcc
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/bitutil"
@@ -406,6 +407,121 @@ func BenchmarkShardedAsync(b *testing.B) {
 							b.Fatal(err)
 						}
 						slots[s].tk = nil
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedMultiProducer measures queue contention under
+// concurrent submitters (the ROADMAP's multi-producer saturation
+// bench): several goroutines, each with a private Session and its own
+// depth-4 pipeline of mixed batches, submit concurrently into the same
+// 4-shard engine, swept over QueueDepth. One benchmark op is one batch
+// submitted+retired somewhere in the fleet, so ns/op directly compares
+// contended against single-producer submission (BenchmarkShardedAsync);
+// shallow queues (QueueDepth=1) serialize producers against the
+// drainers and document the backpressure cost, deep queues let them
+// saturate. On this repo's 1-core CI-class hosts the sweep measures
+// queue handoff overhead; wall-clock scaling appears on multi-core.
+func BenchmarkShardedMultiProducer(b *testing.B) {
+	const (
+		lines     = 1 << 13
+		batchSize = 256
+		pipeDepth = 4
+		shards    = 4
+	)
+	for _, producers := range []int{2, 4} {
+		for _, queueDepth := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("producers=%d/qdepth=%d", producers, queueDepth), func(b *testing.B) {
+				mem, err := NewShardedMemory(ShardedMemoryConfig{
+					Lines: lines, Shards: shards, Workers: shards, Seed: 1,
+					QueueDepth: queueDepth,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer mem.Close()
+				type slot struct {
+					ops []Op
+					out []Outcome
+					tk  *Ticket
+				}
+				type producer struct {
+					sess  *Session
+					slots []slot
+				}
+				rng := prng.New(3)
+				prods := make([]*producer, producers)
+				for pi := range prods {
+					p := &producer{sess: mem.Session(), slots: make([]slot, pipeDepth)}
+					for s := range p.slots {
+						p.slots[s].ops = make([]Op, batchSize)
+						p.slots[s].out = make([]Outcome, batchSize)
+						for i := range p.slots[s].ops {
+							data := make([]byte, LineSize)
+							rng.Fill(data)
+							kind := OpWrite
+							if rng.Float64() < 0.5 {
+								kind = OpRead
+							}
+							p.slots[s].ops[i] = Op{Kind: kind,
+								Line: (pi*1009 + s*batchSize + i*7) % lines, Data: data}
+						}
+					}
+					prods[pi] = p
+				}
+				work := func(p *producer, batches int) error {
+					for n := 0; n < batches; n++ {
+						sl := &p.slots[n%pipeDepth]
+						if sl.tk != nil {
+							if _, err := sl.tk.Wait(); err != nil {
+								return err
+							}
+						}
+						tk, err := p.sess.Submit(sl.ops, sl.out)
+						if err != nil {
+							return err
+						}
+						sl.tk = tk
+					}
+					for s := range p.slots {
+						if p.slots[s].tk != nil {
+							if _, err := p.slots[s].tk.Wait(); err != nil {
+								return err
+							}
+							p.slots[s].tk = nil
+						}
+					}
+					return nil
+				}
+				for _, p := range prods { // warm tickets, plans and caches
+					if err := work(p, 2*pipeDepth); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(batchSize) * LineSize)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				errs := make([]error, producers)
+				for pi, p := range prods {
+					// Producer pi takes batches pi, pi+producers, ... of b.N.
+					n := b.N / producers
+					if pi < b.N%producers {
+						n++
+					}
+					wg.Add(1)
+					go func(pi int, p *producer, n int) {
+						defer wg.Done()
+						errs[pi] = work(p, n)
+					}(pi, p, n)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
 					}
 				}
 			})

@@ -1,0 +1,407 @@
+// Command benchreport runs the repository's key encode and engine
+// benchmarks with a self-contained timing harness and writes a
+// machine-readable JSON report (BENCH_<n>.json at the repo root is the
+// per-PR perf trajectory; CI runs `-benchtime 1x` as a smoke and
+// validates the output parses).
+//
+// Usage:
+//
+//	go run ./cmd/benchreport                      # ~1s per benchmark, writes BENCH_5.json
+//	go run ./cmd/benchreport -benchtime 1x        # one iteration each (CI smoke)
+//	go run ./cmd/benchreport -benchtime 500ms -out /tmp/bench.json
+//	go run ./cmd/benchreport -validate BENCH_5.json
+//
+// The report includes the fast-vs-reference encode pairs; the headline
+// acceptance metric of the fast-path PR is the speedup on the VCC MLC
+// energy+SAW encode (speedup_vcc_mlc_energy_saw), required >= 2x.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	vcc "repro"
+	"repro/internal/bitutil"
+	"repro/internal/coset"
+	"repro/internal/pcm"
+	"repro/internal/prng"
+	"repro/internal/workload"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+	// SpeedupVCCMLCEnergySAW is ref/fast ns/op of the VCC MLC energy+SAW
+	// encode microbenchmark — the fast-path PR's acceptance metric.
+	SpeedupVCCMLCEnergySAW float64 `json:"speedup_vcc_mlc_energy_saw,omitempty"`
+}
+
+// benchtime is either a fixed iteration count (1x mode) or a target
+// duration the harness calibrates against.
+type benchtime struct {
+	iters int
+	dur   time.Duration
+}
+
+func parseBenchtime(s string) (benchtime, error) {
+	if strings.HasSuffix(s, "x") {
+		n, err := strconv.Atoi(strings.TrimSuffix(s, "x"))
+		if err != nil || n < 1 {
+			return benchtime{}, fmt.Errorf("bad iteration count %q", s)
+		}
+		return benchtime{iters: n}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return benchtime{}, fmt.Errorf("bad duration %q", s)
+	}
+	return benchtime{dur: d}, nil
+}
+
+// measure times fn(n) like testing.B: one warm-up iteration (scratch
+// pools, caches, dispatch plans), then either the fixed iteration count
+// or geometric scaling until the target duration is met. Allocations
+// come from MemStats deltas around the timed run.
+func measure(bt benchtime, bytesPerOp int64, fn func(n int)) Result {
+	fn(1) // warm
+	run := func(n int) (time.Duration, uint64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		fn(n)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return elapsed, after.Mallocs - before.Mallocs
+	}
+	n := 1
+	if bt.iters > 0 {
+		n = bt.iters
+	}
+	for {
+		elapsed, mallocs := run(n)
+		if bt.iters > 0 || elapsed >= bt.dur || n >= 1<<30 {
+			r := Result{
+				Iterations:  n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(mallocs) / float64(n),
+			}
+			if bytesPerOp > 0 && elapsed > 0 {
+				r.MBPerS = float64(bytesPerOp) * float64(n) / 1e6 / elapsed.Seconds()
+			}
+			return r
+		}
+		// Scale toward the target like the testing package: aim 20%
+		// past, capped at 100x per step.
+		grow := int(1.2 * float64(bt.dur) / float64(elapsed) * float64(n))
+		if grow > 100*n {
+			grow = 100 * n
+		}
+		if grow <= n {
+			grow = n + 1
+		}
+		n = grow
+	}
+}
+
+// bench is one registered benchmark.
+type bench struct {
+	name    string
+	bytes   int64
+	prepare func() func(n int)
+}
+
+// encodeBench builds an encode-microbenchmark closure over a ring of
+// randomized write contexts (stuck cells included), mirroring
+// internal/coset's BenchmarkEncode.
+func encodeBench(codec coset.Codec, n int, mlcPlane, slc, ref bool, obj coset.Objective) func() func(int) {
+	return func() func(int) {
+		const ringLen = 256
+		rng := prng.New(1)
+		mode := pcm.MLC
+		if slc {
+			mode = pcm.SLC
+		}
+		ctxs := make([]coset.Ctx, ringLen)
+		data := make([]uint64, ringLen)
+		for i := range ctxs {
+			stuckSym := rng.Uint64() & rng.Uint64() & rng.Uint64() & bitutil.Mask(32)
+			var stuckMask uint64
+			if mode == pcm.MLC {
+				stuckMask = bitutil.ExpandSymbolMask(stuckSym)
+			} else {
+				stuckMask = rng.Uint64() & rng.Uint64() & rng.Uint64()
+			}
+			ctxs[i] = coset.Ctx{
+				N: n, Mode: mode, MLCPlane: mlcPlane,
+				OldWord:   rng.Uint64(),
+				NewLeft:   rng.Uint64() & bitutil.Mask(32),
+				StuckMask: stuckMask,
+				StuckVal:  rng.Uint64() & stuckMask,
+				OldAux:    rng.Uint64() & 0xFFFF,
+			}
+			data[i] = rng.Uint64() & bitutil.Mask(n)
+		}
+		ev := coset.NewEvaluator(ctxs[0], obj)
+		var sc coset.SlicedCtx
+		encode := codec.Encode
+		if ref {
+			switch rc := codec.(type) {
+			case *coset.VCC:
+				encode = rc.EncodeRef
+			case *coset.FNW:
+				encode = rc.EncodeRef
+			}
+		} else if fc, ok := codec.(coset.FastCodec); ok {
+			encode = func(d uint64, ev *coset.Evaluator) (uint64, uint64) {
+				return fc.EncodeSliced(d, ev, &sc)
+			}
+		}
+		var sink uint64
+		return func(iters int) {
+			for i := 0; i < iters; i++ {
+				k := i & (ringLen - 1)
+				ev.Reset(ctxs[k], obj)
+				e, a := encode(data[k], ev)
+				sink ^= e ^ a
+			}
+		}
+	}
+}
+
+// engineBench builds a mixed Apply-loop closure over a sharded engine.
+func engineBench(cfg vcc.ShardedMemoryConfig, readFrac float64, batch int) func() func(int) {
+	return func() func(int) {
+		mem, err := vcc.NewShardedMemory(cfg)
+		if err != nil {
+			panic(err)
+		}
+		rng := prng.New(3)
+		zipf := workload.NewZipfHot(cfg.Lines, 1.3, prng.NewFrom(1, "benchreport-zipf"))
+		zrng := prng.NewFrom(1, "benchreport-lines")
+		ops := make([]vcc.Op, batch)
+		for i := range ops {
+			data := make([]byte, vcc.LineSize)
+			rng.Fill(data)
+			kind := vcc.OpWrite
+			if rng.Float64() < readFrac {
+				kind = vcc.OpRead
+			}
+			line := (i * 7) % cfg.Lines
+			if cfg.CacheLines > 0 {
+				line = int(zipf.NextLine(zrng))
+			}
+			ops[i] = vcc.Op{Kind: kind, Line: line, Data: data}
+		}
+		outs := make([]vcc.Outcome, batch)
+		return func(iters int) {
+			for i := 0; i < iters; i++ {
+				var err error
+				if outs, err = mem.Apply(ops, outs); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+}
+
+// asyncBench builds a pipelined Submit/Wait closure (depth slots).
+func asyncBench(cfg vcc.ShardedMemoryConfig, depth, batch int) func() func(int) {
+	return func() func(int) {
+		mem, err := vcc.NewShardedMemory(cfg)
+		if err != nil {
+			panic(err)
+		}
+		sess := mem.Session()
+		rng := prng.New(3)
+		type slot struct {
+			ops []vcc.Op
+			out []vcc.Outcome
+			tk  *vcc.Ticket
+		}
+		slots := make([]slot, depth)
+		for s := range slots {
+			slots[s].ops = make([]vcc.Op, batch)
+			slots[s].out = make([]vcc.Outcome, batch)
+			for i := range slots[s].ops {
+				data := make([]byte, vcc.LineSize)
+				rng.Fill(data)
+				kind := vcc.OpWrite
+				if rng.Float64() < 0.5 {
+					kind = vcc.OpRead
+				}
+				slots[s].ops[i] = vcc.Op{Kind: kind, Line: (s*batch + i*7) % cfg.Lines, Data: data}
+			}
+		}
+		return func(iters int) {
+			for i := 0; i < iters; i++ {
+				sl := &slots[i%depth]
+				if sl.tk != nil {
+					if _, err := sl.tk.Wait(); err != nil {
+						panic(err)
+					}
+				}
+				tk, err := sess.Submit(sl.ops, sl.out)
+				if err != nil {
+					panic(err)
+				}
+				sl.tk = tk
+			}
+			for s := range slots {
+				if slots[s].tk != nil {
+					if _, err := slots[s].tk.Wait(); err != nil {
+						panic(err)
+					}
+					slots[s].tk = nil
+				}
+			}
+		}
+	}
+}
+
+func benches() []bench {
+	const (
+		batch = 1024
+		lines = 1 << 13
+	)
+	objES := coset.ObjEnergySAW
+	mkShard := func(shards, cacheLines int, policy vcc.CachePolicy) vcc.ShardedMemoryConfig {
+		return vcc.ShardedMemoryConfig{
+			Lines: lines, Shards: shards, Workers: shards, Seed: 1,
+			CacheLines: cacheLines, CachePolicy: policy,
+		}
+	}
+	return []bench{
+		// Encode microbenchmarks: the fast-path acceptance pairs.
+		{"encode/vcc_gen256/mlc/energy_saw/fast", 0,
+			encodeBench(coset.NewVCCGenerated(16, 256), 32, true, false, false, objES)},
+		{"encode/vcc_gen256/mlc/energy_saw/ref", 0,
+			encodeBench(coset.NewVCCGenerated(16, 256), 32, true, false, true, objES)},
+		{"encode/vcc_stored256/slc/energy_saw/fast", 0,
+			encodeBench(coset.NewVCCStored(64, 16, 256, 1), 64, false, true, false, objES)},
+		{"encode/vcc_stored256/slc/energy_saw/ref", 0,
+			encodeBench(coset.NewVCCStored(64, 16, 256, 1), 64, false, true, true, objES)},
+		{"encode/fnw16/mlc/energy_saw/fast", 0,
+			encodeBench(coset.NewFNW(64, 16), 64, false, false, false, objES)},
+		{"encode/fnw16/mlc/energy_saw/ref", 0,
+			encodeBench(coset.NewFNW(64, 16), 64, false, false, true, objES)},
+		{"encode/rcc256/mlc/energy_saw", 0,
+			encodeBench(coset.NewRCC(64, 256, 1), 64, false, false, false, objES)},
+		{"encode/flipcy/mlc/energy_saw", 0,
+			encodeBench(coset.NewFlipcy(64), 64, false, false, false, objES)},
+
+		// Engine benchmarks (bytes/op = one batch of 64-byte lines).
+		{"engine/apply_write/vcc256/shards=1", batch * vcc.LineSize,
+			engineBench(mkShard(1, 0, vcc.WriteThrough), 0, batch)},
+		{"engine/apply_write/vcc256/shards=4", batch * vcc.LineSize,
+			engineBench(mkShard(4, 0, vcc.WriteThrough), 0, batch)},
+		{"engine/apply_mixed/readfrac=0.5/shards=4", batch * vcc.LineSize,
+			engineBench(mkShard(4, 0, vcc.WriteThrough), 0.5, batch)},
+		{"engine/apply_cached/writeback/zipf/shards=4", batch * vcc.LineSize,
+			engineBench(mkShard(4, 512, vcc.WriteBack), 0.75, batch)},
+		{"engine/submit_async/depth=4/shards=4", batch * vcc.LineSize,
+			asyncBench(mkShard(4, 0, vcc.WriteThrough), 4, batch)},
+	}
+}
+
+func validate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema == "" || len(rep.Results) == 0 {
+		return fmt.Errorf("%s: missing schema or results", path)
+	}
+	for _, r := range rep.Results {
+		if r.Name == "" || r.NsPerOp <= 0 || r.Iterations < 1 {
+			return fmt.Errorf("%s: malformed result %+v", path, r)
+		}
+	}
+	fmt.Printf("%s: ok (%d results, schema %s)\n", path, len(rep.Results), rep.Schema)
+	return nil
+}
+
+func main() {
+	btFlag := flag.String("benchtime", "1s", "per-benchmark target: a duration (1s) or fixed iterations (1x)")
+	out := flag.String("out", "BENCH_5.json", "output path for the JSON report")
+	validatePath := flag.String("validate", "", "validate an existing report instead of running")
+	flag.Parse()
+
+	if *validatePath != "" {
+		if err := validate(*validatePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	bt, err := parseBenchtime(*btFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(2)
+	}
+	rep := Report{
+		Schema:    "vccrepro-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		BenchTime: *btFlag,
+	}
+	byName := map[string]Result{}
+	for _, b := range benches() {
+		fn := b.prepare()
+		r := measure(bt, b.bytes, fn)
+		r.Name = b.name
+		rep.Results = append(rep.Results, r)
+		byName[b.name] = r
+		if r.MBPerS > 0 {
+			fmt.Printf("%-48s %12.1f ns/op %8.2f allocs/op %10.2f MB/s\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.MBPerS)
+		} else {
+			fmt.Printf("%-48s %12.1f ns/op %8.2f allocs/op\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+	if fast, ok := byName["encode/vcc_gen256/mlc/energy_saw/fast"]; ok {
+		if ref, ok := byName["encode/vcc_gen256/mlc/energy_saw/ref"]; ok && fast.NsPerOp > 0 {
+			rep.SpeedupVCCMLCEnergySAW = ref.NsPerOp / fast.NsPerOp
+			fmt.Printf("%-48s %12.2fx\n", "speedup: vcc mlc energy+saw (ref/fast)", rep.SpeedupVCCMLCEnergySAW)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -15,6 +15,9 @@ import (
 // The paper evaluates it at 16-bit granularity under the label "DBI/FNW".
 type FNW struct {
 	n, k int
+	// sc backs the plain Encode entry point with the sliced fast path;
+	// controllers pass their own context via EncodeSliced.
+	sc SlicedCtx
 }
 
 // NewFNW returns a Flip-N-Write codec over n-bit planes with k-bit
@@ -36,16 +39,22 @@ func (c *FNW) PlaneBits() int { return c.n }
 func (c *FNW) AuxBits() int { return c.n / c.k }
 
 // Encode implements Codec. Selection is per sub-block, as in the
-// hardware: for decomposable costs this is globally optimal.
+// hardware: for decomposable costs this is globally optimal. Like VCC,
+// Encode runs the sliced fast path against codec-owned scratch;
+// EncodeRef retains the direct Evaluator search the equivalence suite
+// checks against.
 func (c *FNW) Encode(data uint64, ev *Evaluator) (uint64, uint64) {
+	return c.EncodeSliced(data, ev, &c.sc)
+}
+
+// EncodeRef is the reference per-sub-block search.
+func (c *FNW) EncodeRef(data uint64, ev *Evaluator) (uint64, uint64) {
 	p := c.n / c.k
 	var enc, aux uint64
 	for j := 0; j < p; j++ {
 		d := bitutil.SubBlock(data, j, c.k)
 		plain := d << uint(j*c.k)
 		flipped := (d ^ bitutil.Mask(c.k)) << uint(j*c.k)
-		// Charge each choice's aux bit cost so ties break consistently
-		// with what will actually be written.
 		costP := ev.Part(plain, j, c.k)
 		costF := ev.Part(flipped, j, c.k)
 		if costF.Less(costP) {
@@ -53,6 +62,32 @@ func (c *FNW) Encode(data uint64, ev *Evaluator) (uint64, uint64) {
 			aux |= 1 << uint(j)
 		} else {
 			enc |= plain
+		}
+	}
+	return enc, aux
+}
+
+// EncodeSliced implements FastCodec: each sub-block's two candidates are
+// priced through the sliced context. FNW charges no aux cost in its
+// per-block decision (one flag bit is written either way and the
+// historical selection rule compares data cost alone), so the decision
+// rule is exactly EncodeRef's, on bit-identical Pairs.
+func (c *FNW) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, uint64) {
+	if ev.Ctx.N != c.n || !sc.Bind(ev, c.k) {
+		return c.EncodeRef(data, ev)
+	}
+	p := c.n / c.k
+	kMask := bitutil.Mask(c.k)
+	var enc, aux uint64
+	for j := 0; j < p; j++ {
+		d := bitutil.SubBlock(data, j, c.k)
+		costP := sc.PartCost(j, d)
+		costF := sc.PartCost(j, d^kMask)
+		if costF.Less(costP) {
+			enc |= (d ^ kMask) << uint(j*c.k)
+			aux |= 1 << uint(j)
+		} else {
+			enc |= d << uint(j*c.k)
 		}
 	}
 	return enc, aux

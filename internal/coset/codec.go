@@ -22,10 +22,29 @@ type Codec interface {
 	Decode(enc, aux, left uint64) uint64
 }
 
+// FastCodec is implemented by codecs with a partition-sliced encode fast
+// path (see SlicedCtx). EncodeSliced selects exactly the same (enc, aux)
+// as Encode, but prices candidates through the caller-owned sliced
+// context, letting a memory controller rebind one SlicedCtx across the
+// eight words of a line instead of each codec reslicing into private
+// scratch — and keeping the write path at zero steady-state heap
+// allocations.
+type FastCodec interface {
+	Codec
+	// EncodeSliced is Encode priced through sc (rebound to ev's context
+	// internally; any prior binding is overwritten).
+	EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (enc, aux uint64)
+}
+
 // bestOf enumerates num candidates (cand(i) must return the full code
 // plane for index i) and returns the lexicographically cheapest including
 // its aux-write cost. It is the shared engine of the explicit-candidate
-// codecs (identity, Flipcy, RCC).
+// codecs (identity, Flipcy, RCC). Full-plane pricing rides the hoisted
+// write context Evaluator.Reset precomputes (plane mask, expanded symbol
+// mask, merged-left spread), so RCC's N-candidate sweep no longer
+// re-derives those invariants per candidate; it deliberately keeps the
+// reference Full/Aux summation (not the sliced tables) because its
+// candidates are whole planes with no partition structure to exploit.
 func bestOf(num int, auxBits int, cand func(i int) uint64, ev *Evaluator) (uint64, uint64) {
 	bestEnc, bestAux := cand(0), uint64(0)
 	bestCost := ev.Full(bestEnc).Add(ev.Aux(0, auxBits))

@@ -113,9 +113,25 @@ type Ctx struct {
 
 // Evaluator prices candidate planes under one objective. It is cheap to
 // construct per write.
+//
+// Reset hoists the per-write invariants below; Ctx must therefore not be
+// mutated in place after binding — Reset with the changed context
+// instead.
 type Evaluator struct {
 	Ctx Ctx
 	Obj Objective
+
+	// Write-context invariants hoisted by Reset so neither the reference
+	// search nor the sliced fast path re-derives them per candidate:
+	// planeMask is Mask(Ctx.N), fullBitMask is the whole plane in bit
+	// (cell) coordinates, and leftSpread is SpreadOdd(NewLeft) — the
+	// merged-left contribution of every MLC-plane candidate. planeMask is
+	// also the "bound" sentinel: it is never zero after Reset, so a zero
+	// value marks an evaluator built as a raw literal and eval self-heals
+	// by rebinding.
+	planeMask   uint64
+	fullBitMask uint64
+	leftSpread  uint64
 }
 
 // NewEvaluator builds an evaluator, applying defaults.
@@ -141,6 +157,14 @@ func (e *Evaluator) Reset(ctx Ctx, obj Objective) {
 		}
 	}
 	e.Ctx, e.Obj = ctx, obj
+	e.planeMask = bitutil.Mask(ctx.N)
+	if ctx.MLCPlane {
+		e.fullBitMask = bitutil.ExpandSymbolMask(e.planeMask & bitutil.Mask(32))
+		e.leftSpread = bitutil.SpreadOdd(ctx.NewLeft)
+	} else {
+		e.fullBitMask = e.planeMask
+		e.leftSpread = 0
+	}
 }
 
 // OldPlane returns the currently-stored plane value (what the candidate
@@ -154,7 +178,10 @@ func (e *Evaluator) OldPlane() uint64 {
 
 // Full prices the complete candidate plane.
 func (e *Evaluator) Full(candidate uint64) Pair {
-	return e.eval(candidate, bitutil.Mask(e.Ctx.N))
+	if e.planeMask == 0 {
+		e.Reset(e.Ctx, e.Obj) // raw-literal evaluator: bind the hoists
+	}
+	return e.eval(candidate, e.planeMask)
 }
 
 // Part prices only partition j (width m) of the candidate plane. The
@@ -167,14 +194,21 @@ func (e *Evaluator) Part(candidate uint64, j, m int) Pair {
 
 // eval prices the candidate restricted to planeMask (plane coordinates).
 func (e *Evaluator) eval(candidate, planeMask uint64) Pair {
+	if e.planeMask == 0 {
+		e.Reset(e.Ctx, e.Obj) // raw-literal evaluator: bind the hoists
+	}
 	c := &e.Ctx
 	var desired, bitMask uint64
 	if c.MLCPlane {
-		desired = bitutil.MergePlanes(c.NewLeft, candidate)
-		bitMask = bitutil.ExpandSymbolMask(planeMask & bitutil.Mask(32))
+		desired = e.leftSpread | bitutil.SpreadEven(candidate)
+		if planeMask == e.planeMask {
+			bitMask = e.fullBitMask
+		} else {
+			bitMask = bitutil.ExpandSymbolMask(planeMask & bitutil.Mask(32))
+		}
 	} else {
-		desired = candidate & bitutil.Mask(c.N)
-		bitMask = planeMask & bitutil.Mask(c.N)
+		desired = candidate & e.planeMask
+		bitMask = planeMask & e.planeMask
 	}
 	stored := (desired &^ c.StuckMask) | (c.StuckVal & c.StuckMask)
 
@@ -202,6 +236,12 @@ func (e *Evaluator) cellChanges(stored, bitMask uint64) int {
 
 func (e *Evaluator) energy(stored, bitMask uint64) float64 {
 	if e.Ctx.Mode == pcm.MLC {
+		if e.Ctx.MLCPlane {
+			// bitMask came from ExpandSymbolMask, so the normalizing
+			// collapse/expand round trip inside the masked variant is a
+			// no-op — skip it.
+			return e.Ctx.Energy.MLCWordEnergyExpandedMask(e.Ctx.OldWord, stored, bitMask)
+		}
 		return e.Ctx.Energy.MLCWordEnergyMasked(e.Ctx.OldWord, stored, bitMask)
 	}
 	return e.Ctx.Energy.SLCWordEnergyMasked(e.Ctx.OldWord, stored, bitMask)

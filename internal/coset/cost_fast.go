@@ -1,0 +1,273 @@
+package coset
+
+// The partition-sliced encode fast path.
+//
+// Every candidate the VCC/FNW searches price is a per-partition edit of
+// the same physical write context: the old word, the stuck cells, the
+// incoming left digits and the old auxiliary bits never change while
+// Algorithm 1 enumerates its r kernels x p partitions x 2 complements.
+// The reference Evaluator nevertheless re-derives the full-word plane
+// merge, the symbol-mask expansion and the stuck-cell overlay on every
+// Part call. SlicedCtx instead slices the context once per write —
+// per-partition sub-blocks of the old word and stuck masks, the
+// spread-odd merged-left contribution, and a 2x2 aux-bit cost table —
+// after which pricing one m-bit candidate value is a handful of
+// sub-word bit operations.
+//
+// Bit-identity with the reference path is a hard invariant (enforced by
+// TestFastEncodeMatchesReference and FuzzEncodeEquivalence): PartCost
+// computes the same integer cell counts as Evaluator.Part and feeds them
+// through the same float64 expressions, so the resulting Pairs are equal
+// as bit patterns, not merely approximately.
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/bitutil"
+	"repro/internal/pcm"
+)
+
+// maxSlices bounds the partition count of a sliced context: a 64-bit
+// plane in 1-bit partitions.
+const maxSlices = 64
+
+// SlicedCtx is a write context pre-sliced into partitions. A memory
+// controller owns one and rebinds it per word (Bind allocates nothing),
+// reusing the slice arrays across the eight words of a line and across
+// lines; codecs also embed one as a fallback so the plain Codec.Encode
+// entry point gets the fast path too.
+//
+// The zero value is unbound; Bind must succeed before PartCost/AuxBit
+// are used.
+type SlicedCtx struct {
+	m, p     int
+	obj      Objective
+	mode     pcm.CellMode
+	mlcPlane bool
+	energy   pcm.EnergyModel
+	oldAux   uint64
+
+	// Per-partition slices. For MLC-plane contexts slot j holds the
+	// 2m-bit word-coordinate sub-block covering partition j's symbols
+	// (and leftSpread its spread-odd left digits); otherwise the m-bit
+	// plane sub-block.
+	old        [maxSlices]uint64
+	stuckMask  [maxSlices]uint64
+	stuckVal   [maxSlices]uint64
+	leftSpread [maxSlices]uint64
+
+	// auxTab[old][val] is the cost of writing an auxiliary bit with
+	// value val over stored value old — the whole Evaluator.AuxBit
+	// switch collapsed to one table lookup, valid for every bit index
+	// because aux-bit cost depends only on the (old, new) bit pair.
+	auxTab [2][2]Pair
+}
+
+// Bind slices ev's write context for kernel width m and reports whether
+// the sliced fast path supports this configuration. It returns false —
+// and the caller must fall back to the reference search — when a
+// partition boundary would split an MLC symbol (full-word MLC with odd
+// m), since such a partition cannot be priced from an independent slice.
+func (sc *SlicedCtx) Bind(ev *Evaluator, m int) bool {
+	if ev.planeMask == 0 {
+		// Raw-literal evaluator: rebind so defaults (plane width, energy
+		// model) are applied before the context is copied into slices —
+		// the same self-heal the reference eval performs, keeping fast
+		// and reference paths on identical contexts.
+		ev.Reset(ev.Ctx, ev.Obj)
+	}
+	c := &ev.Ctx
+	if m <= 0 || c.N%m != 0 || c.N/m > maxSlices {
+		return false
+	}
+	if c.MLCPlane {
+		// A right-digit plane has at most 32 symbols; a wider N is a
+		// malformed context whose (degenerate) semantics belong to the
+		// reference path.
+		if c.N > 32 {
+			return false
+		}
+	} else if c.Mode == pcm.MLC && m%2 != 0 {
+		return false
+	}
+	p := c.N / m
+	sc.m, sc.p = m, p
+	sc.obj, sc.mode, sc.mlcPlane = ev.Obj, c.Mode, c.MLCPlane
+	sc.energy = c.Energy
+	sc.oldAux = c.OldAux
+	if c.MLCPlane {
+		w := 2 * m
+		bitutil.SubBlocksInto(sc.old[:p], c.OldWord, w)
+		bitutil.SubBlocksInto(sc.stuckMask[:p], c.StuckMask, w)
+		bitutil.SubBlocksInto(sc.stuckVal[:p], c.StuckVal, w)
+		for j := 0; j < p; j++ {
+			sc.leftSpread[j] = bitutil.SpreadOdd(bitutil.SubBlock(c.NewLeft, j, m))
+		}
+	} else {
+		bitutil.SubBlocksInto(sc.old[:p], c.OldWord, m)
+		bitutil.SubBlocksInto(sc.stuckMask[:p], c.StuckMask, m)
+		bitutil.SubBlocksInto(sc.stuckVal[:p], c.StuckVal, m)
+	}
+	for old := 0; old < 2; old++ {
+		for val := 0; val < 2; val++ {
+			sc.auxTab[old][val] = auxBitCost(sc.mode, sc.energy, sc.obj,
+				uint64(old), uint64(val))
+		}
+	}
+	return true
+}
+
+// Partitions returns the partition count of the bound context.
+func (sc *SlicedCtx) Partitions() int { return sc.p }
+
+// AuxBit prices writing auxiliary bit bitIdx with value val — the
+// table-lookup equivalent of Evaluator.AuxBit on the bound context.
+func (sc *SlicedCtx) AuxBit(bitIdx int, val uint64) Pair {
+	return sc.auxTab[sc.oldAux>>uint(bitIdx)&1][val&1]
+}
+
+// PartCost prices the unshifted m-bit value v as the contents of
+// partition j: it equals Evaluator.Part(v<<(j*m), j, m) bit-for-bit. v
+// must carry no bits above m.
+func (sc *SlicedCtx) PartCost(j int, v uint64) Pair {
+	if sc.obj == ObjOnes {
+		return Pair{float64(bits.OnesCount64(v)), 0}
+	}
+	var desired uint64
+	if sc.mlcPlane {
+		desired = sc.leftSpread[j] | bitutil.SpreadEven(v)
+	} else {
+		desired = v
+	}
+	sm := sc.stuckMask[j]
+	stored := (desired &^ sm) | (sc.stuckVal[j] & sm)
+	switch sc.obj {
+	case ObjFlips:
+		if sc.mode == pcm.MLC {
+			return Pair{float64(bitutil.SymbolCount(sc.old[j], stored)), 0}
+		}
+		return Pair{float64(bits.OnesCount64(sc.old[j] ^ stored)), 0}
+	case ObjEnergySAW:
+		return Pair{sc.sliceEnergy(j, stored), float64(sc.sliceSAW(j, desired))}
+	case ObjSAWEnergy:
+		return Pair{float64(sc.sliceSAW(j, desired)), sc.sliceEnergy(j, stored)}
+	default:
+		panic("coset: unknown objective")
+	}
+}
+
+func (sc *SlicedCtx) sliceEnergy(j int, stored uint64) float64 {
+	if sc.mode == pcm.MLC {
+		return sc.energy.MLCWordEnergyAll(sc.old[j], stored)
+	}
+	return sc.energy.SLCWordEnergy(sc.old[j], stored)
+}
+
+func (sc *SlicedCtx) sliceSAW(j int, desired uint64) int {
+	wrong := (desired ^ sc.stuckVal[j]) & sc.stuckMask[j]
+	if sc.mode == pcm.MLC {
+		return bitutil.SymbolCount(wrong, 0)
+	}
+	return bits.OnesCount64(wrong)
+}
+
+// auxBitCost mirrors Evaluator.AuxBit for one (old bit, new bit) pair.
+func auxBitCost(mode pcm.CellMode, en pcm.EnergyModel, obj Objective, old, val uint64) Pair {
+	switch obj {
+	case ObjOnes:
+		return Pair{float64(val), 0}
+	case ObjFlips:
+		if old != val {
+			return Pair{1, 0}
+		}
+		return Pair{}
+	case ObjEnergySAW, ObjSAWEnergy:
+		var e float64
+		if old != val {
+			if mode == pcm.MLC {
+				if val == 1 {
+					e = en.MLCHighPJ
+				} else {
+					e = en.MLCLowPJ
+				}
+			} else {
+				if val == 1 {
+					e = en.SLCSetPJ
+				} else {
+					e = en.SLCResetPJ
+				}
+			}
+		}
+		if obj == ObjEnergySAW {
+			return Pair{e, 0}
+		}
+		return Pair{0, e}
+	default:
+		panic("coset: unknown objective")
+	}
+}
+
+// pairFloor is a component-wise minimum: the result is lexicographically
+// <= both inputs, which is what makes it a sound branch-and-bound lower
+// bound (a lexicographic minimum alone would not bound the Secondary
+// component of a sum).
+func pairFloor(a, b Pair) Pair {
+	if b.Primary < a.Primary {
+		a.Primary = b.Primary
+	}
+	if b.Secondary < a.Secondary {
+		a.Secondary = b.Secondary
+	}
+	return a
+}
+
+// pairInf is the identity element of pairFloor.
+var pairInf = Pair{math.Inf(1), math.Inf(1)}
+
+// cannotBeat reports whether a search branch whose component-wise cost
+// lower bound is lb is provably unable to improve on the incumbent under
+// obj, so the branch may be pruned without changing the search result.
+//
+// Soundness has to account for the reference search's own float
+// behavior, not just exact arithmetic. Cost components come in two
+// kinds. Cell/SAW counts are small integers whose float sums are exact,
+// so comparing them is exact: a bound strictly worse loses for certain,
+// and a bound exactly equal cannot displace the incumbent either (the
+// search requires strict improvement), making >= prunable. Energy sums
+// are inexact — two candidates with equal exact cost can differ by ULPs
+// depending on which terms were summed — and the reference breaks such
+// ties by exactly that noise (FuzzEncodeEquivalence found the case: two
+// kernels at exact cost 555.9 summed to 555.9 and 555.9000000000001,
+// and the reference's strict < picked the former). A bound cannot
+// predict a completion's noise, so on energy components it prunes only
+// beyond a relative slack of 1e-9 — four orders above the worst-case
+// summation noise of these <=70-term sums (~1e-13 relative), and far
+// below any real cost quantum — and near-ties fall through to full
+// evaluation in the reference's own summation order.
+func cannotBeat(obj Objective, lb, incumbent Pair) bool {
+	switch obj {
+	case ObjFlips, ObjOnes:
+		// Both components exact integer counts.
+		return !lb.Less(incumbent)
+	case ObjEnergySAW:
+		// Primary is energy (noisy): prune on it alone, beyond slack.
+		// The secondary never prunes — it only matters on an exact
+		// primary tie, which the reference resolves at ULP granularity.
+		return lb.Primary > incumbent.Primary+ulpSlack(lb.Primary, incumbent.Primary)
+	case ObjSAWEnergy:
+		// Primary (SAW count) is exact; secondary is noisy energy.
+		if lb.Primary != incumbent.Primary {
+			return lb.Primary > incumbent.Primary
+		}
+		return lb.Secondary > incumbent.Secondary+ulpSlack(lb.Secondary, incumbent.Secondary)
+	default:
+		return false
+	}
+}
+
+// ulpSlack is the relative margin separating "worse by a real cost
+// quantum" from "possibly an exact tie perturbed by summation noise".
+func ulpSlack(a, b float64) float64 {
+	return 1e-9 * (math.Abs(a) + math.Abs(b) + 1)
+}

@@ -1,0 +1,323 @@
+package coset
+
+import (
+	"testing"
+
+	"repro/internal/bitutil"
+	"repro/internal/pcm"
+	"repro/internal/prng"
+)
+
+// The fast-path contract is bit-identity: for every codec exposing
+// EncodeSliced, (enc, aux) must equal EncodeRef's output exactly — same
+// winning virtual coset, same tie-breaks — across objectives, cell
+// modes, stuck-cell patterns and energy models. These tests are the
+// oracle; FuzzEncodeEquivalence keeps hunting after they pass.
+
+// equivCodec pairs a codec with the context shapes it supports.
+type equivCodec struct {
+	name     string
+	codec    Codec
+	n        int
+	mlcPlane bool // exercise the MLC right-digit-plane configuration
+}
+
+func equivCodecs() []equivCodec {
+	return []equivCodec{
+		{"VCC-Stored(64,256,16)", NewVCCStored(64, 16, 256, 1), 64, false},
+		{"VCC-Stored(64,8,2)m32", NewVCCStored(64, 32, 8, 4), 64, false},
+		{"VCC-Stored(32,64,16)", NewVCCStored(32, 16, 64, 3), 32, true},
+		{"VCC-Gen(16,256)", NewVCCGenerated(16, 256), 32, true},
+		{"VCC-Gen(16,64)", NewVCCGenerated(16, 64), 32, true},
+		{"VCC-Gen(8,256)", NewVCCGenerated(8, 256), 32, true},
+		{"VCC-Hybrid", NewVCC(32, WithHybridKernels(NewGeneratedKernels(32, 16, 16))), 32, true},
+		{"FNW(64,16)", NewFNW(64, 16), 64, false},
+		{"FNW(64,8)", NewFNW(64, 8), 64, false},
+		{"FNW(32,16)", NewFNW(32, 16), 32, true},
+		{"RCC(64,256)", NewRCC(64, 256, 1), 64, false},
+		{"RCC(32,16)", NewRCC(32, 16, 2), 32, true},
+		{"Flipcy(64)", NewFlipcy(64), 64, false},
+	}
+}
+
+// referenceEncode routes a codec to its retained reference search. For
+// the explicit-candidate codecs (RCC, Flipcy) the bestOf sweep over
+// Full+Aux is the reference; re-running Encode on a freshly constructed
+// evaluator is exactly that sweep, so fast-vs-ref only diverges for the
+// sliced codecs — which is where the assertion has teeth.
+func referenceEncode(c Codec, data uint64, ev *Evaluator) (uint64, uint64) {
+	switch rc := c.(type) {
+	case *VCC:
+		return rc.EncodeRef(data, ev)
+	case *FNW:
+		return rc.EncodeRef(data, ev)
+	default:
+		return c.Encode(data, ev)
+	}
+}
+
+// equivCtx derives a randomized write context. Stuck cells arrive in
+// both sparse-bit (SLC) and whole-symbol (MLC) shapes, old aux bits and
+// the left plane are random, and occasionally a custom (non-default)
+// energy model replaces Table I's to exercise arbitrary float costs.
+func equivCtx(rng *prng.Rand, n int, mlcPlane bool) Ctx {
+	mode := pcm.MLC
+	if !mlcPlane && rng.Bool() {
+		mode = pcm.SLC
+	}
+	var stuckMask uint64
+	switch rng.Uint64() % 3 {
+	case 0: // healthy word
+	case 1: // a few stuck cells
+		if mode == pcm.MLC {
+			stuckMask = bitutil.ExpandSymbolMask(rng.Uint64() & rng.Uint64() & bitutil.Mask(32))
+		} else {
+			stuckMask = rng.Uint64() & rng.Uint64() & rng.Uint64()
+		}
+	default: // dense damage
+		if mode == pcm.MLC {
+			stuckMask = bitutil.ExpandSymbolMask(rng.Uint64() & bitutil.Mask(32))
+		} else {
+			stuckMask = rng.Uint64()
+		}
+	}
+	ctx := Ctx{
+		N: n, Mode: mode, MLCPlane: mlcPlane,
+		OldWord:   rng.Uint64(),
+		NewLeft:   rng.Uint64() & bitutil.Mask(32),
+		StuckMask: stuckMask,
+		StuckVal:  rng.Uint64() & stuckMask,
+		OldAux:    rng.Uint64() & 0xFFFF,
+	}
+	if rng.Uint64()%4 == 0 {
+		ctx.Energy = pcm.EnergyModel{
+			MLCHighPJ: 7.25, MLCLowPJ: 1.1,
+			SLCSetPJ: 3.3, SLCResetPJ: 11.7,
+		}
+	}
+	return ctx
+}
+
+var equivObjectives = []Objective{ObjFlips, ObjOnes, ObjEnergySAW, ObjSAWEnergy}
+
+// TestFastEncodeMatchesReference is the randomized equivalence oracle:
+// every sliced-path codec, 4 objectives, SLC + MLC (full-word and
+// right-digit plane), random stuck patterns and old aux, against the
+// retained reference evaluator search. A shared SlicedCtx is reused
+// across all trials, mimicking the controller's per-word rebinding.
+func TestFastEncodeMatchesReference(t *testing.T) {
+	rng := prng.New(0x5E11CED)
+	var sc SlicedCtx
+	for _, ec := range equivCodecs() {
+		t.Run(ec.name, func(t *testing.T) {
+			for trial := 0; trial < 400; trial++ {
+				ctx := equivCtx(rng, ec.n, ec.mlcPlane)
+				data := rng.Uint64() & bitutil.Mask(ec.n)
+				for _, obj := range equivObjectives {
+					evFast := NewEvaluator(ctx, obj)
+					evRef := NewEvaluator(ctx, obj)
+					var fastEnc, fastAux uint64
+					if fc, ok := ec.codec.(FastCodec); ok {
+						fastEnc, fastAux = fc.EncodeSliced(data, evFast, &sc)
+					} else {
+						fastEnc, fastAux = ec.codec.Encode(data, evFast)
+					}
+					refEnc, refAux := referenceEncode(ec.codec, data, evRef)
+					if fastEnc != refEnc || fastAux != refAux {
+						t.Fatalf("trial %d obj %v ctx %+v data %#x:\nfast (enc,aux) = (%#x,%#x)\nref  (enc,aux) = (%#x,%#x)",
+							trial, obj, ctx, data, fastEnc, fastAux, refEnc, refAux)
+					}
+					// Decode must invert the fast encoding too.
+					if dec := ec.codec.Decode(fastEnc, fastAux, ctx.NewLeft); dec != data {
+						t.Fatalf("trial %d obj %v: decode(fast) = %#x, want %#x",
+							trial, obj, dec, data)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSlicedFallsBackToReference pins the configurations the sliced
+// context cannot represent: an odd kernel width on full-word MLC would
+// split symbols across partitions, and a plane-width mismatch between
+// codec and context has reference-defined degenerate semantics. Both
+// must transparently produce the reference result.
+func TestSlicedFallsBackToReference(t *testing.T) {
+	rng := prng.New(77)
+	var sc SlicedCtx
+
+	// Odd m on full-word MLC: Bind refuses, EncodeSliced defers.
+	fnw := NewFNW(64, 1)
+	for trial := 0; trial < 50; trial++ {
+		ctx := equivCtx(rng, 64, false)
+		ctx.Mode = pcm.MLC
+		data := rng.Uint64()
+		for _, obj := range equivObjectives {
+			ev := NewEvaluator(ctx, obj)
+			if (&SlicedCtx{}).Bind(ev, 1) {
+				t.Fatal("Bind should refuse odd m on full-word MLC")
+			}
+			fe, fa := fnw.EncodeSliced(data, ev, &sc)
+			re, ra := fnw.EncodeRef(data, NewEvaluator(ctx, obj))
+			if fe != re || fa != ra {
+				t.Fatalf("fallback mismatch: (%#x,%#x) vs (%#x,%#x)", fe, fa, re, ra)
+			}
+		}
+	}
+
+	// Plane-width mismatch: a 64-bit codec driven with a 32-bit context.
+	vcc := NewVCCStored(64, 16, 64, 9)
+	for trial := 0; trial < 50; trial++ {
+		ctx := equivCtx(rng, 32, false)
+		data := rng.Uint64()
+		ev := NewEvaluator(ctx, ObjEnergySAW)
+		fe, fa := vcc.EncodeSliced(data, ev, &sc)
+		re, ra := vcc.EncodeRef(data, NewEvaluator(ctx, ObjEnergySAW))
+		if fe != re || fa != ra {
+			t.Fatalf("N-mismatch fallback diverged: (%#x,%#x) vs (%#x,%#x)", fe, fa, re, ra)
+		}
+	}
+
+	// A malformed MLCPlane context claiming a 64-bit plane: Bind must
+	// refuse (a right-digit plane has at most 32 symbols) rather than
+	// slice past bit 64, and Encode must match the reference's
+	// degenerate handling.
+	for trial := 0; trial < 50; trial++ {
+		ctx := equivCtx(rng, 64, false)
+		ctx.MLCPlane = true
+		ctx.Mode = pcm.MLC
+		data := rng.Uint64()
+		ev := NewEvaluator(ctx, ObjEnergySAW)
+		if (&SlicedCtx{}).Bind(ev, 16) {
+			t.Fatal("Bind should refuse MLCPlane with N > 32")
+		}
+		fe, fa := vcc.EncodeSliced(data, ev, &sc)
+		re, ra := vcc.EncodeRef(data, NewEvaluator(ctx, ObjEnergySAW))
+		if fe != re || fa != ra {
+			t.Fatalf("wide-MLCPlane fallback diverged: (%#x,%#x) vs (%#x,%#x)", fe, fa, re, ra)
+		}
+	}
+}
+
+// TestRawLiteralEvaluatorSelfHeals pins the raw-literal escape hatch:
+// an Evaluator built without Reset (zero-value EnergyModel, hoists
+// unbound) must price and encode exactly like a Reset one — both Bind
+// and the reference eval self-heal by rebinding, so the fast and
+// reference paths see identical defaulted contexts.
+func TestRawLiteralEvaluatorSelfHeals(t *testing.T) {
+	rng := prng.New(0x117)
+	codecs := []Codec{NewVCCStored(64, 16, 64, 9), NewFNW(64, 16)}
+	for trial := 0; trial < 100; trial++ {
+		ctx := equivCtx(rng, 64, false)
+		ctx.Energy = pcm.EnergyModel{} // force the default substitution
+		data := rng.Uint64()
+		for _, c := range codecs {
+			for _, obj := range equivObjectives {
+				raw := &Evaluator{Ctx: ctx, Obj: obj}
+				bound := NewEvaluator(ctx, obj)
+				fe, fa := c.Encode(data, raw)
+				re, ra := c.Encode(data, bound)
+				if fe != re || fa != ra {
+					t.Fatalf("raw-literal evaluator diverged on %s obj %v: (%#x,%#x) vs (%#x,%#x)",
+						c.Name(), obj, fe, fa, re, ra)
+				}
+			}
+		}
+	}
+}
+
+// TestSlicedCtxPartCostMatchesPart checks the low-level contract
+// directly: PartCost(j, v) must equal Part(v<<(j*m), j, m) bit-for-bit
+// on random contexts, for every partition and objective — the invariant
+// the whole fast path is built on.
+func TestSlicedCtxPartCostMatchesPart(t *testing.T) {
+	rng := prng.New(0xC057)
+	var sc SlicedCtx
+	for trial := 0; trial < 300; trial++ {
+		mlcPlane := trial%2 == 0
+		n := 64
+		if mlcPlane {
+			n = 32
+		}
+		ctx := equivCtx(rng, n, mlcPlane)
+		for _, m := range []int{8, 16, 32} {
+			if n%m != 0 {
+				continue
+			}
+			for _, obj := range equivObjectives {
+				ev := NewEvaluator(ctx, obj)
+				if !sc.Bind(ev, m) {
+					t.Fatalf("Bind failed for supported config n=%d m=%d", n, m)
+				}
+				for j := 0; j < n/m; j++ {
+					v := rng.Uint64() & bitutil.Mask(m)
+					got := sc.PartCost(j, v)
+					want := ev.Part(v<<uint(j*m), j, m)
+					if got != want {
+						t.Fatalf("PartCost(%d,%#x) m=%d obj=%v = %+v, want %+v",
+							j, v, m, obj, got, want)
+					}
+				}
+				// And the aux table against the reference switch.
+				for b := 0; b < 16; b++ {
+					for val := uint64(0); val < 2; val++ {
+						if got, want := sc.AuxBit(b, val), ev.AuxBit(b, val); got != want {
+							t.Fatalf("AuxBit(%d,%d) = %+v, want %+v", b, val, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzEncodeEquivalence fuzzes the fast path against the reference
+// search over raw context bytes. Run with `go test -fuzz
+// FuzzEncodeEquivalence ./internal/coset` to hunt; the seed corpus plus
+// any minimized crashers run as part of the normal test suite.
+func FuzzEncodeEquivalence(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(0xDEADBEEFCAFEF00D), uint64(0x0123456789ABCDEF), uint64(0xFFFFFFFF),
+		uint64(0xF0F0F0F0F0F0F0F0), uint64(0x5555555555555555), uint64(0xAB), uint8(2), uint8(1))
+	f.Add(^uint64(0), uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint8(3), uint8(6))
+
+	codecs := equivCodecs()
+	var sc SlicedCtx
+	f.Fuzz(func(t *testing.T, data, old, left, stuckMask, stuckVal, oldAux uint64,
+		objSel, codecSel uint8) {
+		ec := codecs[int(codecSel)%len(codecs)]
+		obj := equivObjectives[int(objSel)%len(equivObjectives)]
+		mode := pcm.MLC
+		if objSel&4 != 0 && !ec.mlcPlane {
+			mode = pcm.SLC
+		}
+		if mode == pcm.MLC && objSel&8 == 0 {
+			// Bias toward physically-plausible whole-symbol stuck cells
+			// half the time; keep raw patterns the other half.
+			stuckMask = bitutil.ExpandSymbolMask(stuckMask & bitutil.Mask(32))
+		}
+		ctx := Ctx{
+			N: ec.n, Mode: mode, MLCPlane: ec.mlcPlane,
+			OldWord:   old,
+			NewLeft:   left & bitutil.Mask(32),
+			StuckMask: stuckMask,
+			StuckVal:  stuckVal & stuckMask,
+			OldAux:    oldAux,
+		}
+		data &= bitutil.Mask(ec.n)
+		evFast := NewEvaluator(ctx, obj)
+		evRef := NewEvaluator(ctx, obj)
+		var fastEnc, fastAux uint64
+		if fc, ok := ec.codec.(FastCodec); ok {
+			fastEnc, fastAux = fc.EncodeSliced(data, evFast, &sc)
+		} else {
+			fastEnc, fastAux = ec.codec.Encode(data, evFast)
+		}
+		refEnc, refAux := referenceEncode(ec.codec, data, evRef)
+		if fastEnc != refEnc || fastAux != refAux {
+			t.Fatalf("%s obj %v: fast (%#x,%#x) != ref (%#x,%#x)",
+				ec.name, obj, fastEnc, fastAux, refEnc, refAux)
+		}
+	})
+}

@@ -73,6 +73,10 @@ func (s *StoredKernels) Stored() bool { return true }
 type GeneratedKernels struct {
 	l, m, b, r int
 	maskWidth  int
+	// tiled holds the r/b tiled masks, which depend only on the
+	// generator geometry — precomputed so the per-word Kernels call is
+	// pure XORs of base vectors against them.
+	tiled []uint64
 	// scratch avoids a per-word allocation; Kernels returns this slice,
 	// valid until the next call.
 	scratch []uint64
@@ -93,22 +97,27 @@ func NewGeneratedKernels(l, m, r int) *GeneratedKernels {
 	if perBase&(perBase-1) != 0 {
 		panic(fmt.Sprintf("coset: r/b=%d must be a power of two", perBase))
 	}
-	return &GeneratedKernels{
+	g := &GeneratedKernels{
 		l: l, m: m, b: b, r: r,
 		maskWidth: 1 + log2(perBase),
+		tiled:     make([]uint64, perBase),
 		scratch:   make([]uint64, r),
 	}
+	for i := range g.tiled {
+		g.tiled[i] = bitutil.TileMask(uint64(i), g.maskWidth, g.m)
+	}
+	return g
 }
 
 // Kernels implements KernelSource. Kernel index k maps to base vector
 // k%b and mask k/b, matching Algorithm 2's R_{i*b+j} = M_i XOR base_j.
 func (g *GeneratedKernels) Kernels(left uint64) []uint64 {
-	perBase := g.r / g.b
-	for i := 0; i < perBase; i++ {
-		tiled := bitutil.TileMask(uint64(i), g.maskWidth, g.m)
+	mk := bitutil.Mask(g.m)
+	for i, tiled := range g.tiled {
+		rest := left
 		for j := 0; j < g.b; j++ {
-			base := bitutil.SubBlock(left, j, g.m)
-			g.scratch[i*g.b+j] = base ^ tiled
+			g.scratch[i*g.b+j] = (rest & mk) ^ tiled
+			rest >>= uint(g.m)
 		}
 	}
 	return g.scratch

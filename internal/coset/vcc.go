@@ -2,6 +2,7 @@ package coset
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitutil"
 )
@@ -27,6 +28,128 @@ import (
 type VCC struct {
 	n, m, p int
 	src     KernelSource
+
+	// sc is the codec-owned sliced context backing the plain Encode
+	// entry point; callers that batch words (memctrl) pass their own via
+	// EncodeSliced. fs is the fast-path search scratch (candidate cost
+	// tables, kernel classes, bound suffixes), allocated on first use
+	// and reused so steady-state encodes are allocation-free. Both make
+	// a VCC, like the kernel sources it wraps, single-goroutine state.
+	sc SlicedCtx
+	fs vccSearch
+}
+
+// vccSearch is the reusable scratch of the sliced encode search.
+type vccSearch struct {
+	// Kernel canonicalization: kernels k and k^mMask generate the same
+	// per-partition candidate values (with flag roles swapped), so each
+	// kernel maps to a class — the canonical value min(k, k^mMask) — and
+	// an orientation (comp: whether the kernel is the complemented
+	// form). Distinct classes, not kernels, pay candidate pricing.
+	canon []uint64 // distinct canonical kernel values (len q <= r)
+	pres  []uint8  // per class: bit 0/1 = plain/complemented kernel present
+	class []int32  // per kernel: class index
+	comp  []bool   // per kernel: complemented orientation
+	tab   []uint64 // open-addressed canon -> class map (power-of-two size)
+
+	// Per-partition candidate cost tables: choice[j*q+t] is class t's
+	// resolved decision (chosen sub-value, flag bit, cost including the
+	// flag aux bit) for partition j, for both orientations.
+	choice []partChoice
+
+	// Branch-and-bound state: lb[j] is the component-wise floor of every
+	// available choice in partition j, lbSuffix[j] the floor of
+	// completing partitions j..p-1. Index-bit cost enters the bound as a
+	// single shared floor (idxFloor, the cheaper aux value per index
+	// bit, summed) rather than per kernel — the final sum of a surviving
+	// kernel re-adds its exact index bits in reference order.
+	lb       []Pair
+	lbSuffix []Pair
+
+	// epoch invalidates tab lazily: a slot is live only when its stored
+	// epoch matches, so dedupe skips the O(len(tab)) clear per word.
+	epoch uint32
+}
+
+// partChoice holds one kernel class's resolved decision for one
+// partition, indexed by kernel orientation.
+type partChoice struct {
+	enc  [2]uint64
+	flag [2]uint64
+	cost [2]Pair
+}
+
+// ensure sizes the scratch for r kernels over p partitions.
+func (s *vccSearch) ensure(r, p int) {
+	if cap(s.canon) < r {
+		s.canon = make([]uint64, r)
+		s.pres = make([]uint8, r)
+		s.class = make([]int32, r)
+		s.comp = make([]bool, r)
+		n := 1
+		for n < 2*r {
+			n <<= 1
+		}
+		s.tab = make([]uint64, n)
+		s.epoch = 0
+	}
+	if cap(s.choice) < r*p {
+		s.choice = make([]partChoice, r*p)
+	}
+	if cap(s.lb) < p {
+		s.lb = make([]Pair, p)
+		s.lbSuffix = make([]Pair, p+1)
+	}
+}
+
+// dedupe canonicalizes the kernel set and returns the class count q.
+// tab slots pack (epoch << 32) | (class + 1); a stale epoch means empty,
+// so advancing the epoch invalidates the whole map in O(1). The epoch is
+// 32 bits, so a full clear happens once every 2^32 words on wrap.
+func (s *vccSearch) dedupe(kernels []uint64, mMask uint64) int {
+	tab := s.tab
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale slots could alias the new epoch
+		for i := range tab {
+			tab[i] = 0
+		}
+		s.epoch = 1
+	}
+	live := uint64(s.epoch) << 32
+	shift := uint(64 - bits.TrailingZeros(uint(len(tab))))
+	q := 0
+	for i, k := range kernels {
+		canon, comp := k, false
+		if kc := k ^ mMask; kc < k {
+			canon, comp = kc, true
+		}
+		h := (canon * 0x9E3779B97F4A7C15) >> shift
+		for {
+			var t int32
+			if e := tab[h]; e>>32 != uint64(s.epoch) {
+				tab[h] = live | uint64(q+1)
+				s.canon[q] = canon
+				s.pres[q] = 0
+				t = int32(q)
+				q++
+			} else {
+				t = int32(e&0xFFFFFFFF) - 1
+				if s.canon[t] != canon {
+					h = (h + 1) & uint64(len(tab)-1)
+					continue
+				}
+			}
+			s.class[i] = t
+			s.comp[i] = comp
+			if comp {
+				s.pres[t] |= 2
+			} else {
+				s.pres[t] |= 1
+			}
+			break
+		}
+	}
+	return q
 }
 
 // NewVCC builds a VCC codec over n-bit planes using kernels from src
@@ -104,7 +227,20 @@ func (c *VCC) AuxBits() int { return log2(c.src.NumKernels()) + c.p }
 // and each kernel's total folds in its index bits, so the result is
 // exactly the optimum over all N virtual cosets including auxiliary
 // overhead — the quantity Algorithm 1 line 19 minimizes.
+//
+// Encode runs the partition-sliced fast path (EncodeSliced) against the
+// codec-owned sliced context; EncodeRef retains the direct search. The
+// two are bit-identical — enforced by TestFastEncodeMatchesReference and
+// FuzzEncodeEquivalence.
 func (c *VCC) Encode(data uint64, ev *Evaluator) (uint64, uint64) {
+	return c.EncodeSliced(data, ev, &c.sc)
+}
+
+// EncodeRef is the reference Algorithm 1 search: every kernel prices
+// both complements of every partition through the plain Evaluator. It is
+// the correctness oracle the fast path is fuzzed against, and the
+// fallback for contexts the sliced path cannot represent.
+func (c *VCC) EncodeRef(data uint64, ev *Evaluator) (uint64, uint64) {
 	d := data & bitutil.Mask(c.n)
 	kernels := c.src.Kernels(ev.Ctx.NewLeft)
 	mMask := bitutil.Mask(c.m)
@@ -132,6 +268,125 @@ func (c *VCC) Encode(data uint64, ev *Evaluator) (uint64, uint64) {
 		// Kernel-index bits occupy aux positions p and up.
 		for b := c.p; b < c.AuxBits(); b++ {
 			cost = cost.Add(ev.AuxBit(b, uint64(i)>>uint(b-c.p)&1))
+		}
+		aux := uint64(i)<<uint(c.p) | flags
+		if i == 0 || cost.Less(bestCost) {
+			bestEnc, bestAux, bestCost = enc, aux, cost
+		}
+	}
+	return bestEnc, bestAux
+}
+
+// EncodeSliced implements FastCodec: Algorithm 1 restructured around the
+// sliced write context sc (rebound here; the caller only provides the
+// reusable storage). Three phases replace the reference's uniform
+// r x p x 2 Evaluator sweep:
+//
+//  1. Kernel canonicalization. Kernels k and k^mMask span the same
+//     candidate values per partition, so kernels collapse into q <= r
+//     classes; only distinct classes are priced.
+//  2. Per-partition candidate cost tables. For each partition j and
+//     class t the two candidate values {dj^k, dj^k^mMask} are priced
+//     once through the sliced context, the flag decision (including the
+//     flag bit's own aux cost, from the 2x2 table) is resolved for both
+//     kernel orientations, and a component-wise cost floor per
+//     partition is recorded.
+//  3. Branch-and-bound kernel scan. Each kernel's total is now a sum of
+//     table entries, accumulated in the reference's summation order; a
+//     kernel is abandoned as soon as its partial cost plus the floor of
+//     the remaining partitions and index bits provably cannot beat the
+//     incumbent (see cannotBeat for why pruning never changes the
+//     selected coset).
+func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, uint64) {
+	// A context whose plane width disagrees with the codec's would slice
+	// into partitions the search does not iterate; the reference path
+	// defines the (degenerate) semantics of that misuse, so defer to it.
+	if ev.Ctx.N != c.n || !sc.Bind(ev, c.m) {
+		return c.EncodeRef(data, ev)
+	}
+	d := data & bitutil.Mask(c.n)
+	kernels := c.src.Kernels(ev.Ctx.NewLeft)
+	r := len(kernels)
+	s := &c.fs
+	s.ensure(r, c.p)
+	mMask := bitutil.Mask(c.m)
+	q := s.dedupe(kernels, mMask)
+
+	auxBits := c.AuxBits()
+	for j := 0; j < c.p; j++ {
+		dj := bitutil.SubBlock(d, j, c.m)
+		a0 := sc.AuxBit(j, 0)
+		a1 := sc.AuxBit(j, 1)
+		floor := pairInf
+		row := s.choice[j*q : (j+1)*q]
+		for t := 0; t < q; t++ {
+			y0 := dj ^ s.canon[t]
+			y1 := y0 ^ mMask
+			pc0 := sc.PartCost(j, y0)
+			pc1 := sc.PartCost(j, y1)
+			e := &row[t]
+			pres := s.pres[t]
+			if pres&1 != 0 { // plain orientation: flag 0 writes y0
+				c0 := pc0.Add(a0)
+				c1 := pc1.Add(a1)
+				if c1.Less(c0) {
+					e.cost[0], e.enc[0], e.flag[0] = c1, y1, 1
+				} else {
+					e.cost[0], e.enc[0], e.flag[0] = c0, y0, 0
+				}
+				floor = pairFloor(floor, e.cost[0])
+			}
+			if pres&2 != 0 { // complemented orientation: flag 0 writes y1
+				c0 := pc1.Add(a0)
+				c1 := pc0.Add(a1)
+				if c1.Less(c0) {
+					e.cost[1], e.enc[1], e.flag[1] = c1, y0, 1
+				} else {
+					e.cost[1], e.enc[1], e.flag[1] = c0, y1, 0
+				}
+				floor = pairFloor(floor, e.cost[1])
+			}
+		}
+		s.lb[j] = floor
+	}
+	// Fold the cheapest possible index-bit spend into the bound suffix:
+	// every kernel pays at least the cheaper aux value per index bit, so
+	// the floor stays a valid component-wise lower bound for all of them.
+	var idxFloor Pair
+	for b := c.p; b < auxBits; b++ {
+		idxFloor = idxFloor.Add(pairFloor(sc.AuxBit(b, 0), sc.AuxBit(b, 1)))
+	}
+	s.lbSuffix[c.p] = idxFloor
+	for j := c.p - 1; j >= 0; j-- {
+		s.lbSuffix[j] = s.lb[j].Add(s.lbSuffix[j+1])
+	}
+
+	var bestEnc, bestAux uint64
+	var bestCost Pair
+	for i := 0; i < r; i++ {
+		t := s.class[i]
+		o := 0
+		if s.comp[i] {
+			o = 1
+		}
+		var enc, flags uint64
+		var cost Pair
+		pruned := false
+		for j := 0; j < c.p; j++ {
+			e := &s.choice[j*q+int(t)]
+			cost = cost.Add(e.cost[o])
+			enc |= e.enc[o] << uint(j*c.m)
+			flags |= e.flag[o] << uint(j)
+			if i > 0 && cannotBeat(sc.obj, cost.Add(s.lbSuffix[j+1]), bestCost) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		for b := c.p; b < auxBits; b++ {
+			cost = cost.Add(sc.AuxBit(b, uint64(i)>>uint(b-c.p)&1))
 		}
 		aux := uint64(i)<<uint(c.p) | flags
 		if i == 0 || cost.Less(bestCost) {

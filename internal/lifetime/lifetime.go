@@ -181,6 +181,10 @@ func Run(t Technique, p Params) Result {
 	failed := make(map[int]bool)
 	var rec trace.Record
 	var rowWrites int64
+	// One long-lived evaluator, rebound per word: Reset applies defaults
+	// and hoists the per-write invariants the encode paths rely on
+	// (building an Evaluator as a raw literal would leave them unbound).
+	var ev coset.Evaluator
 
 	for {
 		if p.MaxRowWrites > 0 && rowWrites >= p.MaxRowWrites {
@@ -201,17 +205,14 @@ func Run(t Technique, p Params) Result {
 			desired := data
 			if codec != nil {
 				stuckMask, stuckVal := dev.Stuck(w)
-				ev := coset.Evaluator{
-					Ctx: coset.Ctx{
-						N: 64, Mode: pcm.MLC,
-						OldWord:   dev.Read(w),
-						StuckMask: stuckMask,
-						StuckVal:  stuckVal,
-						OldAux:    aux[w],
-						Energy:    pcm.DefaultEnergy,
-					},
-					Obj: coset.ObjSAWEnergy,
-				}
+				ev.Reset(coset.Ctx{
+					N: 64, Mode: pcm.MLC,
+					OldWord:   dev.Read(w),
+					StuckMask: stuckMask,
+					StuckVal:  stuckVal,
+					OldAux:    aux[w],
+					Energy:    pcm.DefaultEnergy,
+				}, coset.ObjSAWEnergy)
 				enc, a := codec.Encode(data, &ev)
 				desired = enc
 				aux[w] = a

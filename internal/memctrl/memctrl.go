@@ -198,6 +198,13 @@ type Controller struct {
 	words   [WordsPerLine]uint64
 	outc    [WordsPerLine]WordOutcome
 	ev      coset.Evaluator
+	// fast is non-nil when the codec exposes the partition-sliced encode
+	// fast path (detected once at construction); sliced is the
+	// controller-owned write context it rebinds per word, so the slice
+	// storage is reused across the eight words of a line and across
+	// lines without a heap allocation.
+	fast   coset.FastCodec
+	sliced coset.SlicedCtx
 
 	stats Stats
 }
@@ -228,11 +235,13 @@ func New(cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("memctrl: crypt unit sized for %d lines, device has %d",
 			cfg.Crypt.NumLines(), nw/WordsPerLine)
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:      cfg,
 		mlcPlane: mlcPlane,
 		aux:      make([]uint64, nw),
-	}, nil
+	}
+	c.fast, _ = cfg.Codec.(coset.FastCodec)
+	return c, nil
 }
 
 // MustNew is New that panics on error (tests, examples).
@@ -302,7 +311,12 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 			plane = wv
 		}
 		c.ev.Reset(ctx, c.cfg.Objective)
-		enc, aux := c.cfg.Codec.Encode(plane, &c.ev)
+		var enc, aux uint64
+		if c.fast != nil {
+			enc, aux = c.fast.EncodeSliced(plane, &c.ev, &c.sliced)
+		} else {
+			enc, aux = c.cfg.Codec.Encode(plane, &c.ev)
+		}
 
 		var desired uint64
 		if c.mlcPlane {

@@ -44,6 +44,13 @@ var DefaultEnergy = EnergyModel{
 	SLCResetPJ: 19.2,
 }
 
+// evenMask/oddMask select the right (even bit positions) and left (odd
+// bit positions) digits of the 32 MLC symbols in a 64-bit word.
+const (
+	evenMask = 0x5555555555555555
+	oddMask  = 0xAAAAAAAAAAAAAAAA
+)
+
 // MLCSymbolEnergy returns the energy (pJ) of writing symbol new over
 // symbol old in a single MLC cell, per Table I.
 func (e EnergyModel) MLCSymbolEnergy(old, new uint8) float64 {
@@ -78,6 +85,37 @@ func (e EnergyModel) MLCWordEnergyMasked(old, new, bitMask uint64) float64 {
 	high := bits.OnesCount64(diff&newRight) / 2
 	changed := bits.OnesCount64(diff) / 2
 	low := changed - high
+	return float64(high)*e.MLCHighPJ + float64(low)*e.MLCLowPJ
+}
+
+// MLCWordEnergyExpandedMask is MLCWordEnergyMasked for callers that
+// already hold a symbol-expanded bit mask (both bits of every selected
+// cell set, none half-set), skipping the collapse/expand round trip the
+// masked variant performs to normalize arbitrary masks. The coset
+// evaluator uses it on its hoisted full-plane mask.
+func (e EnergyModel) MLCWordEnergyExpandedMask(old, new, expMask uint64) float64 {
+	diff := bitutil.SymbolDiffMask(old, new) & expMask
+	newRight := bitutil.ExpandSymbolMask(bitutil.CompressEven(new))
+	high := bits.OnesCount64(diff&newRight) / 2
+	changed := bits.OnesCount64(diff) / 2
+	low := changed - high
+	return float64(high)*e.MLCHighPJ + float64(low)*e.MLCLowPJ
+}
+
+// MLCWordEnergyAll prices every cell of the old→new transition with no
+// mask at all. It is the cheapest form, used by the partition-sliced
+// encode fast path on pre-sliced sub-blocks (both operands carry only
+// the symbols under evaluation): one XOR, two mask folds and two
+// popcounts replace the full masked pipeline. The high/low split and the
+// final multiply-add are written exactly as in MLCWordEnergyMasked so
+// the two produce bit-identical float64 results from identical counts.
+func (e EnergyModel) MLCWordEnergyAll(old, new uint64) float64 {
+	d := old ^ new
+	// Bit 2k of changed is set iff symbol k differs; bit 2k of new is the
+	// new right digit of symbol k, so their AND counts high-energy cells.
+	changed := (d & evenMask) | ((d & oddMask) >> 1)
+	high := bits.OnesCount64(changed & new & evenMask)
+	low := bits.OnesCount64(changed) - high
 	return float64(high)*e.MLCHighPJ + float64(low)*e.MLCLowPJ
 }
 

@@ -176,3 +176,42 @@ func TestIsIntermediate(t *testing.T) {
 		t.Error("intermediate states not flagged")
 	}
 }
+
+// TestMLCWordEnergyVariantsAgree pins the three MLC energy entry points
+// against each other: the expanded-mask form on pre-expanded masks and
+// the unmasked form on full words must equal the general masked form
+// bit-for-bit (identical integer counts through identical float
+// expressions) — the contract the coset encode fast path relies on.
+func TestMLCWordEnergyVariantsAgree(t *testing.T) {
+	e := DefaultEnergy
+	if err := quick.Check(func(old, new, symMask uint64) bool {
+		exp := bitutil.ExpandSymbolMask(symMask & bitutil.Mask(32))
+		if e.MLCWordEnergyExpandedMask(old, new, exp) != e.MLCWordEnergyMasked(old, new, exp) {
+			return false
+		}
+		return e.MLCWordEnergyAll(old, new) == e.MLCWordEnergyMasked(old, new, ^uint64(0))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMLCWordEnergyAllSubBlocksSum checks the decomposition the sliced
+// evaluator uses: summing the unmasked form over 2m-bit sub-blocks
+// equals the masked full-word evaluation partition by partition.
+func TestMLCWordEnergyAllSubBlocksSum(t *testing.T) {
+	e := DefaultEnergy
+	if err := quick.Check(func(old, new uint64) bool {
+		const w = 16 // 8 symbols per slice
+		for j := 0; j < 64/w; j++ {
+			oldSub := bitutil.SubBlock(old, j, w)
+			newSub := bitutil.SubBlock(new, j, w)
+			mask := bitutil.Mask(w) << uint(j*w)
+			if e.MLCWordEnergyAll(oldSub, newSub) != e.MLCWordEnergyMasked(old, new, mask) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
