@@ -82,6 +82,18 @@ func TestApplySteadyStateAllocs(t *testing.T) {
 				cached.CachePolicy = policy
 				testSteadyStateAllocs(t, cached, readFrac)
 			}
+
+			// The remap-decorated path: mapping indirection plus per-word
+			// fault-repository lookups on every write. No faults are
+			// seeded, so no repairs fire — the guard pins the decorator's
+			// pass-through overhead at zero. The repository cache is
+			// sized above the word footprint: once warm, every lookup is
+			// an existing-key LRU touch and never grows the map.
+			remapped := cfg
+			remapped.RemapSpares = 16
+			remapped.UseFaultRepo = true
+			remapped.FaultRepoCache = 8192
+			testSteadyStateAllocs(t, remapped, readFrac)
 		}
 	}
 }

@@ -13,6 +13,7 @@
 //	tracegen -bench mcf_s -n 100000 -replay -readfrac -1   # mixed ops at the spec's read fraction
 //	tracegen -replay -mix "seq:0.5,zipf:0.4,chase:0.1" -readfrac 0.6 -n 100000
 //	tracegen -bench lbm_s -n 100000 -replay -shards 4 -async -inflight 8
+//	tracegen -bench mcf_s -n 100000 -replay -fault 1e-3 -remapspares 64 -faultrepo
 //
 // Replay mode drives the access stream through the full
 // encrypt-encode-program pipeline of a vcc.ShardedMemory equivalent
@@ -70,6 +71,8 @@ func main() {
 		batch    = flag.Int("batch", 256, "replay: writes per dispatched batch")
 		encoder  = flag.String("encoder", "vcc", "replay: vcc|vccgen|rcc|fnw|flipcy|none")
 		fault    = flag.Float64("fault", 0, "replay: per-cell stuck-at fault rate")
+		spares   = flag.Int("remapspares", 0, "replay: per-shard spare-line pool for the fault-remapping decorator; 0 = no remapping")
+		frepo    = flag.Bool("faultrepo", false, "replay: track discovered stuck-at cells in a per-shard fault repository (informed remap + in-place retry)")
 		slc      = flag.Bool("slc", false, "replay: single-level cells instead of MLC")
 		cache    = flag.Bool("cache", false, "replay: front each shard with a decoded-line LRU cache")
 		cacheLn  = flag.Int("cachelines", 1024, "replay -cache: per-shard cache capacity in lines")
@@ -120,9 +123,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracegen: -inflight %d must be at least 1\n", *inflight)
 			os.Exit(2)
 		}
+		if *spares < 0 {
+			fmt.Fprintf(os.Stderr, "tracegen: -remapspares %d must be non-negative\n", *spares)
+			os.Exit(2)
+		}
 		cfg := replayConfig{
 			shards: *shards, workers: *workers, lines: *memLine, batch: *batch,
 			encoder: *encoder, fault: *fault, slc: *slc, seed: *seed,
+			spares: *spares, faultRepo: *frepo,
 			readFrac: *rfrac,
 			cache:    *cache, cacheLines: *cacheLn, cachePolicy: policy,
 			async: *async, inFlight: *inflight,
@@ -210,6 +218,11 @@ type replayConfig struct {
 	fault                         float64
 	slc                           bool
 	seed                          uint64
+	// spares enables the per-shard fault-remapping decorator with that
+	// many spare lines; faultRepo adds the write-driven stuck-cell
+	// repository that informs spare selection and in-place retries.
+	spares    int
+	faultRepo bool
 	// readFrac interleaves reads into the replayed stream: the fraction
 	// of ops issued as OpRead. -1 selects the benchmark spec's
 	// characterized read fraction (meaningful with -bench only).
@@ -407,14 +420,16 @@ func buildEngine(cfg replayConfig) (*shard.Engine, error) {
 		return nil, err
 	}
 	scfg := shard.Config{
-		Lines:     cfg.lines,
-		Shards:    cfg.shards,
-		Workers:   cfg.workers,
-		NewCodec:  mk,
-		Objective: coset.ObjEnergySAW,
-		SLC:       cfg.slc,
-		FaultRate: cfg.fault,
-		Seed:      cfg.seed,
+		Lines:        cfg.lines,
+		Shards:       cfg.shards,
+		Workers:      cfg.workers,
+		NewCodec:     mk,
+		Objective:    coset.ObjEnergySAW,
+		SLC:          cfg.slc,
+		FaultRate:    cfg.fault,
+		Seed:         cfg.seed,
+		RemapSpares:  cfg.spares,
+		UseFaultRepo: cfg.faultRepo,
 	}
 	if cfg.cache {
 		scfg.CacheLines = cfg.cacheLines
@@ -492,6 +507,12 @@ func runReplay(mkSource func() (opSource, error), cfg replayConfig) error {
 	if cfg.cache {
 		engine += fmt.Sprintf(", %d-line %s cache/shard", cfg.cacheLines, cfg.cachePolicy)
 	}
+	if cfg.spares > 0 {
+		engine += fmt.Sprintf(", %d remap spares/shard", cfg.spares)
+		if cfg.faultRepo {
+			engine += " (fault repo)"
+		}
+	}
 	fmt.Printf("engine         %s\n", engine)
 	if cfg.async {
 		fmt.Printf("submission     async, %d ticket(s) in flight, batch %d\n", cfg.inFlight, cfg.batch)
@@ -526,6 +547,15 @@ func runReplay(mkSource func() (opSource, error), cfg replayConfig) error {
 			st.CacheHits, st.CacheMisses, 100*st.HitRate())
 		fmt.Printf("device writes  %d (%d deferred writebacks, %d coalesced away)\n",
 			st.LineWrites, st.Writebacks, st.CoalescedWrites)
+	}
+	if cfg.spares > 0 {
+		fmt.Printf("remap          %d lines relocated, %d repair failures, %d spares left\n",
+			st.RemappedLines, st.RepairFailures, eng.SpareLinesLeft())
+		if cfg.faultRepo {
+			fs := eng.FaultRepoStats()
+			fmt.Printf("fault repo     %d stuck cells discovered, %d lookups (%d cache hits)\n",
+				fs.Discovered, fs.Lookups, fs.CacheHits)
+		}
 	}
 	for s := 0; s < eng.Shards(); s++ {
 		ss := eng.ShardStats(s)

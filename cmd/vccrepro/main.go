@@ -11,6 +11,9 @@
 //	vccrepro -run shard-replay -shards 4  # concurrent sharded trace replay
 //	vccrepro -run async-sweep             # sync Apply vs pipelined Submit/Wait
 //	vccrepro -run workload-sweep -inflight 8  # drive a sweep through the async path
+//	vccrepro -campaign list               # enumerate scenario campaigns
+//	vccrepro -campaign fault-aging        # one long-horizon scenario campaign
+//	vccrepro -campaign crash-recovery -horizon 2000 -lines 128  # reduced scale
 //
 // Experiment ids follow the paper's numbering (fig1..fig13, table1,
 // table2) plus the ablations (ablate-*). Output tables carry notes
@@ -31,6 +34,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/linecache"
 )
@@ -47,6 +51,9 @@ func main() {
 		cacheLn  = flag.Int("cachelines", 0, "per-shard decoded-line cache capacity for experiments that honor it (workload-sweep); 0 = uncached")
 		cachePl  = flag.String("cachepolicy", "wt", "cache write policy with -cachelines: writethrough|wt|writeback|wb")
 		inFlight = flag.Int("inflight", 0, "issue op streams asynchronously with this many tickets in flight, for experiments that honor it (workload-sweep); 0 = synchronous Apply")
+		camp     = flag.String("campaign", "", "scenario campaign to run ('list' enumerates; see internal/campaign)")
+		lines    = flag.Int("lines", 0, "line capacity override for -campaign; 0 = scenario default")
+		horizon  = flag.Int64("horizon", 0, "op-budget override for -campaign (reduced-horizon smoke runs); 0 = scenario default")
 	)
 	flag.Parse()
 
@@ -56,8 +63,15 @@ func main() {
 		}
 		return
 	}
+	if *camp != "" {
+		runCampaign(*camp, campaign.Params{
+			Seed: *seed, Shards: *shards, Workers: *workers,
+			Lines: *lines, Horizon: *horizon,
+		})
+		return
+	}
 	if *run == "" {
-		fmt.Fprintln(os.Stderr, "vccrepro: nothing to do; use -list or -run <id>")
+		fmt.Fprintln(os.Stderr, "vccrepro: nothing to do; use -list, -run <id> or -campaign <name>")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -126,4 +140,37 @@ func main() {
 	}
 	fmt.Printf("%d experiment(s) in %.1fs (%d worker(s))\n",
 		len(ids), time.Since(start).Seconds(), *workers)
+}
+
+// runCampaign executes one scenario campaign (or lists them) and exits
+// nonzero on an unknown name or a failed verification invariant, so CI
+// smoke steps catch regressions without parsing the table.
+func runCampaign(name string, p campaign.Params) {
+	if name == "list" || name == "all" {
+		for _, in := range campaign.List() {
+			fmt.Printf("%-20s %s\n", in.Name, in.Title)
+		}
+		if name == "list" {
+			return
+		}
+	}
+	names := []string{name}
+	if name == "all" {
+		names = campaign.Names()
+	}
+	start := time.Now()
+	for _, n := range names {
+		res, err := campaign.Run(n, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Table())
+		fmt.Printf("(seed %d)\n\n", p.Seed)
+		if v, ok := res.Summary["verify_violations"]; ok && v != 0 {
+			fmt.Fprintf(os.Stderr, "vccrepro: campaign %s reported %g verification violations\n", n, v)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%d campaign(s) in %.1fs\n", len(names), time.Since(start).Seconds())
 }

@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownName(t *testing.T) {
+	_, err := Run("no-such-scenario", DefaultParams(1))
+	if err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-scenario") {
+		t.Errorf("error does not name the bad scenario: %q", msg)
+	}
+	for _, known := range Names() {
+		if !strings.Contains(msg, known) {
+			t.Errorf("error does not list registered scenario %q: %q", known, msg)
+		}
+	}
+}
+
+func TestListDeterministicAndSorted(t *testing.T) {
+	first := List()
+	if len(first) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Name >= first[i].Name {
+			t.Errorf("List not strictly sorted: %q before %q", first[i-1].Name, first[i].Name)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if again := List(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("List changed across calls: %v vs %v", first, again)
+		}
+	}
+	for _, in := range first {
+		if in.Title == "" || Describe(in.Name) != in.Title {
+			t.Errorf("scenario %q has inconsistent title", in.Name)
+		}
+	}
+	want := []string{"crash-recovery", "fault-aging", "remap-repair", "wearlevel-rotation"}
+	names := Names()
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("required scenario %q not registered (have %v)", w, names)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	expectPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", what)
+			}
+		}()
+		fn()
+	}
+	dummy := func(Params) *Result { return &Result{} }
+	expectPanic("empty name", func() { Register("", "t", dummy) })
+	expectPanic("nil runner", func() { Register("x-nil", "t", nil) })
+	expectPanic("duplicate", func() { Register("fault-aging", "t", dummy) })
+}
+
+// tinyParams keeps every scenario to a few hundred ops so the whole
+// table runs green under -race in seconds.
+func tinyParams() Params {
+	return Params{Seed: 7, Shards: 2, Lines: 64, Horizon: 512, Checkpoints: 2}
+}
+
+// TestScenariosTinyScale runs every registered scenario at reduced
+// horizon and checks the structural contract (well-formed table, finite
+// summary) plus each scenario's headline invariant.
+func TestScenariosTinyScale(t *testing.T) {
+	for _, info := range List() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(info.Name, tinyParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Name != info.Name {
+				t.Errorf("Result.Name = %q, want %q", res.Name, info.Name)
+			}
+			if len(res.Header) == 0 || len(res.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, row := range res.Rows {
+				if len(row) != len(res.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(res.Header))
+				}
+			}
+			for k, v := range res.Summary {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("summary %q = %v, want finite", k, v)
+				}
+			}
+			if out := res.Table(); !strings.Contains(out, info.Name) {
+				t.Error("Table() does not carry the scenario name")
+			}
+
+			switch info.Name {
+			case "fault-aging":
+				// VCC-Stored approximates random coset coding; the curve
+				// must track the ERCC model within a loose envelope.
+				if re := res.Summary["rel_err_final"]; re > 0.35 {
+					t.Errorf("rel_err_final = %v, want <= 0.35", re)
+				}
+				if res.Summary["ext_measured_final"] <= 1 {
+					t.Errorf("measured extension %v not above unencoded baseline",
+						res.Summary["ext_measured_final"])
+				}
+			case "remap-repair":
+				if v := res.Summary["verify_violations"]; v != 0 {
+					t.Errorf("verify_violations = %v, want 0", v)
+				}
+				if res.Summary["corrupt_remap"] > res.Summary["corrupt_baseline"] {
+					t.Errorf("repair made corruption worse: %v > %v",
+						res.Summary["corrupt_remap"], res.Summary["corrupt_baseline"])
+				}
+			case "wearlevel-rotation":
+				if ext := res.Summary["extension"]; ext < 1 {
+					t.Errorf("rotation extension = %v, want >= 1", ext)
+				}
+			case "crash-recovery":
+				if v := res.Summary["verify_violations"]; v != 0 {
+					t.Errorf("verify_violations = %v, want 0", v)
+				}
+				if res.Summary["dirty_lost"] == 0 {
+					t.Error("no dirty lines at the crash point: the scenario exercised nothing")
+				}
+				if res.Summary["evicted_committed"] == 0 {
+					t.Error("no evicted lines at the crash point: subset fits the cache entirely")
+				}
+			}
+		})
+	}
+}
+
+// TestScenariosDeterministic pins every scenario to identical results
+// across repeated runs with the same Params (the engine guarantees this
+// at any worker count; the scenario layer must not break it).
+func TestScenariosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: tiny-scale determinism is covered by -race CI runs")
+	}
+	for _, info := range List() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			p := tinyParams()
+			a, err := Run(info.Name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Workers = 1 // results must not depend on worker count
+			b, err := Run(info.Name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Rows, b.Rows) {
+				t.Errorf("rows differ across runs:\n%v\nvs\n%v", a.Rows, b.Rows)
+			}
+			if !reflect.DeepEqual(a.Summary, b.Summary) {
+				t.Errorf("summary differs across runs: %v vs %v", a.Summary, b.Summary)
+			}
+		})
+	}
+}

@@ -105,6 +105,13 @@ func (r *Repo) insert(word int) {
 	r.cache[word] = r.tick
 }
 
+// Peek returns the known fault descriptor for a word without modeling a
+// repository access: no lookup is counted and the descriptor cache is
+// untouched. It is the metadata view used by repair policy decisions
+// (e.g. spare-line selection in memctrl's remapping decorator), as
+// opposed to the per-write Lookup the datapath performs.
+func (r *Repo) Peek(word int) Descriptor { return r.table[word] }
+
 // RecordVerify digests a verify-after-write outcome: desired is what the
 // controller asked the cells to store, stored is what read-back
 // returned. Any mismatching cell is recorded as stuck at its read-back

@@ -363,6 +363,20 @@ func (c *Cache) HitRate() float64 {
 	return float64(c.hits) / float64(c.hits+c.misses)
 }
 
+// DirtyLineIDs appends the line indices of every dirty cached line to
+// dst (least recently used first — the same deterministic order Flush
+// writes them back in) and returns it. It is the crash-scenario test
+// hook: the exact set of writes that would be lost if the cache's
+// volatile contents vanished right now.
+func (c *Cache) DirtyLineIDs(dst []int) []int {
+	for e := c.tail.prev; e != &c.head; e = e.prev {
+		if e.dirty {
+			dst = append(dst, e.line)
+		}
+	}
+	return dst
+}
+
 // DirtyLines returns the number of cached lines awaiting writeback.
 func (c *Cache) DirtyLines() int {
 	n := 0

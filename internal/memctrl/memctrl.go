@@ -117,6 +117,13 @@ type Stats struct {
 	// CoalescedWrites counts writes absorbed into an already-dirty
 	// cached line — device work a write-back cache eliminated entirely.
 	CoalescedWrites int64
+	// RemappedLines counts repair relocations performed by a remapping
+	// decorator: a logical line moved to a spare physical line after a
+	// write-verify failure (see Remapper).
+	RemappedLines int64
+	// RepairFailures counts writes that still stored stuck-at-wrong
+	// cells after the remapping decorator ran out of spare lines.
+	RepairFailures int64
 }
 
 // Add folds o into s field-wise.
@@ -136,6 +143,8 @@ func (s *Stats) Add(o Stats) {
 	s.CacheEvictions += o.CacheEvictions
 	s.Writebacks += o.Writebacks
 	s.CoalescedWrites += o.CoalescedWrites
+	s.RemappedLines += o.RemappedLines
+	s.RepairFailures += o.RepairFailures
 }
 
 // HitRate returns CacheHits / (CacheHits + CacheMisses), or 0 before
@@ -167,6 +176,8 @@ func (s Stats) Delta(o Stats) Stats {
 		CacheEvictions:   s.CacheEvictions - o.CacheEvictions,
 		Writebacks:       s.Writebacks - o.Writebacks,
 		CoalescedWrites:  s.CoalescedWrites - o.CoalescedWrites,
+		RemappedLines:    s.RemappedLines - o.RemappedLines,
+		RepairFailures:   s.RepairFailures - o.RepairFailures,
 	}
 }
 

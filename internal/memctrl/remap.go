@@ -1,0 +1,221 @@
+package memctrl
+
+// This file implements the fault-repair remapping decorator: a LineStore
+// layer that turns the write-verify failures the paper's datapath merely
+// *reports* (stuck-at-wrong cells the coset encoder could not mask) into
+// *repaired* lines, by relocating the logical line onto a spare physical
+// line and rewriting it there. It models the row-remapping repair tier
+// the fault-repository line of work (FLOWER/ArchShield, the paper's [20]
+// and [26]) layers above per-cell correction: coset coding masks the
+// common case, and the rare word the encoder cannot store faithfully is
+// moved wholesale to healthy cells.
+//
+// Placement. The Remapper must sit directly above the Controller (below
+// any decoded-line cache): it repairs by inspecting the per-word device
+// outcomes of a write, and a write-back cache above it defers those
+// outcomes to eviction/Flush time — which is exactly when they pass
+// through the Remapper on their way down. Stacking the cache above also
+// keeps cache keys logical, so a remap does not invalidate cached data.
+//
+// Spare allocation is faultrepo-aware when a repository is attached:
+// before burning a device write on a spare line, the Remapper consults
+// the repository's discovered fault view and prefers a spare with no
+// known stuck cells (Peek — a metadata check, not a modeled device
+// access). A line that has failed a write is retired permanently; its
+// spares-pool slot is not refilled, so repeated failures drain the pool
+// and further failures become visible to the caller again (the same
+// exhaustion semantics as ECP pointers, at line granularity).
+
+import (
+	"fmt"
+
+	"repro/internal/faultrepo"
+)
+
+// RemapConfig assembles a Remapper.
+type RemapConfig struct {
+	// Inner is the decorated store (required) — the Controller in the
+	// engine's stack. Its top Spares lines are reserved as spare rows;
+	// the Remapper exposes the remaining lines as the logical space.
+	Inner LineStore
+	// Spares is the number of physical lines reserved for repair
+	// (required, > 0, < Inner.NumLines()).
+	Spares int
+	// Repo, when non-nil, is the runtime fault repository consulted for
+	// spare selection. The Controller below typically shares the same
+	// repository (its verify-after-write feeds it), so by the time a
+	// line fails, the repository already knows the cells that defeated
+	// the encoder.
+	Repo *faultrepo.Repo
+}
+
+// Remapper is a LineStore decorator that repairs write-verify failures
+// by remapping logical lines onto spare physical lines. It is not safe
+// for concurrent use; shard.Engine serializes access per shard.
+type Remapper struct {
+	inner   LineStore
+	repo    *faultrepo.Repo
+	logical int
+	// mapTo[l] is the physical line currently backing logical line l.
+	mapTo []int
+	// spares holds the unused spare physical lines in ascending order;
+	// allocation removes from it, retirement never returns to it.
+	spares []int
+
+	remapped int64
+	failures int64
+	retries  int64
+}
+
+var _ LineStore = (*Remapper)(nil)
+
+// NewRemapper builds a Remapper over cfg.Inner.
+func NewRemapper(cfg RemapConfig) (*Remapper, error) {
+	if cfg.Inner == nil {
+		return nil, fmt.Errorf("memctrl: remap Inner store is required")
+	}
+	total := cfg.Inner.NumLines()
+	if cfg.Spares <= 0 || cfg.Spares >= total {
+		return nil, fmt.Errorf("memctrl: remap Spares %d out of (0,%d)", cfg.Spares, total)
+	}
+	r := &Remapper{
+		inner:   cfg.Inner,
+		repo:    cfg.Repo,
+		logical: total - cfg.Spares,
+		mapTo:   make([]int, total-cfg.Spares),
+		spares:  make([]int, 0, cfg.Spares),
+	}
+	for l := range r.mapTo {
+		r.mapTo[l] = l
+	}
+	for p := r.logical; p < total; p++ {
+		r.spares = append(r.spares, p)
+	}
+	return r, nil
+}
+
+// NumLines implements LineStore: the logical capacity (spares excluded).
+func (r *Remapper) NumLines() int { return r.logical }
+
+// SparesLeft returns the number of unused spare lines.
+func (r *Remapper) SparesLeft() int { return len(r.spares) }
+
+// Mapping returns the physical line currently backing logical line l.
+func (r *Remapper) Mapping(l int) int { return r.mapTo[l] }
+
+// RemappedLines returns the number of repair relocations performed.
+func (r *Remapper) RemappedLines() int64 { return r.remapped }
+
+// InPlaceRetries returns the number of informed in-place rewrites
+// issued after a failed attempt taught the repository its stuck cells.
+func (r *Remapper) InPlaceRetries() int64 { return r.retries }
+
+// wordsSAW sums the stuck-at-wrong cells of one write's outcomes.
+func wordsSAW(outs []WordOutcome) int {
+	saw := 0
+	for i := range outs {
+		saw += outs[i].SAWCells
+	}
+	return saw
+}
+
+// pickSpare removes and returns the next spare line: the first spare
+// with no known stuck cells per the fault repository when one is
+// attached (and any is pristine), the first spare otherwise. Returns -1
+// when the pool is empty.
+func (r *Remapper) pickSpare() int {
+	if len(r.spares) == 0 {
+		return -1
+	}
+	idx := 0
+	if r.repo != nil {
+	scan:
+		for i, p := range r.spares {
+			for col := 0; col < WordsPerLine; col++ {
+				if d := r.repo.Peek(p*WordsPerLine + col); d.StuckMask != 0 {
+					continue scan
+				}
+			}
+			idx = i
+			break
+		}
+	}
+	p := r.spares[idx]
+	copy(r.spares[idx:], r.spares[idx+1:])
+	r.spares = r.spares[:len(r.spares)-1]
+	return p
+}
+
+// writeAt writes plaintext to physical line p, retrying once in place
+// when the first attempt stores stuck-at-wrong cells and a fault
+// repository is attached: the failed attempt's verify-after-write has
+// just taught the repository exactly the cells that defeated the
+// encoder, so a re-encode with that knowledge usually masks them
+// without burning a spare (the FLOWER-style discipline: remap only what
+// encoding cannot repair). Returns the final attempt's outcomes.
+func (r *Remapper) writeAt(p int, plaintext []byte) []WordOutcome {
+	outs := r.inner.WriteLine(p, plaintext)
+	if r.repo == nil || len(outs) == 0 || wordsSAW(outs) == 0 {
+		return outs
+	}
+	retry := r.inner.WriteLine(p, plaintext)
+	r.retries++
+	return retry
+}
+
+// WriteLine implements LineStore. The write goes to the line's current
+// physical location; if the device outcomes report stuck-at-wrong cells
+// even after the in-place informed retry (a failure the encoder cannot
+// mask), the logical line is remapped to a spare and rewritten there,
+// repeating until a spare stores it faithfully or the pool runs dry.
+// The returned outcomes are those of the final attempt, so a repaired
+// write reports zero SAW cells; the failed attempts remain visible in
+// Stats (the device really programmed them). Deferred writes (an inner
+// store that returns no outcomes) pass through unrepaired — place the
+// Remapper below any write-back cache.
+func (r *Remapper) WriteLine(logical int, plaintext []byte) []WordOutcome {
+	outs := r.writeAt(r.mapTo[logical], plaintext)
+	if len(outs) == 0 || wordsSAW(outs) == 0 {
+		return outs
+	}
+	for {
+		next := r.pickSpare()
+		if next < 0 {
+			r.failures++
+			return outs
+		}
+		r.remapped++
+		r.mapTo[logical] = next
+		outs = r.writeAt(next, plaintext)
+		if wordsSAW(outs) == 0 {
+			return outs
+		}
+	}
+}
+
+// ReadLine implements LineStore, serving the read from the line's
+// current physical location.
+func (r *Remapper) ReadLine(logical int, dst []byte) []byte {
+	return r.inner.ReadLine(r.mapTo[logical], dst)
+}
+
+// Flush implements LineStore.
+func (r *Remapper) Flush() { r.inner.Flush() }
+
+// Stats implements LineStore: the inner stack's counters plus the
+// remap-layer's. Note that LineWrites counts device writes including
+// repair attempts, so LineWrites >= logical writes when repairs
+// happened.
+func (r *Remapper) Stats() Stats {
+	s := r.inner.Stats()
+	s.RemappedLines += r.remapped
+	s.RepairFailures += r.failures
+	return s
+}
+
+// ResetStats implements LineStore, zeroing remap and inner counters (the
+// mapping itself and the spare pool are untouched).
+func (r *Remapper) ResetStats() {
+	r.remapped, r.failures, r.retries = 0, 0, 0
+	r.inner.ResetStats()
+}

@@ -1,0 +1,106 @@
+package memctrl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/coset"
+	"repro/internal/faultrepo"
+	"repro/internal/pcm"
+	"repro/internal/prng"
+)
+
+// FuzzFaultRemapRoundTrip drives random op streams through a real
+// remap-decorated controller stack over a randomly fault-seeded device
+// and asserts the two invariants the campaign layer relies on:
+//
+//   - Read-after-write plaintext identity: any write whose final
+//     outcome reports zero stuck-at-wrong cells must read back exactly
+//     the written plaintext, remapped or not.
+//   - Monotone repository statistics: lookups and discovered stuck
+//     cells never decrease, and the discovered count never exceeds the
+//     device's actual stuck-cell population.
+func FuzzFaultRemapRoundTrip(f *testing.F) {
+	f.Add(uint64(1), []byte{0x00, 0x05, 0x81, 0x22})
+	f.Add(uint64(42), []byte{0xFF, 0x10, 0x10, 0x10, 0x33, 0x07})
+	f.Add(uint64(0xDEAD), bytes.Repeat([]byte{0xA5, 0x3C}, 40))
+	f.Fuzz(func(t *testing.T, seed uint64, stream []byte) {
+		if len(stream) > 512 {
+			stream = stream[:512]
+		}
+		const logical, spares = 24, 8
+		const rows = logical + spares
+		rng := prng.NewFrom(seed, "fuzz-remap")
+		// Fault rate from the seed, spanning none to heavy (up to ~3%).
+		rate := float64(seed%32) / 1000
+		var faults *pcm.FaultMap
+		if rate > 0 {
+			faults = pcm.Generate(pcm.MLC, rows*WordsPerLine,
+				pcm.FaultParams{CellRate: rate}, prng.NewFrom(seed, "fuzz-faults"))
+		}
+		dev := pcm.NewDevice(pcm.Config{
+			Mode: pcm.MLC, Rows: rows, WordsPerRow: WordsPerLine, Faults: faults,
+		})
+		dev.InitRandom(prng.NewFrom(seed, "fuzz-init"))
+		repo := faultrepo.New(pcm.MLC, 32)
+		ctrl, err := New(Config{
+			Device:    dev,
+			Codec:     coset.NewVCCStored(64, 16, 64, seed),
+			Objective: coset.ObjSAWEnergy,
+			FaultRepo: repo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRemapper(RemapConfig{Inner: ctrl, Spares: spares, Repo: repo})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		written := make([][]byte, logical)
+		clean := make([]bool, logical)
+		stuck := int64(dev.Faults().NumStuckCells())
+		prevStats := repo.Stats
+		rd := make([]byte, 64)
+		for _, b := range stream {
+			line := int(b>>1) % logical
+			if b&1 == 0 {
+				data := make([]byte, 64)
+				rng.Fill(data)
+				outs := r.WriteLine(line, data)
+				written[line] = data
+				clean[line] = wordsSAW(outs) == 0
+			} else if written[line] != nil && clean[line] {
+				got := r.ReadLine(line, rd)
+				if !bytes.Equal(got, written[line]) {
+					t.Fatalf("line %d: clean write did not round-trip (mapped to %d)",
+						line, r.Mapping(line))
+				}
+			}
+			st := repo.Stats
+			if st.Lookups < prevStats.Lookups || st.Discovered < prevStats.Discovered ||
+				st.CacheHits < prevStats.CacheHits || st.CacheMiss < prevStats.CacheMiss {
+				t.Fatalf("repository stats regressed: %+v -> %+v", prevStats, st)
+			}
+			if st.Discovered > stuck {
+				t.Fatalf("repository discovered %d stuck cells, device only has %d",
+					st.Discovered, stuck)
+			}
+			prevStats = st
+		}
+		// Every clean line must still round-trip after the whole stream:
+		// later repairs of other lines must not disturb it.
+		for line, data := range written {
+			if data == nil || !clean[line] {
+				continue
+			}
+			if got := r.ReadLine(line, rd); !bytes.Equal(got, data) {
+				t.Fatalf("line %d corrupted by later traffic (mapped to %d)",
+					line, r.Mapping(line))
+			}
+		}
+		if s := r.Stats(); s.RemappedLines < 0 || s.RepairFailures < 0 {
+			t.Fatalf("negative remap counters: %+v", s)
+		}
+	})
+}

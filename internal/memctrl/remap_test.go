@@ -1,0 +1,207 @@
+package memctrl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/faultrepo"
+	"repro/internal/pcm"
+)
+
+// fakeStore is a scriptable LineStore for exercising the Remapper in
+// isolation: it stores plaintext per line and reports one SAW cell per
+// remaining "failure charge" on a line (each write consumes one
+// charge), so tests can model lines that fail once, always, or never.
+type fakeStore struct {
+	lines  int
+	data   map[int][]byte
+	fails  map[int]int // line -> remaining failing writes (-1: always)
+	writes int
+	stats  Stats
+}
+
+func newFakeStore(lines int) *fakeStore {
+	return &fakeStore{lines: lines, data: map[int][]byte{}, fails: map[int]int{}}
+}
+
+func (f *fakeStore) WriteLine(line int, plaintext []byte) []WordOutcome {
+	f.writes++
+	f.stats.LineWrites++
+	buf := make([]byte, len(plaintext))
+	copy(buf, plaintext)
+	f.data[line] = buf
+	saw := 0
+	if n := f.fails[line]; n != 0 {
+		saw = 1
+		if n > 0 {
+			f.fails[line] = n - 1
+		}
+	}
+	f.stats.SAWCells += int64(saw)
+	return []WordOutcome{{Word: line * WordsPerLine, SAWCells: saw}}
+}
+
+func (f *fakeStore) ReadLine(line int, dst []byte) []byte {
+	if dst == nil {
+		dst = make([]byte, len(f.data[line]))
+	}
+	copy(dst, f.data[line])
+	f.stats.LineReads++
+	return dst
+}
+
+func (f *fakeStore) Flush()        {}
+func (f *fakeStore) Stats() Stats  { return f.stats }
+func (f *fakeStore) ResetStats()   { f.stats = Stats{} }
+func (f *fakeStore) NumLines() int { return f.lines }
+
+func line64(b byte) []byte {
+	d := make([]byte, 64)
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestNewRemapperValidation(t *testing.T) {
+	if _, err := NewRemapper(RemapConfig{Spares: 1}); err == nil {
+		t.Error("nil inner accepted")
+	}
+	inner := newFakeStore(8)
+	for _, spares := range []int{0, -1, 8, 9} {
+		if _, err := NewRemapper(RemapConfig{Inner: inner, Spares: spares}); err == nil {
+			t.Errorf("spares=%d accepted", spares)
+		}
+	}
+	r, err := NewRemapper(RemapConfig{Inner: inner, Spares: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLines() != 5 {
+		t.Errorf("NumLines = %d, want 5", r.NumLines())
+	}
+	if r.SparesLeft() != 3 {
+		t.Errorf("SparesLeft = %d, want 3", r.SparesLeft())
+	}
+}
+
+func TestRemapperRepairsFailedWrite(t *testing.T) {
+	inner := newFakeStore(10)
+	inner.fails[3] = -1 // logical line 3 always fails in place
+	r, err := NewRemapper(RemapConfig{Inner: inner, Spares: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := line64(0xAB)
+	outs := r.WriteLine(3, data)
+	if saw := wordsSAW(outs); saw != 0 {
+		t.Errorf("repaired write reports %d SAW cells, want 0", saw)
+	}
+	if got := r.Mapping(3); got != 8 {
+		t.Errorf("Mapping(3) = %d, want first spare 8", got)
+	}
+	if r.RemappedLines() != 1 || r.SparesLeft() != 1 {
+		t.Errorf("remapped=%d sparesLeft=%d, want 1,1", r.RemappedLines(), r.SparesLeft())
+	}
+	if got := r.ReadLine(3, nil); !bytes.Equal(got, data) {
+		t.Error("read after repair does not return written plaintext")
+	}
+	// A healthy line is untouched by the repair machinery.
+	if outs := r.WriteLine(4, line64(1)); wordsSAW(outs) != 0 || r.Mapping(4) != 4 {
+		t.Error("healthy line was remapped")
+	}
+	st := r.Stats()
+	if st.RemappedLines != 1 || st.RepairFailures != 0 {
+		t.Errorf("Stats remap counters = %d/%d, want 1/0", st.RemappedLines, st.RepairFailures)
+	}
+}
+
+func TestRemapperPoolExhaustion(t *testing.T) {
+	inner := newFakeStore(6)
+	inner.fails[0] = -1
+	inner.fails[4] = -1 // both spares fail too
+	inner.fails[5] = -1
+	r, err := NewRemapper(RemapConfig{Inner: inner, Spares: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := r.WriteLine(0, line64(7))
+	if saw := wordsSAW(outs); saw == 0 {
+		t.Error("exhausted pool still reported a clean write")
+	}
+	if r.SparesLeft() != 0 {
+		t.Errorf("SparesLeft = %d, want 0", r.SparesLeft())
+	}
+	st := r.Stats()
+	if st.RepairFailures != 1 || st.RemappedLines != 2 {
+		t.Errorf("failures=%d remapped=%d, want 1,2", st.RepairFailures, st.RemappedLines)
+	}
+	// Retired lines never return: the next failing write fails
+	// immediately instead of retrying burnt spares.
+	before := inner.writes
+	r.WriteLine(0, line64(9))
+	if got := inner.writes - before; got != 1 {
+		t.Errorf("write after exhaustion issued %d device writes, want 1", got)
+	}
+	if st := r.Stats(); st.RepairFailures != 2 {
+		t.Errorf("RepairFailures = %d, want 2", st.RepairFailures)
+	}
+}
+
+func TestRemapperPrefersPristineSpare(t *testing.T) {
+	inner := newFakeStore(10) // logical 0..7, spares 8, 9
+	inner.fails[2] = -1
+	repo := faultrepo.New(pcm.MLC, 16)
+	// Teach the repository that spare 8's first word has a stuck cell;
+	// spare selection must skip it for the pristine spare 9.
+	repo.RecordVerify(8*WordsPerLine, 0, 3)
+	r, err := NewRemapper(RemapConfig{Inner: inner, Spares: 2, Repo: repo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WriteLine(2, line64(5))
+	if got := r.Mapping(2); got != 9 {
+		t.Errorf("Mapping(2) = %d, want pristine spare 9", got)
+	}
+	lookups := repo.Stats.Lookups
+	r.WriteLine(3, line64(6))
+	if repo.Stats.Lookups != lookups {
+		t.Error("spare selection counted repository lookups (Peek must be metadata-only)")
+	}
+}
+
+func TestRemapperInPlaceRetryWithRepo(t *testing.T) {
+	inner := newFakeStore(10)
+	inner.fails[1] = 1 // fails once, then the informed rewrite succeeds
+	repo := faultrepo.New(pcm.MLC, 16)
+	r, err := NewRemapper(RemapConfig{Inner: inner, Spares: 2, Repo: repo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := r.WriteLine(1, line64(4))
+	if saw := wordsSAW(outs); saw != 0 {
+		t.Errorf("retried write reports %d SAW cells, want 0", saw)
+	}
+	if r.Mapping(1) != 1 || r.SparesLeft() != 2 {
+		t.Error("in-place repair burnt a spare")
+	}
+	if r.InPlaceRetries() != 1 {
+		t.Errorf("InPlaceRetries = %d, want 1", r.InPlaceRetries())
+	}
+}
+
+func TestRemapperResetStats(t *testing.T) {
+	inner := newFakeStore(10)
+	inner.fails[0] = -1
+	r, _ := NewRemapper(RemapConfig{Inner: inner, Spares: 2})
+	r.WriteLine(0, line64(1))
+	r.ResetStats()
+	st := r.Stats()
+	if st.RemappedLines != 0 || st.RepairFailures != 0 || st.LineWrites != 0 {
+		t.Errorf("stats not cleared: %+v", st)
+	}
+	// The mapping and pool survive a stats reset.
+	if r.Mapping(0) == 0 || r.SparesLeft() != 1 {
+		t.Error("ResetStats disturbed the mapping or spare pool")
+	}
+}

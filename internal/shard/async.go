@@ -85,6 +85,10 @@ type Ticket struct {
 	// flush marks a Flush/Close barrier: drainers flush their shard's
 	// store stack instead of running ops.
 	flush bool
+	// inval marks a DropCaches barrier: drainers invalidate their
+	// shard's decoded-line cache (dirty data lost) instead of running
+	// ops. Mutually exclusive with flush.
+	inval bool
 	err   error
 }
 
@@ -154,7 +158,7 @@ func (e *Engine) putTicket(t *Ticket) {
 	t.active = t.active[:0]
 	t.ops, t.out = nil, nil
 	t.cb, t.sess = nil, nil
-	t.flush = false
+	t.flush, t.inval = false, false
 	t.err = nil
 	e.tickets.Put(t)
 }
@@ -300,12 +304,17 @@ func (e *Engine) drain(s int) {
 			e.sem <- struct{}{}
 		}
 		e.mu[s].Lock()
-		if t.flush {
+		switch {
+		case t.flush:
 			b := e.backends[s]
 			before := b.Store.Stats()
 			b.Store.Flush()
 			e.live.add(b.Store.Stats().Delta(before))
-		} else {
+		case t.inval:
+			if c := e.backends[s].Cache; c != nil {
+				c.Invalidate()
+			}
+		default:
 			t.runShard(s)
 		}
 		e.mu[s].Unlock()
@@ -318,18 +327,21 @@ func (e *Engine) drain(s int) {
 	}
 }
 
-// flushBarrier enqueues a flush ticket on every shard and returns it.
-// The caller must guarantee the queues stay open (hold qmu.RLock, or be
-// the Close call that will close them afterwards).
-func (e *Engine) flushBarrier() *Ticket {
+// barrier enqueues a flush or invalidate ticket on every shard and
+// returns it. The caller must guarantee the queues stay open (hold
+// qmu.RLock, or be the Close call that will close them afterwards).
+func (e *Engine) barrier(inval bool) *Ticket {
 	t := e.getTicket()
-	t.flush = true
+	t.flush, t.inval = !inval, inval
 	t.pending.Store(int32(len(e.queues)))
 	for s := range e.queues {
 		e.queues[s] <- issue{t: t, shard: s}
 	}
 	return t
 }
+
+// flushBarrier enqueues a flush ticket on every shard and returns it.
+func (e *Engine) flushBarrier() *Ticket { return e.barrier(false) }
 
 // Flush forces every shard's deferred writes (dirty write-back cache
 // lines) down to its device, folding the resulting statistics into the
@@ -344,6 +356,27 @@ func (e *Engine) Flush() {
 		return
 	}
 	t := e.flushBarrier()
+	e.qmu.RUnlock()
+	t.Wait()
+}
+
+// DropCaches simulates a power loss of the volatile layer: every
+// shard's decoded-line cache is invalidated without writing anything
+// back, so dirty write-back lines are lost and subsequent reads observe
+// whatever the (persistent) device last stored. The controller's coset
+// auxiliary bits and the remapping decorator's translation table are
+// modeled as living in the device's persistent metadata region, so both
+// survive. It is a no-op on uncached engines and on closed engines.
+// Like Flush it rides the issue queues as a barrier: everything
+// submitted before it is applied (or absorbed into the cache, and then
+// lost) first, nothing submitted after is affected.
+func (e *Engine) DropCaches() {
+	e.qmu.RLock()
+	if e.closed {
+		e.qmu.RUnlock()
+		return
+	}
+	t := e.barrier(true)
 	e.qmu.RUnlock()
 	t.Wait()
 }

@@ -44,11 +44,13 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/coset"
 	"repro/internal/cryptmem"
+	"repro/internal/faultrepo"
 	"repro/internal/linecache"
 	"repro/internal/memctrl"
 	"repro/internal/pcm"
@@ -120,6 +122,22 @@ type BackendConfig struct {
 	// CachePolicy selects the cache's write policy (write-through by
 	// default); meaningful only with CacheLines > 0.
 	CachePolicy linecache.Policy
+	// RemapSpares, when positive, reserves that many extra physical
+	// lines (beyond Lines) as spare rows and layers a fault-repair
+	// remapping decorator (memctrl.Remapper) over the controller: a
+	// write-verify failure relocates the logical line to a spare and
+	// rewrites it there. 0 disables repair; the logical capacity is
+	// Lines either way.
+	RemapSpares int
+	// UseFaultRepo replaces the encoder's oracle fault view with a
+	// runtime fault repository (internal/faultrepo): the controller only
+	// knows about stuck cells previously observed by verify-after-write,
+	// and feeds every write's outcome back in. The repository also
+	// informs spare selection when RemapSpares > 0.
+	UseFaultRepo bool
+	// FaultRepoCache sizes the repository's descriptor cache in words
+	// when UseFaultRepo is set; 0 defaults to 256.
+	FaultRepoCache int
 }
 
 // Backend is one shard's fully-assembled pipeline, a LineStore stack.
@@ -127,12 +145,22 @@ type BackendConfig struct {
 // shard.
 type Backend struct {
 	// Store is the top of the stack — the cache when one is configured,
-	// the controller otherwise. All I/O dispatches through it.
+	// then the remapping decorator, then the controller. All I/O
+	// dispatches through it.
 	Store memctrl.LineStore
 	// Ctrl is the bottom of the stack, the controller that owns the
 	// device datapath.
 	Ctrl *memctrl.Controller
 	Dev  *pcm.Device
+	// Remap is the fault-repair remapping decorator (nil when
+	// RemapSpares was 0).
+	Remap *memctrl.Remapper
+	// Repo is the runtime fault repository (nil when UseFaultRepo was
+	// false).
+	Repo *faultrepo.Repo
+	// Cache is the decoded-line cache at the top of the stack (nil when
+	// CacheLines was 0).
+	Cache *linecache.Cache
 }
 
 // NewBackend builds one pipeline from cfg. The PRNG stream labels are
@@ -149,7 +177,13 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 	if cfg.SLC {
 		mode = pcm.SLC
 	}
-	words := cfg.Lines * memctrl.WordsPerLine
+	if cfg.RemapSpares < 0 {
+		return nil, fmt.Errorf("shard: RemapSpares must be >= 0, got %d", cfg.RemapSpares)
+	}
+	// Spare rows for the remapping decorator are physical capacity beyond
+	// the logical Lines; faults, wear and encryption cover them too.
+	physLines := cfg.Lines + cfg.RemapSpares
+	words := physLines * memctrl.WordsPerLine
 	var faults *pcm.FaultMap
 	if cfg.FaultRate > 0 {
 		faults = pcm.Generate(mode, words, pcm.FaultParams{CellRate: cfg.FaultRate},
@@ -166,33 +200,55 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 			prng.NewFrom(cfg.Seed, "vcc-endurance"))
 	}
 	dev := pcm.NewDevice(pcm.Config{
-		Mode: mode, Rows: cfg.Lines, WordsPerRow: memctrl.WordsPerLine,
+		Mode: mode, Rows: physLines, WordsPerRow: memctrl.WordsPerLine,
 		Faults: faults, Wear: wear,
 	})
 	dev.InitRandom(prng.NewFrom(cfg.Seed, "vcc-init"))
 
 	mcfg := memctrl.Config{Device: dev, Codec: cfg.Codec, Objective: cfg.Objective}
 	if !cfg.DisableEncryption {
-		crypt, err := cryptmem.New(cfg.Key, cfg.Lines)
+		crypt, err := cryptmem.New(cfg.Key, physLines)
 		if err != nil {
 			return nil, err
 		}
 		mcfg.Crypt = crypt
 	}
+	var repo *faultrepo.Repo
+	if cfg.UseFaultRepo {
+		cacheWords := cfg.FaultRepoCache
+		if cacheWords == 0 {
+			cacheWords = 256
+		}
+		repo = faultrepo.New(mode, cacheWords)
+		mcfg.FaultRepo = repo
+	}
 	ctrl, err := memctrl.New(mcfg)
 	if err != nil {
 		return nil, err
 	}
-	b := &Backend{Store: ctrl, Ctrl: ctrl, Dev: dev}
+	b := &Backend{Store: ctrl, Ctrl: ctrl, Dev: dev, Repo: repo}
+	if cfg.RemapSpares > 0 {
+		remap, err := memctrl.NewRemapper(memctrl.RemapConfig{
+			Inner:  ctrl,
+			Spares: cfg.RemapSpares,
+			Repo:   repo,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Remap = remap
+		b.Store = remap
+	}
 	if cfg.CacheLines > 0 {
 		cache, err := linecache.New(linecache.Config{
-			Inner:  ctrl,
+			Inner:  b.Store,
 			Lines:  cfg.CacheLines,
 			Policy: cfg.CachePolicy,
 		})
 		if err != nil {
 			return nil, err
 		}
+		b.Cache = cache
 		b.Store = cache
 	}
 	return b, nil
@@ -256,6 +312,16 @@ type Config struct {
 	// CachePolicy selects write-through (default) or write-back for the
 	// per-shard caches.
 	CachePolicy linecache.Policy
+	// RemapSpares reserves that many spare physical lines per shard and
+	// layers the fault-repair remapping decorator over each shard's
+	// controller (see BackendConfig.RemapSpares). 0 disables.
+	RemapSpares int
+	// UseFaultRepo gives every shard a runtime fault repository in place
+	// of the oracle fault view (see BackendConfig.UseFaultRepo).
+	UseFaultRepo bool
+	// FaultRepoCache sizes each shard's repository descriptor cache in
+	// words; 0 defaults to 256.
+	FaultRepoCache int
 }
 
 // ShardSeed returns the seed for shard i of n derived from the master
@@ -318,6 +384,8 @@ type Counters struct {
 	CacheEvictions  int64
 	Writebacks      int64
 	CoalescedWrites int64
+	RemappedLines   int64
+	RepairFailures  int64
 }
 
 // counters is the atomic accumulator behind Counters. Integer fields
@@ -334,6 +402,8 @@ type counters struct {
 	evictions   atomic.Int64
 	writebacks  atomic.Int64
 	coalesced   atomic.Int64
+	remapped    atomic.Int64
+	repairFails atomic.Int64
 	energyBits  atomic.Uint64
 }
 
@@ -348,6 +418,8 @@ func (c *counters) add(d memctrl.Stats) {
 	c.evictions.Add(d.CacheEvictions)
 	c.writebacks.Add(d.Writebacks)
 	c.coalesced.Add(d.CoalescedWrites)
+	c.remapped.Add(d.RemappedLines)
+	c.repairFails.Add(d.RepairFailures)
 	for {
 		old := c.energyBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + d.EnergyPJ)
@@ -370,6 +442,8 @@ func (c *counters) snapshot() Counters {
 		CacheEvictions:  c.evictions.Load(),
 		Writebacks:      c.writebacks.Load(),
 		CoalescedWrites: c.coalesced.Load(),
+		RemappedLines:   c.remapped.Load(),
+		RepairFailures:  c.repairFails.Load(),
 	}
 }
 
@@ -384,6 +458,8 @@ func (c *counters) reset() {
 	c.evictions.Store(0)
 	c.writebacks.Store(0)
 	c.coalesced.Store(0)
+	c.remapped.Store(0)
+	c.repairFails.Store(0)
 	c.energyBits.Store(0)
 }
 
@@ -454,6 +530,9 @@ func New(cfg Config) (*Engine, error) {
 			Seed:              ShardSeed(cfg.Seed, i, shards),
 			CacheLines:        cfg.CacheLines,
 			CachePolicy:       cfg.CachePolicy,
+			RemapSpares:       cfg.RemapSpares,
+			UseFaultRepo:      cfg.UseFaultRepo,
+			FaultRepoCache:    cfg.FaultRepoCache,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -619,6 +698,67 @@ func (e *Engine) StuckCells() int {
 	for i, b := range e.backends {
 		e.mu[i].Lock()
 		total += b.Dev.Faults().NumStuckCells()
+		e.mu[i].Unlock()
+	}
+	return total
+}
+
+// DirtyLines returns the global line indices currently held dirty in
+// the per-shard write-back caches — the exact set of writes that would
+// be lost if the volatile caches vanished right now (see DropCaches).
+// The result is sorted ascending; it is empty on uncached and
+// write-through engines. Like Stats it takes each shard's lock in turn,
+// so concurrent traffic may move lines between "dirty" and "written
+// back" while the snapshot is assembled; quiesce submissions first for
+// an exact answer.
+func (e *Engine) DirtyLines() []int {
+	var global []int
+	var local []int
+	for i, b := range e.backends {
+		if b.Cache == nil {
+			continue
+		}
+		e.mu[i].Lock()
+		local = b.Cache.DirtyLineIDs(local[:0])
+		e.mu[i].Unlock()
+		for _, l := range local {
+			global = append(global, e.part.GlobalOf(i, l))
+		}
+	}
+	sort.Ints(global)
+	return global
+}
+
+// FaultRepoStats sums runtime fault-repository traffic across shards.
+// All zeros when the engine was built without UseFaultRepo.
+func (e *Engine) FaultRepoStats() faultrepo.Stats {
+	var total faultrepo.Stats
+	for i, b := range e.backends {
+		if b.Repo == nil {
+			continue
+		}
+		e.mu[i].Lock()
+		s := b.Repo.Stats
+		e.mu[i].Unlock()
+		total.Lookups += s.Lookups
+		total.CacheHits += s.CacheHits
+		total.CacheMiss += s.CacheMiss
+		total.Discovered += s.Discovered
+		total.Evictions += s.Evictions
+	}
+	return total
+}
+
+// SpareLinesLeft sums the unused repair spare lines across shards.
+// Zero when the engine was built without RemapSpares.
+func (e *Engine) SpareLinesLeft() int {
+	total := 0
+	for i, b := range e.backends {
+		if b.Remap == nil {
+			continue
+		}
+		e.mu[i].Lock()
+		total += b.Remap.SparesLeft()
 		e.mu[i].Unlock()
 	}
 	return total

@@ -27,6 +27,52 @@ func TestMapIsPermutation(t *testing.T) {
 	}
 }
 
+// TestMapPermutationInvariantAcrossConfigs pins the structural
+// invariant behind every Start-Gap proof: at ANY point of ANY rotation
+// schedule, Map is injective over [0, n) and its image together with
+// the gap slot tiles the physical space [0, n] exactly. It sweeps row
+// counts (including the n=1 edge) and gap intervals, checking after
+// every single gap move for several full rotations of the array.
+func TestMapPermutationInvariantAcrossConfigs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 33} {
+		for _, interval := range []int{1, 2, 5} {
+			s := NewStartGap(n, interval)
+			// Three full rotations of the gap through all n+1 slots.
+			writes := 3 * (n + 1) * interval
+			used := make([]int, s.PhysicalRows())
+			for step := 0; step <= writes; step++ {
+				for i := range used {
+					used[i] = -1
+				}
+				for l := 0; l < n; l++ {
+					p := s.Map(l)
+					if p < 0 || p >= s.PhysicalRows() {
+						t.Fatalf("n=%d int=%d step %d: Map(%d) = %d out of range",
+							n, interval, step, l, p)
+					}
+					if used[p] >= 0 {
+						t.Fatalf("n=%d int=%d step %d: Map(%d) = Map(%d) = %d",
+							n, interval, step, used[p], l, p)
+					}
+					used[p] = l
+				}
+				_, gap := s.Registers()
+				if used[gap] >= 0 {
+					t.Fatalf("n=%d int=%d step %d: logical %d mapped onto the gap %d",
+						n, interval, step, used[gap], gap)
+				}
+				for p, l := range used {
+					if p != gap && l < 0 {
+						t.Fatalf("n=%d int=%d step %d: physical %d is neither mapped nor the gap",
+							n, interval, step, p)
+					}
+				}
+				s.OnWrite()
+			}
+		}
+	}
+}
+
 func TestGapMovesEveryInterval(t *testing.T) {
 	s := NewStartGap(8, 10)
 	moved := 0

@@ -2,9 +2,15 @@ package vcc
 
 import (
 	"repro/internal/coset"
+	"repro/internal/faultrepo"
 	"repro/internal/linecache"
 	"repro/internal/shard"
 )
+
+// FaultRepoStats counts runtime fault-repository traffic: lookups, hits
+// and misses of the descriptor cache, and stuck cells discovered by
+// verify-after-write (see ShardedMemoryConfig.UseFaultRepo).
+type FaultRepoStats = faultrepo.Stats
 
 // WriteRequest is one line write in a ShardedMemory batch.
 type WriteRequest = shard.WriteReq
@@ -109,6 +115,22 @@ type ShardedMemoryConfig struct {
 	// per-shard caches; meaningful only with CacheLines > 0. WriteBack
 	// defers device writebacks until eviction, Flush or Close.
 	CachePolicy CachePolicy
+	// RemapSpares, when positive, reserves that many spare physical
+	// lines per shard and layers a fault-repair remapping decorator over
+	// each shard's controller: a write that still stores stuck-at-wrong
+	// cells after coset encoding relocates its logical line to a spare
+	// row and is rewritten there. Logical capacity stays Lines; spares
+	// are extra physical rows. 0 disables repair.
+	RemapSpares int
+	// UseFaultRepo replaces the encoders' oracle view of stuck cells
+	// with a runtime fault repository per shard: only cells previously
+	// caught by verify-after-write are masked, and every write's verify
+	// outcome feeds the repository. It also informs spare selection when
+	// RemapSpares > 0.
+	UseFaultRepo bool
+	// FaultRepoCache sizes each shard's repository descriptor cache in
+	// words when UseFaultRepo is set; 0 defaults to 256.
+	FaultRepoCache int
 }
 
 // ShardedMemory is the concurrent variant of Memory: the line address
@@ -148,6 +170,9 @@ func NewShardedMemory(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
 		Seed:              cfg.Seed,
 		CacheLines:        cfg.CacheLines,
 		CachePolicy:       cfg.CachePolicy,
+		RemapSpares:       cfg.RemapSpares,
+		UseFaultRepo:      cfg.UseFaultRepo,
+		FaultRepoCache:    cfg.FaultRepoCache,
 	})
 	if err != nil {
 		return nil, err
@@ -252,6 +277,8 @@ func (m *ShardedMemory) Stats() Stats {
 		CacheEvictions:  s.CacheEvictions,
 		Writebacks:      s.Writebacks,
 		CoalescedWrites: s.CoalescedWrites,
+		RemappedLines:   s.RemappedLines,
+		RepairFailures:  s.RepairFailures,
 	}
 }
 
@@ -271,6 +298,8 @@ func (m *ShardedMemory) ShardStats(s int) Stats {
 		CacheEvictions:  st.CacheEvictions,
 		Writebacks:      st.Writebacks,
 		CoalescedWrites: st.CoalescedWrites,
+		RemappedLines:   st.RemappedLines,
+		RepairFailures:  st.RepairFailures,
 	}
 }
 
@@ -284,3 +313,23 @@ func (m *ShardedMemory) ResetStats() { m.eng.ResetStats() }
 // StuckCells returns the current number of permanently stuck cells
 // across all shards.
 func (m *ShardedMemory) StuckCells() int { return m.eng.StuckCells() }
+
+// DropCaches simulates losing the volatile decoded-line caches (a power
+// cut): dirty write-back lines are discarded without reaching the
+// devices, and subsequent reads observe whatever the persistent cells
+// last stored. A no-op without a cache or under WriteThrough. Like
+// Flush it rides the issue queues as a barrier.
+func (m *ShardedMemory) DropCaches() { m.eng.DropCaches() }
+
+// DirtyLines returns the sorted global line indices currently dirty in
+// the write-back caches — exactly the writes DropCaches would lose.
+// Empty on uncached and write-through memories.
+func (m *ShardedMemory) DirtyLines() []int { return m.eng.DirtyLines() }
+
+// FaultRepoStats sums runtime fault-repository traffic across shards
+// (all zero unless UseFaultRepo was set).
+func (m *ShardedMemory) FaultRepoStats() FaultRepoStats { return m.eng.FaultRepoStats() }
+
+// SpareLinesLeft returns the unused repair spare lines across shards
+// (zero unless RemapSpares was set).
+func (m *ShardedMemory) SpareLinesLeft() int { return m.eng.SpareLinesLeft() }

@@ -164,6 +164,13 @@ type Stats struct {
 	// CoalescedWrites counts writes absorbed into an already-dirty
 	// cached line — device writebacks the write-back policy eliminated.
 	CoalescedWrites int64
+	// RemappedLines counts repair relocations performed by the remapping
+	// decorator (ShardedMemoryConfig.RemapSpares): write-verify failures
+	// moved onto spare physical lines.
+	RemappedLines int64
+	// RepairFailures counts writes left stuck-at-wrong because the spare
+	// pool was exhausted.
+	RepairFailures int64
 }
 
 // NewMemory builds a Memory from cfg. The pipeline assembly lives in
