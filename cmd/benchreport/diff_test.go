@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFixture() (*Report, *Report) {
+	h := Host{Hostname: "a", GOOS: "linux", GOARCH: "amd64", NumCPU: 8, GoVersion: "go1.24"}
+	base := &Report{
+		Schema: "vccrepro-bench/v2", Host: h, BenchTime: "1s",
+		Results: []Result{
+			{Name: "encode/vcc_gen256/mlc/energy_saw/fast", Iterations: 1000, NsPerOp: 1700, AllocsPerOp: 0},
+			{Name: "encode/vcc_gen256/mlc/energy_saw/ref", Iterations: 1000, NsPerOp: 15700, AllocsPerOp: 0},
+			{Name: "engine/submit_async/depth=4/shards=4", Iterations: 100, NsPerOp: 1e7, AllocsPerOp: 0.1, MBPerS: 6},
+		},
+	}
+	fresh := &Report{
+		Schema: "vccrepro-bench/v2", Host: h, BenchTime: "1s",
+		Results: append([]Result(nil), base.Results...),
+	}
+	return base, fresh
+}
+
+func hasFail(fails []string, substr string) bool {
+	for _, f := range fails {
+		if strings.Contains(f, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiffReportsCleanRunPasses(t *testing.T) {
+	base, fresh := diffFixture()
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("identical reports flagged: %v", fails)
+	}
+}
+
+func TestDiffReportsCatchesEncodeAllocRegression(t *testing.T) {
+	base, fresh := diffFixture()
+	fresh.Results[0].AllocsPerOp = 2
+	fails := diffReports(base, fresh)
+	if !hasFail(fails, "allocs/op") {
+		t.Fatalf("0→2 encode allocs/op not flagged: %v", fails)
+	}
+}
+
+func TestDiffReportsIgnoresEngineStartupAllocs(t *testing.T) {
+	// Engine per-op allocations amortize pool startup and move with
+	// benchtime; they must not trip the zero-alloc gate.
+	base, fresh := diffFixture()
+	fresh.Results[2].AllocsPerOp = 22
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("engine startup allocs flagged as regression: %v", fails)
+	}
+}
+
+func TestDiffReportsCatchesSpeedupRegression(t *testing.T) {
+	base, fresh := diffFixture()
+	fresh.Results[0].NsPerOp = 8000 // speedup 9.2x -> 1.96x, under the 9.2/3 floor
+	fails := diffReports(base, fresh)
+	if !hasFail(fails, "ref/fast") {
+		t.Fatalf("speedup collapse not flagged: %v", fails)
+	}
+}
+
+func TestDiffReportsNsGateNeedsMatchingHost(t *testing.T) {
+	base, fresh := diffFixture()
+	// Keep the fast/ref ratio intact so only the absolute gate could
+	// fire: both sides slow down 4x (a slower machine, not a
+	// regression).
+	fresh.Results[0].NsPerOp *= 4
+	fresh.Results[1].NsPerOp *= 4
+	fresh.Host.Hostname = "b"
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("cross-host slowdown flagged: %v", fails)
+	}
+	// Same host: the 4x movement is a real regression.
+	fresh.Host.Hostname = "a"
+	fails := diffReports(base, fresh)
+	if !hasFail(fails, "ns/op") {
+		t.Fatalf("same-host 4x ns/op regression not flagged: %v", fails)
+	}
+}
+
+func TestSpeedupPairs(t *testing.T) {
+	base, _ := diffFixture()
+	sp := speedupPairs(base)
+	got, ok := sp["encode/vcc_gen256/mlc/energy_saw"]
+	if !ok {
+		t.Fatalf("fast/ref pair not derived: %v", sp)
+	}
+	if got < 9.2 || got > 9.3 {
+		t.Fatalf("speedup = %.3f, want 15700/1700", got)
+	}
+}

@@ -1,19 +1,28 @@
 // Command benchreport runs the repository's key encode and engine
 // benchmarks with a self-contained timing harness and writes a
 // machine-readable JSON report (BENCH_<n>.json at the repo root is the
-// per-PR perf trajectory; CI runs `-benchtime 1x` as a smoke and
-// validates the output parses).
+// per-PR perf trajectory). Every full run also appends one line to an
+// append-only history (BENCH_HISTORY.jsonl: timestamp, git SHA, host
+// fingerprint, results), and a diff mode compares a fresh run against a
+// committed baseline with noise-aware thresholds — CI fails on large
+// regressions instead of trusting the numbers in the snapshot.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport                      # ~1s per benchmark, writes BENCH_5.json
+//	go run ./cmd/benchreport                      # ~1s per benchmark, writes BENCH_7.json
 //	go run ./cmd/benchreport -benchtime 1x        # one iteration each (CI smoke)
 //	go run ./cmd/benchreport -benchtime 500ms -out /tmp/bench.json
-//	go run ./cmd/benchreport -validate BENCH_5.json
+//	go run ./cmd/benchreport -validate BENCH_7.json
+//	go run ./cmd/benchreport -diff BENCH_7.json -in /tmp/bench.json
+//	go run ./cmd/benchreport -profile -match encode/vcc_gen256 -topn 10
 //
 // The report includes the fast-vs-reference encode pairs; the headline
-// acceptance metric of the fast-path PR is the speedup on the VCC MLC
-// energy+SAW encode (speedup_vcc_mlc_energy_saw), required >= 2x.
+// acceptance metric of the nibble-table PR is the speedup on the VCC
+// MLC energy+SAW encode (speedup_vcc_mlc_energy_saw), required >= 3.3x.
+// -profile captures a pprof CPU profile per benchmark and prints a
+// top-N hot-function table (decoded in-process, no external tooling),
+// so "what is hot now" is one command away and optimization claims can
+// cite profiles instead of guesses.
 package main
 
 import (
@@ -21,7 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -43,6 +55,32 @@ type Result struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 }
 
+// Host is the machine fingerprint attached to reports and history
+// entries. Absolute ns/op numbers are only comparable between runs
+// whose fingerprints match; ratio metrics (speedups, allocs) gate
+// across hosts.
+type Host struct {
+	Hostname  string `json:"hostname"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+func hostFingerprint() Host {
+	hn, err := os.Hostname()
+	if err != nil {
+		hn = "unknown"
+	}
+	return Host{
+		Hostname:  hn,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
 // Report is the full JSON document.
 type Report struct {
 	Schema    string   `json:"schema"`
@@ -50,11 +88,62 @@ type Report struct {
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
 	NumCPU    int      `json:"num_cpu"`
+	Host      Host     `json:"host"`
+	GitSHA    string   `json:"git_sha,omitempty"`
+	Timestamp string   `json:"timestamp,omitempty"`
 	BenchTime string   `json:"benchtime"`
 	Results   []Result `json:"results"`
 	// SpeedupVCCMLCEnergySAW is ref/fast ns/op of the VCC MLC energy+SAW
 	// encode microbenchmark — the fast-path PR's acceptance metric.
 	SpeedupVCCMLCEnergySAW float64 `json:"speedup_vcc_mlc_energy_saw,omitempty"`
+}
+
+// historyEntry is one line of the append-only BENCH_HISTORY.jsonl run
+// log: everything needed to place a measurement in the perf trajectory
+// without trusting the mutable snapshot files.
+type historyEntry struct {
+	Time                   string   `json:"time"`
+	GitSHA                 string   `json:"git_sha"`
+	Host                   Host     `json:"host"`
+	BenchTime              string   `json:"benchtime"`
+	Snapshot               string   `json:"snapshot"`
+	Results                []Result `json:"results"`
+	SpeedupVCCMLCEnergySAW float64  `json:"speedup_vcc_mlc_energy_saw,omitempty"`
+}
+
+// gitSHA best-effort resolves HEAD, with a "-dirty" suffix when the
+// working tree has uncommitted changes (a measurement of code that is
+// not exactly any commit). History entries record "unknown" outside a
+// git checkout rather than failing the run.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+// appendHistory appends one JSON line to the run history. The file is
+// append-only by contract: existing lines are never rewritten, so the
+// trajectory survives snapshot overwrites.
+func appendHistory(path string, e historyEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // benchtime is either a fixed iteration count (1x mode) or a target
@@ -345,14 +434,230 @@ func validate(path string) error {
 	return nil
 }
 
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// speedupPairs derives every ref/fast ns-per-op ratio a report carries:
+// for each ".../fast" result with a ".../ref" sibling, the ratio under
+// the common prefix. Ratios are within-host and within-run, so they
+// gate across machines where absolute ns/op cannot.
+func speedupPairs(rep *Report) map[string]float64 {
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	out := map[string]float64{}
+	for _, r := range rep.Results {
+		base, ok := strings.CutSuffix(r.Name, "/fast")
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		if ref, ok := byName[base+"/ref"]; ok && ref.NsPerOp > 0 {
+			out[base] = ref.NsPerOp / r.NsPerOp
+		}
+	}
+	return out
+}
+
+// diffReports compares a fresh report against the committed baseline
+// and returns the regressions found. Thresholds are noise-aware:
+//
+//   - encode allocs/op gates everywhere: an encode benchmark the
+//     baseline holds at zero steady-state allocations must stay at zero
+//     (crossing 0 → 1 is a code change, not noise). Engine benchmarks
+//     are exempt — their per-op allocations amortize pool and pipeline
+//     startup over the iteration count, so they shift with benchtime;
+//   - ref/fast speedup ratios gate everywhere: within one run the two
+//     sides share the machine, so the ratio is host-independent. A
+//     fresh ratio below 1/3 of the baseline's (floored at 2x, so a
+//     baseline blip can never demand the impossible) is a regression;
+//   - absolute ns/op and MB/s gate only when the host fingerprint and
+//     benchtime match the baseline's — cross-machine wall-clock
+//     comparisons are meaningless — and then only on large movements
+//     (2.5x plus a 50ns floor, far outside scheduler jitter).
+func diffReports(base, fresh *Report) []string {
+	var fails []string
+	baseBy := map[string]Result{}
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	sameHost := base.Host == fresh.Host && base.BenchTime == fresh.BenchTime
+	fmt.Printf("diff vs baseline (same host+benchtime: %v)\n", sameHost)
+	for _, fr := range fresh.Results {
+		br, ok := baseBy[fr.Name]
+		if !ok {
+			fmt.Printf("  %-48s new benchmark, no baseline\n", fr.Name)
+			continue
+		}
+		status := "ok"
+		if strings.HasPrefix(fr.Name, "encode/") && br.AllocsPerOp < 0.5 && fr.AllocsPerOp >= 1 {
+			status = "ALLOC REGRESSION"
+			fails = append(fails, fmt.Sprintf("%s: %.2f allocs/op, baseline 0",
+				fr.Name, fr.AllocsPerOp))
+		}
+		if sameHost {
+			if br.NsPerOp >= 50 && fr.NsPerOp > 2.5*br.NsPerOp+50 {
+				status = "NS/OP REGRESSION"
+				fails = append(fails, fmt.Sprintf("%s: %.0f ns/op, baseline %.0f",
+					fr.Name, fr.NsPerOp, br.NsPerOp))
+			}
+			if br.MBPerS > 0 && fr.MBPerS > 0 && fr.MBPerS < br.MBPerS/2.5 {
+				status = "MB/S REGRESSION"
+				fails = append(fails, fmt.Sprintf("%s: %.1f MB/s, baseline %.1f",
+					fr.Name, fr.MBPerS, br.MBPerS))
+			}
+		}
+		fmt.Printf("  %-48s %10.1f ns/op (base %10.1f) %6.2f allocs (base %.2f)  %s\n",
+			fr.Name, fr.NsPerOp, br.NsPerOp, fr.AllocsPerOp, br.AllocsPerOp, status)
+	}
+	baseSp, freshSp := speedupPairs(base), speedupPairs(fresh)
+	for name, bs := range baseSp {
+		fs, ok := freshSp[name]
+		if !ok {
+			continue
+		}
+		floor := bs / 3
+		if floor < 2 {
+			floor = 2
+		}
+		status := "ok"
+		if bs >= 2 && fs < floor {
+			status = "SPEEDUP REGRESSION"
+			fails = append(fails, fmt.Sprintf("%s: ref/fast %.2fx, baseline %.2fx (floor %.2fx)",
+				name, fs, bs, floor))
+		}
+		fmt.Printf("  speedup %-40s %6.2fx (base %6.2fx, floor %5.2fx)  %s\n",
+			name, fs, bs, floor, status)
+	}
+	return fails
+}
+
+// runProfiles executes each selected benchmark under the CPU profiler
+// for ~300ms, writes the raw .pprof next to nothing the repo tracks,
+// and prints the decoded top-N hot-function table — the loop that
+// drove the nibble-table optimization, kept runnable so it cannot rot.
+func runProfiles(bs []bench, dir string, topN int) error {
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "benchprofiles"); err != nil {
+			return err
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	clean := strings.NewReplacer("/", "_", "=", "_", ".", "_")
+	for _, b := range bs {
+		fn := b.prepare()
+		fn(1) // warm: scratch pools, caches, dispatch plans
+		path := filepath.Join(dir, clean.Replace(b.name)+".pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		start := time.Now()
+		for n := 1; time.Since(start) < 300*time.Millisecond; {
+			fn(n)
+			if n < 1<<20 {
+				n <<= 1
+			}
+		}
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		funcs, err := parseCPUProfile(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		printHotFuncs(os.Stdout, b.name, funcs, topN)
+		fmt.Printf("  raw profile: %s\n", path)
+	}
+	return nil
+}
+
+// matchBenches filters the registry by substring, preserving order.
+func matchBenches(bs []bench, substr string) []bench {
+	if substr == "" {
+		return bs
+	}
+	var out []bench
+	for _, b := range bs {
+		if strings.Contains(b.name, substr) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 func main() {
 	btFlag := flag.String("benchtime", "1s", "per-benchmark target: a duration (1s) or fixed iterations (1x)")
-	out := flag.String("out", "BENCH_5.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_7.json", "output path for the JSON report")
 	validatePath := flag.String("validate", "", "validate an existing report instead of running")
+	diffBase := flag.String("diff", "", "baseline report to diff a fresh report (-in) against; exits nonzero on regression")
+	inPath := flag.String("in", "", "fresh report consumed by -diff")
+	historyPath := flag.String("history", "BENCH_HISTORY.jsonl", "append-only run history (empty disables)")
+	profileFlag := flag.Bool("profile", false, "capture a pprof CPU profile per benchmark and print top-N hot functions instead of timing")
+	profileDir := flag.String("profiledir", "", "directory for raw .pprof files (default: a fresh temp dir)")
+	topN := flag.Int("topn", 10, "rows in each -profile hot-function table")
+	match := flag.String("match", "", "only run benchmarks whose name contains this substring")
 	flag.Parse()
 
 	if *validatePath != "" {
 		if err := validate(*validatePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *diffBase != "" {
+		if *inPath == "" {
+			fmt.Fprintln(os.Stderr, "benchreport: -diff requires -in FRESH_REPORT")
+			os.Exit(2)
+		}
+		base, err := loadReport(*diffBase)
+		if err == nil {
+			var fresh *Report
+			if fresh, err = loadReport(*inPath); err == nil {
+				if fails := diffReports(base, fresh); len(fails) > 0 {
+					for _, f := range fails {
+						fmt.Fprintln(os.Stderr, "benchreport: REGRESSION:", f)
+					}
+					os.Exit(1)
+				}
+				fmt.Println("diff: no regressions")
+				return
+			}
+		}
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	selected := matchBenches(benches(), *match)
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no benchmark matches %q\n", *match)
+		os.Exit(2)
+	}
+
+	if *profileFlag {
+		if err := runProfiles(selected, *profileDir, *topN); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}
@@ -364,16 +669,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(2)
 	}
+	host := hostFingerprint()
 	rep := Report{
-		Schema:    "vccrepro-bench/v1",
+		Schema:    "vccrepro-bench/v2",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
+		Host:      host,
+		GitSHA:    gitSHA(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		BenchTime: *btFlag,
 	}
 	byName := map[string]Result{}
-	for _, b := range benches() {
+	for _, b := range selected {
 		fn := b.prepare()
 		r := measure(bt, b.bytes, fn)
 		r.Name = b.name
@@ -404,4 +713,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if *historyPath != "" {
+		err := appendHistory(*historyPath, historyEntry{
+			Time:                   rep.Timestamp,
+			GitSHA:                 rep.GitSHA,
+			Host:                   host,
+			BenchTime:              *btFlag,
+			Snapshot:               *out,
+			Results:                rep.Results,
+			SpeedupVCCMLCEnergySAW: rep.SpeedupVCCMLCEnergySAW,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended %s\n", *historyPath)
+	}
 }

@@ -1,0 +1,295 @@
+package main
+
+// A minimal reader for the gzipped protobuf CPU profiles emitted by
+// runtime/pprof, sufficient to attribute samples to functions and rank
+// hot spots. The repository carries no external dependencies, so rather
+// than import github.com/google/pprof this walks the wire format
+// directly: profile.proto is stable and the four message types needed
+// here (Profile, Sample, Location/Line, Function) have had fixed field
+// numbers since the format was introduced.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// hotFunc is one row of the top-N table.
+type hotFunc struct {
+	Name   string
+	FlatNs int64 // samples where the function is the leaf frame
+	CumNs  int64 // samples where it appears anywhere on the stack
+}
+
+// pprofSample is one decoded Sample message.
+type pprofSample struct {
+	locIDs []uint64
+	values []int64
+}
+
+// pprofLocation maps a location ID to its function names, innermost
+// (inlined leaf) first, as runtime/pprof orders Line entries.
+type pprofLocation struct {
+	id    uint64
+	funcs []uint64
+}
+
+// --- protobuf wire walking -------------------------------------------
+
+// errTruncated is returned whenever a varint or length-delimited field
+// runs past the end of the buffer.
+var errTruncated = fmt.Errorf("pprof: truncated message")
+
+func readVarint(b []byte, i int) (uint64, int, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if i >= len(b) {
+			return 0, 0, errTruncated
+		}
+		c := b[i]
+		i++
+		v |= uint64(c&0x7F) << shift
+		if c&0x80 == 0 {
+			return v, i, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("pprof: varint overflow")
+}
+
+// walkFields iterates the top-level fields of one message, invoking fn
+// with the field number and either the varint value (wire type 0) or
+// the payload bytes (wire type 2). Fixed32/64 fields are skipped: the
+// profile messages read here never use them.
+func walkFields(b []byte, fn func(num int, varint uint64, payload []byte) error) error {
+	i := 0
+	for i < len(b) {
+		key, ni, err := readVarint(b, i)
+		if err != nil {
+			return err
+		}
+		i = ni
+		num, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, ni, err := readVarint(b, i)
+			if err != nil {
+				return err
+			}
+			i = ni
+			if err := fn(num, v, nil); err != nil {
+				return err
+			}
+		case 1:
+			if i+8 > len(b) {
+				return errTruncated
+			}
+			i += 8
+		case 2:
+			l, ni, err := readVarint(b, i)
+			if err != nil {
+				return err
+			}
+			i = ni
+			if i+int(l) > len(b) || int(l) < 0 {
+				return errTruncated
+			}
+			if err := fn(num, 0, b[i:i+int(l)]); err != nil {
+				return err
+			}
+			i += int(l)
+		case 5:
+			if i+4 > len(b) {
+				return errTruncated
+			}
+			i += 4
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+// packedUint64s decodes a repeated varint field that may arrive packed
+// (payload) or as a single unpacked element (varint with nil payload).
+func packedUint64s(dst []uint64, varint uint64, payload []byte) ([]uint64, error) {
+	if payload == nil {
+		return append(dst, varint), nil
+	}
+	for i := 0; i < len(payload); {
+		v, ni, err := readVarint(payload, i)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+		i = ni
+	}
+	return dst, nil
+}
+
+// --- profile decoding -------------------------------------------------
+
+// parseCPUProfile decodes a gzipped runtime/pprof CPU profile into
+// per-function flat/cumulative nanosecond totals. The last sample value
+// is used (for CPU profiles the value types are [samples, cpu-ns]).
+func parseCPUProfile(raw []byte) ([]hotFunc, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("pprof: not gzipped: %w", err)
+	}
+	buf, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+
+	var (
+		samples  []pprofSample
+		locs     = map[uint64][]uint64{} // location id -> function ids
+		funcName = map[uint64]int64{}    // function id -> string table index
+		strtab   []string
+	)
+	err = walkFields(buf, func(num int, varint uint64, payload []byte) error {
+		switch num {
+		case 2: // Sample
+			var s pprofSample
+			err := walkFields(payload, func(n int, v uint64, p []byte) error {
+				var err error
+				switch n {
+				case 1: // location_id
+					s.locIDs, err = packedUint64s(s.locIDs, v, p)
+				case 2: // value
+					var vals []uint64
+					vals, err = packedUint64s(nil, v, p)
+					for _, u := range vals {
+						s.values = append(s.values, int64(u))
+					}
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4: // Location
+			var loc pprofLocation
+			err := walkFields(payload, func(n int, v uint64, p []byte) error {
+				switch n {
+				case 1: // id
+					loc.id = v
+				case 4: // Line
+					return walkFields(p, func(ln int, lv uint64, _ []byte) error {
+						if ln == 1 { // function_id
+							loc.funcs = append(loc.funcs, lv)
+						}
+						return nil
+					})
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			locs[loc.id] = loc.funcs
+		case 5: // Function
+			var id uint64
+			var name int64
+			err := walkFields(payload, func(n int, v uint64, _ []byte) error {
+				switch n {
+				case 1:
+					id = v
+				case 2:
+					name = int64(v)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strtab = append(strtab, string(payload))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nameOf := func(fid uint64) string {
+		idx := funcName[fid]
+		if idx >= 0 && int(idx) < len(strtab) {
+			return strtab[idx]
+		}
+		return fmt.Sprintf("func#%d", fid)
+	}
+
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if len(s.values) == 0 || len(s.locIDs) == 0 {
+			continue
+		}
+		ns := s.values[len(s.values)-1]
+		// Leaf frame: first location, innermost inline line.
+		if fs := locs[s.locIDs[0]]; len(fs) > 0 {
+			flat[nameOf(fs[0])] += ns
+		}
+		// Cumulative: every distinct function on the stack, once.
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, lid := range s.locIDs {
+			for _, fid := range locs[lid] {
+				name := nameOf(fid)
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += ns
+				}
+			}
+		}
+	}
+
+	out := make([]hotFunc, 0, len(cum))
+	for name, c := range cum {
+		out = append(out, hotFunc{Name: name, FlatNs: flat[name], CumNs: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FlatNs != out[j].FlatNs {
+			return out[i].FlatNs > out[j].FlatNs
+		}
+		if out[i].CumNs != out[j].CumNs {
+			return out[i].CumNs > out[j].CumNs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// printHotFuncs renders the top-N hot-function table for one benchmark.
+func printHotFuncs(w io.Writer, benchName string, funcs []hotFunc, topN int) {
+	var total int64
+	for _, f := range funcs {
+		total += f.FlatNs
+	}
+	fmt.Fprintf(w, "profile %s: top %d hot functions (%.1fms sampled)\n",
+		benchName, topN, float64(total)/1e6)
+	if total == 0 {
+		fmt.Fprintf(w, "  (no samples: run too short for the 10ms profiler tick)\n")
+		return
+	}
+	n := topN
+	if n > len(funcs) {
+		n = len(funcs)
+	}
+	fmt.Fprintf(w, "  %10s %6s  %10s %6s  %s\n", "flat(ms)", "flat%", "cum(ms)", "cum%", "function")
+	for _, f := range funcs[:n] {
+		fmt.Fprintf(w, "  %10.1f %5.1f%%  %10.1f %5.1f%%  %s\n",
+			float64(f.FlatNs)/1e6, 100*float64(f.FlatNs)/float64(total),
+			float64(f.CumNs)/1e6, 100*float64(f.CumNs)/float64(total), f.Name)
+	}
+}

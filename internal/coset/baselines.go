@@ -73,7 +73,10 @@ func (c *FNW) EncodeRef(data uint64, ev *Evaluator) (uint64, uint64) {
 // historical selection rule compares data cost alone), so the decision
 // rule is exactly EncodeRef's, on bit-identical Pairs.
 func (c *FNW) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, uint64) {
-	if ev.Ctx.N != c.n || !sc.Bind(ev, c.k) {
+	// The bind hint is 2: FNW asks each partition for exactly one
+	// candidate pair, far below the nibble-table construction threshold,
+	// so Bind stays cheap and pricing runs the direct path.
+	if ev.Ctx.N != c.n || !sc.BindFor(ev, c.k, 2) {
 		return c.EncodeRef(data, ev)
 	}
 	p := c.n / c.k
@@ -81,8 +84,7 @@ func (c *FNW) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, u
 	var enc, aux uint64
 	for j := 0; j < p; j++ {
 		d := bitutil.SubBlock(data, j, c.k)
-		costP := sc.PartCost(j, d)
-		costF := sc.PartCost(j, d^kMask)
+		costP, costF := sc.PartCostPair(j, d)
 		if costF.Less(costP) {
 			enc |= (d ^ kMask) << uint(j*c.k)
 			aux |= 1 << uint(j)

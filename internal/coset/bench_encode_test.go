@@ -140,18 +140,37 @@ func refEncodeFunc(c Codec) encodeFunc {
 }
 
 // BenchmarkSlicedCtxBind isolates the per-word slicing overhead the
-// controller pays before any candidate is priced.
+// controller pays before any candidate is priced: the direct variant is
+// slicing alone (no tables, the FNW-style bind), the tables variant adds
+// nibble-count table construction with the VCC-Gen(16,256) query-volume
+// hint — the full per-word rebind cost of the headline encode path.
+// ReportAllocs pins both at zero: the tables are fixed arrays owned by
+// the SlicedCtx, rebuilt in place on every rebind.
 func BenchmarkSlicedCtxBind(b *testing.B) {
-	ring := newBenchCtxRing(32, true, false, 2)
-	ev := NewEvaluator(ring.ctxs[0], ObjEnergySAW)
-	var sc SlicedCtx
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k := i & (len(ring.ctxs) - 1)
-		ev.Reset(ring.ctxs[k], ObjEnergySAW)
-		if !sc.Bind(ev, 16) {
-			b.Fatal("bind failed")
-		}
+	variants := []struct {
+		name string
+		hint int
+	}{
+		{"direct", 0},
+		{"tables", 2 * 256}, // 2 orientations x r=256 kernel prices per partition
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			ring := newBenchCtxRing(32, true, false, 2)
+			ev := NewEvaluator(ring.ctxs[0], ObjEnergySAW)
+			var sc SlicedCtx
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i & (len(ring.ctxs) - 1)
+				ev.Reset(ring.ctxs[k], ObjEnergySAW)
+				if !sc.BindFor(ev, 16, v.hint) {
+					b.Fatal("bind failed")
+				}
+			}
+			if v.hint > 0 && !sc.tabOK {
+				b.Fatal("tables variant built no tables")
+			}
+		})
 	}
 }

@@ -32,6 +32,21 @@ import (
 // plane in 1-bit partitions.
 const maxSlices = 64
 
+// maxNibGroups bounds the total nibble-group count across all partitions
+// of a bound context. p*ceil(m/4) <= p*m <= 64 for every supported
+// geometry, with equality only at m=1 (p=64, one group each).
+const maxNibGroups = 64
+
+// nibTableMinPrices is the amortization threshold of BindFor: nibble
+// tables are built only when the codec expects at least this many
+// PartCost prices per partition per 16-entry group. One group costs 16
+// table-entry constructions; below ~16 prices per group the per-symbol
+// direct path is cheaper than building tables it will barely consult
+// (measured on the BenchmarkEncode matrix: VCC-Gen(16,256) prices 128x
+// per partition and wins big, FNW prices 2x and would pay ~30x its
+// query cost in construction).
+const nibTableMinPrices = 16
+
 // SlicedCtx is a write context pre-sliced into partitions. A memory
 // controller owns one and rebinds it per word (Bind allocates nothing),
 // reusing the slice arrays across the eight words of a line and across
@@ -48,6 +63,15 @@ type SlicedCtx struct {
 	energy   pcm.EnergyModel
 	oldAux   uint64
 
+	// DisableTables forces every PartCost onto the direct per-symbol
+	// pricing path: BindFor never builds nibble tables. ForceTables
+	// builds them on every successful bind regardless of the
+	// amortization threshold. Both exist so the equivalence suite can
+	// cross-check table-driven against direct pricing; production
+	// callers leave them false and let BindFor's threshold decide.
+	DisableTables bool
+	ForceTables   bool
+
 	// Per-partition slices. For MLC-plane contexts slot j holds the
 	// 2m-bit word-coordinate sub-block covering partition j's symbols
 	// (and leftSpread its spread-odd left digits); otherwise the m-bit
@@ -62,6 +86,41 @@ type SlicedCtx struct {
 	// switch collapsed to one table lookup, valid for every bit index
 	// because aux-bit cost depends only on the (old, new) bit pair.
 	auxTab [2][2]Pair
+
+	// Nibble count tables. When tabOK is set, entry
+	// nibTab[(j*groups+g)*16 + v] holds the exact integer contribution
+	// of partition j's nibble group g (4 symbols for MLC-plane, 4 bits
+	// otherwise) when the candidate's bits [4g, 4g+4) equal v. The low
+	// 32 bits pack that contribution as high | low<<8 | sawHits<<16
+	// (MLC high/low programs, or SLC SET/RESET counts); the high 32
+	// bits pack the same counts for the group's m-bit-complement index
+	// (v XOR the group's in-partition mask, baked in at build). One
+	// fused walk therefore accumulates both orientations of a candidate
+	// pair — exactly how VCC consumes candidates. Field sums across a
+	// partition's <=16 groups stay below 256, so neither half of a
+	// packed uint64 accumulator ever carries between fields. cHi/cLo
+	// cache the matching energy coefficients. The array is owned by the
+	// SlicedCtx and overwritten in place on every rebind — table
+	// storage never allocates.
+	tabOK       bool
+	groups      int
+	lastNibMask uint64
+	cHi, cLo    float64
+	nibTab      [maxNibGroups * 16]uint64
+
+	// etab memoizes the energy multiply-accumulate over count pairs:
+	// etab[lo<<6|hi] = float64(hi)*cHi + float64(lo)*cLo, the exact
+	// pairFromCounts expression, so the hot encode loop converts packed
+	// counts to energy with one load instead of two int-to-float
+	// conversions and two multiplies. Fields are 6 bits, so the table
+	// serves any bound partition of at most 63 cells (etabFits); it
+	// depends only on the coefficients, not the write context, and is
+	// rebuilt only when the energy model changes (etabOK caches
+	// validity across rebinds — in steady state construction costs two
+	// float compares per bind).
+	etabOK   bool
+	etabFits bool
+	etab     [64 * 64]float64
 }
 
 // Bind slices ev's write context for kernel width m and reports whether
@@ -69,7 +128,20 @@ type SlicedCtx struct {
 // and the caller must fall back to the reference search — when a
 // partition boundary would split an MLC symbol (full-word MLC with odd
 // m), since such a partition cannot be priced from an independent slice.
+// Bind alone never builds nibble tables (unless ForceTables is set);
+// codecs that know their query volume use BindFor.
 func (sc *SlicedCtx) Bind(ev *Evaluator, m int) bool {
+	return sc.BindFor(ev, m, 0)
+}
+
+// BindFor is Bind with an amortization hint: pricesPerPartition is the
+// number of PartCost queries the codec expects to issue against each
+// partition before the next rebind. When the hint clears the per-group
+// construction threshold (or ForceTables is set), BindFor additionally
+// builds the per-partition nibble count tables so each query collapses
+// into ceil(m/4) table lookups; below it, queries run the direct
+// per-symbol path and construction costs nothing.
+func (sc *SlicedCtx) BindFor(ev *Evaluator, m, pricesPerPartition int) bool {
 	if ev.planeMask == 0 {
 		// Raw-literal evaluator: rebind so defaults (plane width, energy
 		// model) are applied before the context is copied into slices —
@@ -115,7 +187,182 @@ func (sc *SlicedCtx) Bind(ev *Evaluator, m int) bool {
 				uint64(old), uint64(val))
 		}
 	}
+	sc.groups = bitutil.NibbleGroups(m)
+	sc.lastNibMask = bitutil.Mask(m - 4*(sc.groups-1))
+	sc.tabOK = false
+	if sc.obj != ObjOnes && !sc.DisableTables &&
+		(sc.ForceTables || pricesPerPartition >= nibTableMinPrices*sc.groups) {
+		sc.buildNibbleTables()
+	}
 	return true
+}
+
+// buildNibbleTables fills nibTab for the bound context. Each entry is
+// computed with the same primitives the direct path prices with
+// (pcm.MLCWordCounts / pcm.SLCWordCounts, bitutil.SymbolCount) applied
+// to the group's sub-byte of the bound slices, so the counts are exact
+// integers by construction, not an approximation of the direct path.
+func (sc *SlicedCtx) buildNibbleTables() {
+	cHi, cLo := sc.energy.MLCHighPJ, sc.energy.MLCLowPJ
+	cells := sc.m
+	if sc.mode == pcm.MLC {
+		if !sc.mlcPlane {
+			cells = sc.m / 2
+		}
+	} else {
+		cHi, cLo = sc.energy.SLCSetPJ, sc.energy.SLCResetPJ
+	}
+	sc.etabFits = cells < 64
+	if !sc.etabOK || cHi != sc.cHi || cLo != sc.cLo {
+		sc.cHi, sc.cLo = cHi, cLo
+		// Layout matches the packed-count extraction in the encode hot
+		// loop: high-drive count in the low 6 bits, low-drive above.
+		for lo := 0; lo < 64; lo++ {
+			for hi := 0; hi < 64; hi++ {
+				sc.etab[lo<<6|hi] = float64(hi)*cHi + float64(lo)*cLo
+			}
+		}
+		sc.etabOK = true
+	}
+	var cnt [16]uint32
+	t := 0
+	for j := 0; j < sc.p; j++ {
+		for g := 0; g < sc.groups; g++ {
+			// Each entry is packed with its complement-orientation
+			// partner. All groups complement against 0xF except a final
+			// partial group, whose in-partition bits are lastNibMask.
+			gmask := uint64(0xF)
+			if g == sc.groups-1 {
+				gmask = sc.lastNibMask
+			}
+			if sc.mlcPlane && gmask == 0xF {
+				// Full plane group: symbols [4g, 4g+4) of the partition,
+				// byte [8g, 8g+8) of the 2m-bit slice, spread-odd left
+				// digits fixed per group. Counts decompose per symbol
+				// (MLCWordCounts is a per-symbol sum), so derive each
+				// symbol slot's contribution for candidate right digit
+				// 0/1 with byte-wide mask algebra, pair it with its
+				// complement (right digit flipped), and assemble all 16
+				// packed entries in place by doubling: 14 packed adds
+				// replace 16 byte-wide count evaluations plus the
+				// complement-partner gather.
+				sh := uint(8 * g)
+				oldB := (sc.old[j] >> sh) & 0xFF
+				smB := (sc.stuckMask[j] >> sh) & 0xFF
+				svB := (sc.stuckVal[j] >> sh) & 0xFF
+				stuck := svB & smB
+				// Desired bytes for all-right-digits-0 / all-1; their
+				// per-symbol changed/high/low/SAW masks on even bits.
+				d0 := (sc.leftSpread[j] >> sh) & 0xFF
+				d1 := d0 | 0x55
+				st0 := (d0 &^ smB) | stuck
+				st1 := (d1 &^ smB) | stuck
+				x0 := st0 ^ oldB
+				x1 := st1 ^ oldB
+				ch0 := (x0 | x0>>1) & 0x55
+				ch1 := (x1 | x1>>1) & 0x55
+				hi0 := ch0 & st0
+				hi1 := ch1 & st1
+				lo0 := ch0 &^ st0
+				lo1 := ch1 &^ st1
+				w0 := (d0 ^ svB) & smB
+				w1 := (d1 ^ svB) & smB
+				sw0 := (w0 | w0>>1) & 0x55
+				sw1 := (w1 | w1>>1) & 0x55
+				out := sc.nibTab[t : t+16]
+				n := 1
+				for slot := 0; slot < 4; slot++ {
+					b2 := uint(2 * slot)
+					e0 := hi0>>b2&1 | (lo0>>b2&1)<<8 | (sw0>>b2&1)<<16
+					e1 := hi1>>b2&1 | (lo1>>b2&1)<<8 | (sw1>>b2&1)<<16
+					q0 := e0 | e1<<32
+					q1 := e1 | e0<<32
+					if slot == 0 {
+						out[0], out[1] = q0, q1
+					} else {
+						for v := 0; v < n; v++ {
+							out[v|n] = out[v] + q1
+							out[v] += q0
+						}
+					}
+					n <<= 1
+				}
+				t += 16
+				continue
+			}
+			switch {
+			case sc.mlcPlane:
+				// Partial final plane group (m not a multiple of 4):
+				// rare tail, priced entrywise exactly as PartCost's
+				// desired-word construction does.
+				sh := uint(8 * g)
+				oldB := (sc.old[j] >> sh) & 0xFF
+				smB := (sc.stuckMask[j] >> sh) & 0xFF
+				svB := (sc.stuckVal[j] >> sh) & 0xFF
+				leftB := (sc.leftSpread[j] >> sh) & 0xFF
+				for nib := uint64(0); nib < 16; nib++ {
+					desired := leftB | bitutil.SpreadEvenNibble(nib)
+					stored := (desired &^ smB) | (svB & smB)
+					hi, lo := pcm.MLCWordCounts(oldB, stored)
+					saw := bitutil.SymbolCount((desired^svB)&smB, 0)
+					cnt[nib] = uint32(hi) | uint32(lo)<<8 | uint32(saw)<<16
+				}
+			case sc.mode == pcm.MLC:
+				// Full-word MLC (even m): group g covers two whole
+				// symbols, bits [4g, 4g+4) of the slice. Nibble
+				// boundaries are 4-bit aligned and symbols 2-bit
+				// aligned, so no symbol is ever split across groups.
+				sh := uint(4 * g)
+				oldN := (sc.old[j] >> sh) & 0xF
+				smN := (sc.stuckMask[j] >> sh) & 0xF
+				svN := (sc.stuckVal[j] >> sh) & 0xF
+				for nib := uint64(0); nib < 16; nib++ {
+					stored := (nib &^ smN) | (svN & smN)
+					hi, lo := pcm.MLCWordCounts(oldN, stored)
+					saw := bitutil.SymbolCount((nib^svN)&smN, 0)
+					cnt[nib] = uint32(hi) | uint32(lo)<<8 | uint32(saw)<<16
+				}
+			default:
+				// SLC: group g covers four independent cells. high/low
+				// slots carry SET/RESET counts.
+				sh := uint(4 * g)
+				oldN := (sc.old[j] >> sh) & 0xF
+				smN := (sc.stuckMask[j] >> sh) & 0xF
+				svN := (sc.stuckVal[j] >> sh) & 0xF
+				for nib := uint64(0); nib < 16; nib++ {
+					stored := (nib &^ smN) | (svN & smN)
+					sets, resets := pcm.SLCWordCounts(oldN, stored)
+					saw := bits.OnesCount64((nib ^ svN) & smN)
+					cnt[nib] = uint32(sets) | uint32(resets)<<8 | uint32(saw)<<16
+				}
+			}
+			for nib := uint64(0); nib < 16; nib++ {
+				sc.nibTab[t] = uint64(cnt[nib]) | uint64(cnt[nib^gmask])<<32
+				t++
+			}
+		}
+	}
+	sc.tabOK = true
+}
+
+// pairFromCounts folds a packed count accumulator into the bound
+// objective's Pair. The energy multiply-accumulate mirrors the canonical
+// pcm.*EnergyFromCounts expression term for term (cHi/cLo are the bound
+// mode's coefficients) — identical counts therefore yield float64
+// results bit-identical to the direct path's.
+func (sc *SlicedCtx) pairFromCounts(acc uint32) Pair {
+	hi := int(acc & 0xFF)
+	lo := int(acc >> 8 & 0xFF)
+	switch sc.obj {
+	case ObjFlips:
+		return Pair{float64(hi + lo), 0}
+	case ObjEnergySAW:
+		return Pair{float64(hi)*sc.cHi + float64(lo)*sc.cLo, float64(acc >> 16)}
+	case ObjSAWEnergy:
+		return Pair{float64(acc >> 16), float64(hi)*sc.cHi + float64(lo)*sc.cLo}
+	default:
+		panic("coset: unknown objective")
+	}
 }
 
 // Partitions returns the partition count of the bound context.
@@ -129,11 +376,48 @@ func (sc *SlicedCtx) AuxBit(bitIdx int, val uint64) Pair {
 
 // PartCost prices the unshifted m-bit value v as the contents of
 // partition j: it equals Evaluator.Part(v<<(j*m), j, m) bit-for-bit. v
-// must carry no bits above m.
+// must carry no bits above m. With nibble tables bound it is ceil(m/4)
+// lookups into exact integer counts; otherwise it prices the slice
+// directly.
 func (sc *SlicedCtx) PartCost(j int, v uint64) Pair {
 	if sc.obj == ObjOnes {
 		return Pair{float64(bits.OnesCount64(v)), 0}
 	}
+	if sc.tabOK {
+		row := sc.nibTab[j*sc.groups*16:]
+		var acc uint64
+		for g := 0; g < sc.groups; g++ {
+			acc += row[v&0xF]
+			row = row[16:]
+			v >>= 4
+		}
+		return sc.pairFromCounts(uint32(acc))
+	}
+	return sc.partCostDirect(j, v)
+}
+
+// PartCostPair prices v and its m-bit complement v^Mask(m) for partition
+// j in one pass: with tables bound, a single fused walk accumulates both
+// orientations' packed counts (each entry carries its complement
+// partner in the high half), which is exactly how VCC consumes
+// candidate pairs. Results are bit-identical to two PartCost calls.
+func (sc *SlicedCtx) PartCostPair(j int, v uint64) (Pair, Pair) {
+	if sc.tabOK && sc.obj != ObjOnes {
+		row := sc.nibTab[j*sc.groups*16:]
+		var acc uint64
+		for g := 0; g < sc.groups; g++ {
+			acc += row[v&0xF]
+			row = row[16:]
+			v >>= 4
+		}
+		return sc.pairFromCounts(uint32(acc)), sc.pairFromCounts(uint32(acc >> 32))
+	}
+	return sc.PartCost(j, v), sc.PartCost(j, v^bitutil.Mask(sc.m))
+}
+
+// partCostDirect is the table-free pricing path: the per-slice
+// mask/popcount pipeline the tables were derived from.
+func (sc *SlicedCtx) partCostDirect(j int, v uint64) Pair {
 	var desired uint64
 	if sc.mlcPlane {
 		desired = sc.leftSpread[j] | bitutil.SpreadEven(v)
@@ -270,4 +554,27 @@ func cannotBeat(obj Objective, lb, incumbent Pair) bool {
 // quantum" from "possibly an exact tie perturbed by summation noise".
 func ulpSlack(a, b float64) float64 {
 	return 1e-9 * (math.Abs(a) + math.Abs(b) + 1)
+}
+
+// pruneThreshold precomputes cannotBeat's noisy-component test as a
+// single bound: for nonnegative costs,
+//
+//	lb > incumbent + ulpSlack(lb, incumbent)
+//	  <=>  lb*(1 - 1e-9) > incumbent*(1 + 1e-9) + 1e-9
+//	  <=>  lb > (incumbent*(1+1e-9) + 1e-9) / (1 - 1e-9)
+//
+// so the kernel scan refreshes the threshold once per incumbent change
+// and the per-branch check is one float compare instead of the
+// abs/mul/add slack evaluation. The float rounding of the threshold
+// itself shifts the cut by a few ULPs (~1e-16 relative) — negligible
+// against the four orders of magnitude separating the 1e-9 slack from
+// worst-case summation noise, so pruning stays sound. A negative
+// incumbent (an adversarial energy model with negative coefficients)
+// falls outside the nonnegativity assumption: disable pruning entirely
+// rather than risk over-pruning.
+func pruneThreshold(incumbent float64) float64 {
+	if incumbent < 0 {
+		return math.Inf(1)
+	}
+	return (incumbent*(1+1e-9) + 1e-9) / (1 - 1e-9)
 }

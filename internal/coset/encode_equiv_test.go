@@ -100,17 +100,30 @@ func equivCtx(rng *prng.Rand, n int, mlcPlane bool) Ctx {
 
 var equivObjectives = []Objective{ObjFlips, ObjOnes, ObjEnergySAW, ObjSAWEnergy}
 
+// setTableMode drives the SlicedCtx nibble-table toggles through their
+// three states — 0: BindFor's amortization threshold decides, 1: tables
+// forced on every bind, 2: tables disabled (direct per-symbol pricing) —
+// so equivalence trials cross-check table-driven against direct pricing
+// on identical contexts.
+func setTableMode(sc *SlicedCtx, mode int) {
+	sc.ForceTables = mode == 1
+	sc.DisableTables = mode == 2
+}
+
 // TestFastEncodeMatchesReference is the randomized equivalence oracle:
 // every sliced-path codec, 4 objectives, SLC + MLC (full-word and
 // right-digit plane), random stuck patterns and old aux, against the
 // retained reference evaluator search. A shared SlicedCtx is reused
-// across all trials, mimicking the controller's per-word rebinding.
+// across all trials, mimicking the controller's per-word rebinding, and
+// trials rotate through the three table modes so the nibble-table and
+// direct pricing paths are both held to the reference.
 func TestFastEncodeMatchesReference(t *testing.T) {
 	rng := prng.New(0x5E11CED)
 	var sc SlicedCtx
 	for _, ec := range equivCodecs() {
 		t.Run(ec.name, func(t *testing.T) {
 			for trial := 0; trial < 400; trial++ {
+				setTableMode(&sc, trial%3)
 				ctx := equivCtx(rng, ec.n, ec.mlcPlane)
 				data := rng.Uint64() & bitutil.Mask(ec.n)
 				for _, obj := range equivObjectives {
@@ -229,8 +242,10 @@ func TestRawLiteralEvaluatorSelfHeals(t *testing.T) {
 
 // TestSlicedCtxPartCostMatchesPart checks the low-level contract
 // directly: PartCost(j, v) must equal Part(v<<(j*m), j, m) bit-for-bit
-// on random contexts, for every partition and objective — the invariant
-// the whole fast path is built on.
+// on random contexts, for every partition, objective and table mode —
+// the invariant the whole fast path is built on. PartCostPair must agree
+// with two PartCost calls (its fused table walk reads the packed
+// complement halves, a genuinely different code path).
 func TestSlicedCtxPartCostMatchesPart(t *testing.T) {
 	rng := prng.New(0xC057)
 	var sc SlicedCtx
@@ -246,30 +261,40 @@ func TestSlicedCtxPartCostMatchesPart(t *testing.T) {
 				continue
 			}
 			for _, obj := range equivObjectives {
-				ev := NewEvaluator(ctx, obj)
-				if !sc.Bind(ev, m) {
-					t.Fatalf("Bind failed for supported config n=%d m=%d", n, m)
-				}
-				for j := 0; j < n/m; j++ {
-					v := rng.Uint64() & bitutil.Mask(m)
-					got := sc.PartCost(j, v)
-					want := ev.Part(v<<uint(j*m), j, m)
-					if got != want {
-						t.Fatalf("PartCost(%d,%#x) m=%d obj=%v = %+v, want %+v",
-							j, v, m, obj, got, want)
+				for mode := 0; mode < 3; mode++ {
+					setTableMode(&sc, mode)
+					ev := NewEvaluator(ctx, obj)
+					if !sc.Bind(ev, m) {
+						t.Fatalf("Bind failed for supported config n=%d m=%d", n, m)
 					}
-				}
-				// And the aux table against the reference switch.
-				for b := 0; b < 16; b++ {
-					for val := uint64(0); val < 2; val++ {
-						if got, want := sc.AuxBit(b, val), ev.AuxBit(b, val); got != want {
-							t.Fatalf("AuxBit(%d,%d) = %+v, want %+v", b, val, got, want)
+					for j := 0; j < n/m; j++ {
+						v := rng.Uint64() & bitutil.Mask(m)
+						got := sc.PartCost(j, v)
+						want := ev.Part(v<<uint(j*m), j, m)
+						if got != want {
+							t.Fatalf("PartCost(%d,%#x) m=%d obj=%v mode=%d = %+v, want %+v",
+								j, v, m, obj, mode, got, want)
+						}
+						gotV, gotC := sc.PartCostPair(j, v)
+						wantC := ev.Part((v^bitutil.Mask(m))<<uint(j*m), j, m)
+						if gotV != want || gotC != wantC {
+							t.Fatalf("PartCostPair(%d,%#x) m=%d obj=%v mode=%d = (%+v,%+v), want (%+v,%+v)",
+								j, v, m, obj, mode, gotV, gotC, want, wantC)
+						}
+					}
+					// And the aux table against the reference switch.
+					for b := 0; b < 16; b++ {
+						for val := uint64(0); val < 2; val++ {
+							if got, want := sc.AuxBit(b, val), ev.AuxBit(b, val); got != want {
+								t.Fatalf("AuxBit(%d,%d) = %+v, want %+v", b, val, got, want)
+							}
 						}
 					}
 				}
 			}
 		}
 	}
+	setTableMode(&sc, 0)
 }
 
 // FuzzEncodeEquivalence fuzzes the fast path against the reference
@@ -281,6 +306,12 @@ func FuzzEncodeEquivalence(f *testing.F) {
 	f.Add(uint64(0xDEADBEEFCAFEF00D), uint64(0x0123456789ABCDEF), uint64(0xFFFFFFFF),
 		uint64(0xF0F0F0F0F0F0F0F0), uint64(0x5555555555555555), uint64(0xAB), uint8(2), uint8(1))
 	f.Add(^uint64(0), uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint8(3), uint8(6))
+	// Seeds pinning the forced-table and table-disabled pricing paths
+	// (codecSel bits 6-7 select the table mode below).
+	f.Add(uint64(0xABCDEF), uint64(0x1234), uint64(0x5678), uint64(0xFF00FF),
+		uint64(0xF000F0), uint64(0x3C), uint8(2), uint8(0x40|3))
+	f.Add(uint64(0xABCDEF), uint64(0x1234), uint64(0x5678), uint64(0xFF00FF),
+		uint64(0xF000F0), uint64(0x3C), uint8(2), uint8(0x80|3))
 
 	codecs := equivCodecs()
 	var sc SlicedCtx
@@ -288,6 +319,10 @@ func FuzzEncodeEquivalence(f *testing.F) {
 		objSel, codecSel uint8) {
 		ec := codecs[int(codecSel)%len(codecs)]
 		obj := equivObjectives[int(objSel)%len(equivObjectives)]
+		// codecSel's high bits are spare entropy (13 codecs fit in the low
+		// six); they steer the nibble-table toggles so the fuzzer hunts
+		// across table-driven, direct, and threshold-decided pricing.
+		setTableMode(&sc, int(codecSel>>6)%3)
 		mode := pcm.MLC
 		if objSel&4 != 0 && !ec.mlcPlane {
 			mode = pcm.SLC

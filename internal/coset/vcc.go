@@ -2,6 +2,7 @@ package coset
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/bitutil"
@@ -57,6 +58,11 @@ type vccSearch struct {
 	// flag aux bit) for partition j, for both orientations.
 	choice []partChoice
 
+	// idxP caches the kernel-index aux-bit primary costs per bit value
+	// for the ObjEnergySAW specialization, so surviving kernels fold
+	// their index bits with one indexed load each.
+	idxP [2][16]float64
+
 	// Branch-and-bound state: lb[j] is the component-wise floor of every
 	// available choice in partition j, lbSuffix[j] the floor of
 	// completing partitions j..p-1. Index-bit cost enters the bound as a
@@ -69,6 +75,12 @@ type vccSearch struct {
 	// epoch invalidates tab lazily: a slot is live only when its stored
 	// epoch matches, so dedupe skips the O(len(tab)) clear per word.
 	epoch uint32
+
+	// Stored kernel ROMs never change, so their canonicalization is
+	// computed once (staticDone) and the class count cached (staticQ)
+	// instead of re-hashing the identical kernel set every word.
+	staticDone bool
+	staticQ    int
 }
 
 // partChoice holds one kernel class's resolved decision for one
@@ -282,26 +294,37 @@ func (c *VCC) EncodeRef(data uint64, ev *Evaluator) (uint64, uint64) {
 // reusable storage). Three phases replace the reference's uniform
 // r x p x 2 Evaluator sweep:
 //
-//  1. Kernel canonicalization. Kernels k and k^mMask span the same
-//     candidate values per partition, so kernels collapse into q <= r
-//     classes; only distinct classes are priced.
+//  1. Kernel class layout. Stored ROMs are canonicalized once (kernels
+//     k and k^mMask span the same candidate values per partition, so
+//     kernels collapse into q <= r classes) and the result reused for
+//     every word. Generated sources vary per word, but Algorithm 2's
+//     mask width already keeps complements out of the set and exact
+//     duplicates need base-vector collisions (probability ~r/2^m on
+//     random data), so hashing every kernel every word costs more than
+//     the rare duplicate pricing it would save: each kernel is its own
+//     class, exactly the reference's view.
 //  2. Per-partition candidate cost tables. For each partition j and
-//     class t the two candidate values {dj^k, dj^k^mMask} are priced
-//     once through the sliced context, the flag decision (including the
-//     flag bit's own aux cost, from the 2x2 table) is resolved for both
-//     kernel orientations, and a component-wise cost floor per
-//     partition is recorded.
+//     class t the candidate pair {dj^k, dj^k^mMask} is priced in one
+//     PartCostPair walk through the sliced context (nibble tables when
+//     bound), the flag decision (including the flag bit's own aux
+//     cost, from the 2x2 table) is resolved per orientation, and a
+//     component-wise cost floor per partition is recorded.
 //  3. Branch-and-bound kernel scan. Each kernel's total is now a sum of
 //     table entries, accumulated in the reference's summation order; a
 //     kernel is abandoned as soon as its partial cost plus the floor of
 //     the remaining partitions and index bits provably cannot beat the
-//     incumbent (see cannotBeat for why pruning never changes the
+//     incumbent. The prune predicate is cannotBeat's, with the noisy
+//     component's slack test precomputed into a single bound per
+//     incumbent (see pruneThreshold for why this never changes the
 //     selected coset).
 func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, uint64) {
 	// A context whose plane width disagrees with the codec's would slice
 	// into partitions the search does not iterate; the reference path
 	// defines the (degenerate) semantics of that misuse, so defer to it.
-	if ev.Ctx.N != c.n || !sc.Bind(ev, c.m) {
+	// Each kernel prices both complements of every partition, so the
+	// bind hint clears the nibble-table threshold for every real VCC
+	// geometry.
+	if ev.Ctx.N != c.n || !sc.BindFor(ev, c.m, 2*c.src.NumKernels()) {
 		return c.EncodeRef(data, ev)
 	}
 	d := data & bitutil.Mask(c.n)
@@ -310,7 +333,25 @@ func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, u
 	s := &c.fs
 	s.ensure(r, c.p)
 	mMask := bitutil.Mask(c.m)
-	q := s.dedupe(kernels, mMask)
+	identity := !c.src.Stored()
+	// The specialization's suffix bounds assume cell energies are
+	// nonnegative (remaining partitions are floored at their aux cost
+	// alone), so a pathological negative-coefficient model stays on the
+	// generic path, whose floors are minima of actual candidate costs.
+	if identity && sc.tabOK && sc.obj == ObjEnergySAW && sc.etabFits &&
+		sc.cHi >= 0 && sc.cLo >= 0 {
+		return c.encodeSlicedEnergySAW(d, kernels, sc, s)
+	}
+	var q int
+	if identity {
+		q = r
+	} else {
+		if !s.staticDone {
+			s.staticQ = s.dedupe(kernels, mMask)
+			s.staticDone = true
+		}
+		q = s.staticQ
+	}
 
 	auxBits := c.AuxBits()
 	for j := 0; j < c.p; j++ {
@@ -319,11 +360,29 @@ func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, u
 		a1 := sc.AuxBit(j, 1)
 		floor := pairInf
 		row := s.choice[j*q : (j+1)*q]
+		if identity {
+			// Per-word kernels, plain orientation only: same decision
+			// and tie-break as the reference's flag scan.
+			for t := 0; t < q; t++ {
+				y0 := dj ^ kernels[t]
+				pc0, pc1 := sc.PartCostPair(j, y0)
+				e := &row[t]
+				c0 := pc0.Add(a0)
+				c1 := pc1.Add(a1)
+				if c1.Less(c0) {
+					e.cost[0], e.enc[0], e.flag[0] = c1, y0^mMask, 1
+				} else {
+					e.cost[0], e.enc[0], e.flag[0] = c0, y0, 0
+				}
+				floor = pairFloor(floor, e.cost[0])
+			}
+			s.lb[j] = floor
+			continue
+		}
 		for t := 0; t < q; t++ {
 			y0 := dj ^ s.canon[t]
 			y1 := y0 ^ mMask
-			pc0 := sc.PartCost(j, y0)
-			pc1 := sc.PartCost(j, y1)
+			pc0, pc1 := sc.PartCostPair(j, y0)
 			e := &row[t]
 			pres := s.pres[t]
 			if pres&1 != 0 { // plain orientation: flag 0 writes y0
@@ -361,24 +420,48 @@ func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, u
 		s.lbSuffix[j] = s.lb[j].Add(s.lbSuffix[j+1])
 	}
 
+	obj := sc.obj
 	var bestEnc, bestAux uint64
 	var bestCost Pair
+	// Precomputed prune cuts (see pruneThreshold): threshP bounds the
+	// noisy primary under ObjEnergySAW, threshS the noisy secondary
+	// under ObjSAWEnergy. Both refresh only when the incumbent changes,
+	// so the inner check is a compare instead of cannotBeat's slack
+	// evaluation — same predicate, hoisted.
+	var threshP, threshS float64
 	for i := 0; i < r; i++ {
-		t := s.class[i]
-		o := 0
-		if s.comp[i] {
-			o = 1
+		t, o := i, 0
+		if !identity {
+			t = int(s.class[i])
+			if s.comp[i] {
+				o = 1
+			}
 		}
 		var enc, flags uint64
 		var cost Pair
 		pruned := false
 		for j := 0; j < c.p; j++ {
-			e := &s.choice[j*q+int(t)]
+			e := &s.choice[j*q+t]
 			cost = cost.Add(e.cost[o])
 			enc |= e.enc[o] << uint(j*c.m)
 			flags |= e.flag[o] << uint(j)
-			if i > 0 && cannotBeat(sc.obj, cost.Add(s.lbSuffix[j+1]), bestCost) {
-				pruned = true
+			if i == 0 {
+				continue
+			}
+			lb := s.lbSuffix[j+1]
+			switch obj {
+			case ObjEnergySAW:
+				pruned = cost.Primary+lb.Primary > threshP
+			case ObjSAWEnergy:
+				p := cost.Primary + lb.Primary
+				pruned = p > bestCost.Primary ||
+					(p == bestCost.Primary && cost.Secondary+lb.Secondary > threshS)
+			default: // exact integer components: a >= bound cannot win
+				p := cost.Primary + lb.Primary
+				pruned = p > bestCost.Primary ||
+					(p == bestCost.Primary && cost.Secondary+lb.Secondary >= bestCost.Secondary)
+			}
+			if pruned {
 				break
 			}
 		}
@@ -391,6 +474,231 @@ func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, u
 		aux := uint64(i)<<uint(c.p) | flags
 		if i == 0 || cost.Less(bestCost) {
 			bestEnc, bestAux, bestCost = enc, aux, cost
+			switch obj {
+			case ObjEnergySAW:
+				threshP = pruneThreshold(bestCost.Primary)
+			case ObjSAWEnergy:
+				threshS = pruneThreshold(bestCost.Secondary)
+			}
+		}
+	}
+	return bestEnc, bestAux
+}
+
+// encodeSlicedEnergySAW is EncodeSliced's hot specialization: per-word
+// (identity-class) kernels, nibble tables bound, ObjEnergySAW with
+// nonnegative cell energies — the memory-controller configuration the
+// paper's encode-latency claim rests on. Instead of the generic
+// fill-then-scan structure it runs one lazy pass in kernel order: each
+// partition of a kernel is priced on demand (one fused table walk
+// yields both orientations' packed counts; the energy
+// multiply-accumulate is memoized per count pair in sc.etab) and the
+// kernel is abandoned the moment its partial cost plus the remaining
+// partitions' aux-cost floor cannot beat the incumbent. Pruned kernels
+// therefore never touch their remaining partitions at all, and nothing
+// is ever staged in memory.
+//
+// Bit-identity with EncodeRef: the per-partition decision compares the
+// identical c0/c1 float values (same MAC expression shape, term for
+// term, same evaluation order) with the SAW tie-break on raw integer
+// counts (int -> float64 is monotone and exact in this range, and aux
+// Pairs under ObjEnergySAW carry zero Secondary, so the SAW component
+// of any candidate sum is exactly float64 of its integer count); the
+// kernel total accumulates in the reference's partition order; and the
+// incumbent updates on the reference's exact comparison in the
+// reference's kernel order. Pruning uses pruneThreshold against a sound
+// lower bound of the remaining cost (energies are nonnegative — the
+// dispatch guard — and each remaining aux bit costs at least its
+// cheaper value), so no kernel that could have updated the incumbent is
+// ever skipped. The bound is weaker than the generic path's measured
+// per-partition floors, but the prune only has to pay for itself: here
+// a successful first-partition cut saves whole candidate evaluations,
+// not just table loads.
+func (c *VCC) encodeSlicedEnergySAW(d uint64, kernels []uint64, sc *SlicedCtx, s *vccSearch) (uint64, uint64) {
+	q := len(kernels)
+	mMask := bitutil.Mask(c.m)
+	groups := sc.groups
+	auxBits := c.AuxBits()
+	nb := auxBits - c.p
+	etab := &sc.etab
+
+	// Hoisted per-partition state: sub-blocks, flag aux-bit costs, and
+	// the suffix floors suff[j] = sum of min aux cost over partitions
+	// j..p-1 plus the index-bit floor.
+	var djv [maxSlices]uint64
+	var a0, a1 [maxSlices]float64
+	var suff [maxSlices + 1]float64
+	for j := 0; j < c.p; j++ {
+		djv[j] = bitutil.SubBlock(d, j, c.m)
+		a0[j] = sc.AuxBit(j, 0).Primary
+		a1[j] = sc.AuxBit(j, 1).Primary
+	}
+	useIdxTab := nb <= len(s.idxP[0])
+	idxFloorP := 0.0
+	for b := 0; b < nb; b++ {
+		f0 := sc.AuxBit(c.p+b, 0).Primary
+		f1 := sc.AuxBit(c.p+b, 1).Primary
+		if useIdxTab {
+			s.idxP[0][b], s.idxP[1][b] = f0, f1
+		}
+		if f1 < f0 {
+			f0 = f1
+		}
+		idxFloorP += f0
+	}
+	suff[c.p] = idxFloorP
+	for j := c.p - 1; j >= 0; j-- {
+		af := a0[j]
+		if a1[j] < af {
+			af = a1[j]
+		}
+		suff[j] = af + suff[j+1]
+	}
+
+	var bestEnc, bestAux uint64
+	var bestP float64
+	var bestSaw uint64
+	var threshP float64
+	if c.p == 2 && groups == 4 {
+		// The headline geometry (n=32, m=16, MLC plane): both partition
+		// evaluations unrolled with every loop-invariant in a register,
+		// and the orientation select computed branch-free. The select
+		// works on IEEE bit patterns: candidate energies are nonnegative
+		// finite floats, for which Float64bits is monotone and injective,
+		// so the lexicographic (energy, SAW) comparison and the value
+		// select itself run as integer mask algebra — the chosen value is
+		// bit-identical to the branchy compare's, with no 50/50 data-
+		// dependent branch in the loop body.
+		t40 := sc.nibTab[0:64]
+		t41 := sc.nibTab[64:128]
+		d0, d1 := djv[0], djv[1]
+		a00, a10 := a0[0], a1[0]
+		a01, a11 := a0[1], a1[1]
+		suff1, suff2 := suff[1], suff[2]
+		shm := uint(c.m)
+		for i := 0; i < q; i++ {
+			k := kernels[i]
+			y0 := d0 ^ k
+			acc := t40[y0&0xF] + t40[16+(y0>>4&0xF)] +
+				t40[32+(y0>>8&0xF)] + t40[48+(y0>>12&0xF)]
+			acc0 := uint32(acc)
+			acc1 := uint32(acc >> 32)
+			b0 := math.Float64bits(etab[(acc0&0x3F)|(acc0>>2&0xFC0)] + a00)
+			b1 := math.Float64bits(etab[(acc1&0x3F)|(acc1>>2&0xFC0)] + a10)
+			saw0 := uint64(acc0 >> 16)
+			saw1 := uint64(acc1 >> 16)
+			// w = all-ones iff (c1p, saw1) < (c0p, saw0) lexicographically.
+			e := b0 ^ b1
+			mNE := uint64(int64(e|(0-e)) >> 63)
+			mLT := uint64((int64(b1) - int64(b0)) >> 63)
+			w := mLT | (^mNE & uint64((int64(saw1)-int64(saw0))>>63))
+			cp := math.Float64frombits(b0 ^ (e & w))
+			enc := y0 ^ (mMask & w)
+			flags := w & 1
+			saw := saw0 ^ ((saw0 ^ saw1) & w)
+			if i > 0 && cp+suff1 > threshP {
+				continue
+			}
+			y1 := d1 ^ k
+			acc = t41[y1&0xF] + t41[16+(y1>>4&0xF)] +
+				t41[32+(y1>>8&0xF)] + t41[48+(y1>>12&0xF)]
+			acc0 = uint32(acc)
+			acc1 = uint32(acc >> 32)
+			b0 = math.Float64bits(etab[(acc0&0x3F)|(acc0>>2&0xFC0)] + a01)
+			b1 = math.Float64bits(etab[(acc1&0x3F)|(acc1>>2&0xFC0)] + a11)
+			saw0 = uint64(acc0 >> 16)
+			saw1 = uint64(acc1 >> 16)
+			e = b0 ^ b1
+			mNE = uint64(int64(e|(0-e)) >> 63)
+			mLT = uint64((int64(b1) - int64(b0)) >> 63)
+			w = mLT | (^mNE & uint64((int64(saw1)-int64(saw0))>>63))
+			cp += math.Float64frombits(b0 ^ (e & w))
+			enc |= (y1 ^ (mMask & w)) << shm
+			flags |= (w & 1) << 1
+			saw += saw0 ^ ((saw0 ^ saw1) & w)
+			if i > 0 && cp+suff2 > threshP {
+				continue
+			}
+			if useIdxTab {
+				for b := 0; b < nb; b++ {
+					cp += s.idxP[uint64(i)>>uint(b)&1][b]
+				}
+			} else {
+				for b := c.p; b < auxBits; b++ {
+					cp += sc.AuxBit(b, uint64(i)>>uint(b-c.p)&1).Primary
+				}
+			}
+			if i == 0 || cp < bestP || (cp == bestP && saw < bestSaw) {
+				bestEnc = enc
+				bestAux = uint64(i)<<2 | flags
+				bestP, bestSaw = cp, saw
+				threshP = pruneThreshold(bestP)
+			}
+		}
+		return bestEnc, bestAux
+	}
+	for i := 0; i < q; i++ {
+		k := kernels[i]
+		var enc, flags, saw uint64
+		var cp float64
+		pruned := false
+		for j := 0; j < c.p; j++ {
+			y0 := djv[j] ^ k
+			var acc uint64
+			if groups == 4 {
+				// The dominant geometry (m=16): four independent loads
+				// from a bounds-check-free 64-entry window.
+				t4 := sc.nibTab[j*64:][:64]
+				acc = t4[y0&0xF] + t4[16+(y0>>4&0xF)] +
+					t4[32+(y0>>8&0xF)] + t4[48+(y0>>12&0xF)]
+			} else {
+				row := sc.nibTab[j*groups*16:]
+				v := y0
+				for g := 0; g < groups; g++ {
+					acc += row[v&0xF]
+					row = row[16:]
+					v >>= 4
+				}
+			}
+			acc0 := uint32(acc)
+			acc1 := uint32(acc >> 32)
+			c0p := etab[(acc0&0x3F)|(acc0>>2&0xFC0)] + a0[j]
+			c1p := etab[(acc1&0x3F)|(acc1>>2&0xFC0)] + a1[j]
+			saw0 := acc0 >> 16
+			saw1 := acc1 >> 16
+			sh := uint(j * c.m)
+			if c1p < c0p || (c1p == c0p && saw1 < saw0) {
+				cp += c1p
+				enc |= (y0 ^ mMask) << sh
+				flags |= uint64(1) << uint(j)
+				saw += uint64(saw1)
+			} else {
+				cp += c0p
+				enc |= y0 << sh
+				saw += uint64(saw0)
+			}
+			if i > 0 && cp+suff[j+1] > threshP {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		if useIdxTab {
+			for b := 0; b < nb; b++ {
+				cp += s.idxP[uint64(i)>>uint(b)&1][b]
+			}
+		} else {
+			for b := c.p; b < auxBits; b++ {
+				cp += sc.AuxBit(b, uint64(i)>>uint(b-c.p)&1).Primary
+			}
+		}
+		if i == 0 || cp < bestP || (cp == bestP && saw < bestSaw) {
+			bestEnc = enc
+			bestAux = uint64(i)<<uint(c.p) | flags
+			bestP, bestSaw = cp, saw
+			threshP = pruneThreshold(bestP)
 		}
 	}
 	return bestEnc, bestAux

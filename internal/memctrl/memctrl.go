@@ -213,7 +213,12 @@ type Controller struct {
 	// fast path (detected once at construction); sliced is the
 	// controller-owned write context it rebinds per word, so the slice
 	// storage is reused across the eight words of a line and across
-	// lines without a heap allocation.
+	// lines without a heap allocation. The context now carries the
+	// nibble-table storage too (~40KB: the per-partition count tables
+	// plus the energy multiply-accumulate cache) as fixed arrays, so
+	// embedding it by value keeps the whole rebind cycle — slicing,
+	// table construction, etab reuse across energy-model-stable rebinds
+	// — inside one controller-owned allocation made at New.
 	fast   coset.FastCodec
 	sliced coset.SlicedCtx
 
