@@ -85,6 +85,76 @@ func TestDiffReportsNsGateNeedsMatchingHost(t *testing.T) {
 	}
 }
 
+func TestDiffReportsToleratesMetricsMissingFromBase(t *testing.T) {
+	// A baseline from before a metric existed (older BENCH_*.json: no
+	// campaign block, no stored/decode pairs, no named speedups) must
+	// not fail a fresh report that carries the new metrics — they are
+	// reported as new, never gated against an absent key.
+	base, fresh := diffFixture()
+	fresh.Results = append(fresh.Results,
+		Result{Name: "decode/vcc_stored256/line/fast", Iterations: 1000, NsPerOp: 40},
+		Result{Name: "decode/vcc_stored256/line/ref", Iterations: 1000, NsPerOp: 200},
+	)
+	fresh.SpeedupVCCStoredSLCEnergySAW = 2.9
+	fresh.SpeedupDecodeStored = 5
+	fresh.Campaigns = map[string]map[string]float64{
+		"fault-aging": {"ext_measured_final": 1.8, "rel_err_final": 0.04},
+	}
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("metrics missing from base flagged: %v", fails)
+	}
+	// Same for a single metric missing inside a campaign both sides ran.
+	base.Campaigns = map[string]map[string]float64{"fault-aging": {}}
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("campaign metrics missing from base flagged: %v", fails)
+	}
+}
+
+func TestDiffReportsCatchesLifetimeRegression(t *testing.T) {
+	base, fresh := diffFixture()
+	base.Campaigns = map[string]map[string]float64{
+		"wear-leveling": {"extension": 3.0},
+		"fault-aging":   {"ext_measured_final": 1.8},
+	}
+	fresh.Campaigns = map[string]map[string]float64{
+		"wear-leveling": {"extension": 1.2}, // below the 1.5 half-baseline floor
+		"fault-aging":   {"ext_measured_final": 1.8},
+	}
+	fails := diffReports(base, fresh)
+	if !hasFail(fails, "extension") {
+		t.Fatalf("lifetime-extension collapse not flagged: %v", fails)
+	}
+	if hasFail(fails, "ext_measured_final") {
+		t.Fatalf("unchanged fault-aging extension flagged: %v", fails)
+	}
+}
+
+func TestDiffReportsCatchesModelErrorRegression(t *testing.T) {
+	base, fresh := diffFixture()
+	base.Campaigns = map[string]map[string]float64{"fault-aging": {"rel_err_final": 0.03}}
+	fresh.Campaigns = map[string]map[string]float64{"fault-aging": {"rel_err_final": 0.25}}
+	if fails := diffReports(base, fresh); !hasFail(fails, "rel_err_final") {
+		t.Fatalf("model-error growth not flagged: %v", fails)
+	}
+	// Within twice-the-baseline-plus-floor is noise, not a regression.
+	fresh.Campaigns["fault-aging"]["rel_err_final"] = 0.07
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("in-tolerance model error flagged: %v", fails)
+	}
+}
+
+func TestDiffReportsCatchesCampaignViolations(t *testing.T) {
+	// verify_violations gates on the fresh side alone: a violation is an
+	// oracle failure even when the baseline never ran the campaign.
+	base, fresh := diffFixture()
+	fresh.Campaigns = map[string]map[string]float64{
+		"crash-recovery": {"verify_violations": 2},
+	}
+	if fails := diffReports(base, fresh); !hasFail(fails, "verification violations") {
+		t.Fatalf("campaign verification violations not flagged: %v", fails)
+	}
+}
+
 func TestSpeedupPairs(t *testing.T) {
 	base, _ := diffFixture()
 	sp := speedupPairs(base)

@@ -9,20 +9,25 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport                      # ~1s per benchmark, writes BENCH_7.json
+//	go run ./cmd/benchreport                      # ~1s per benchmark, writes BENCH_8.json
 //	go run ./cmd/benchreport -benchtime 1x        # one iteration each (CI smoke)
 //	go run ./cmd/benchreport -benchtime 500ms -out /tmp/bench.json
-//	go run ./cmd/benchreport -validate BENCH_7.json
-//	go run ./cmd/benchreport -diff BENCH_7.json -in /tmp/bench.json
+//	go run ./cmd/benchreport -validate BENCH_8.json
+//	go run ./cmd/benchreport -diff BENCH_8.json -in /tmp/bench.json
 //	go run ./cmd/benchreport -profile -match encode/vcc_gen256 -topn 10
 //
-// The report includes the fast-vs-reference encode pairs; the headline
-// acceptance metric of the nibble-table PR is the speedup on the VCC
-// MLC energy+SAW encode (speedup_vcc_mlc_energy_saw), required >= 3.3x.
-// -profile captures a pprof CPU profile per benchmark and prints a
-// top-N hot-function table (decoded in-process, no external tooling),
-// so "what is hot now" is one command away and optimization claims can
-// cite profiles instead of guesses.
+// The report includes the fast-vs-reference encode and line-decode
+// pairs plus reduced-horizon scenario-campaign summaries (-campaigns),
+// so the perf trajectory and the lifetime-extension trajectory ride the
+// same diff gate. Headline named metrics: the VCC MLC energy+SAW encode
+// speedup (speedup_vcc_mlc_energy_saw, the nibble-table PR's >= 3.3x
+// acceptance), the stored-ROM SLC encode speedup
+// (speedup_vcc_stored_slc_energy_saw, the line-batched pipeline PR's
+// >= 2.5x acceptance), the stored line-decode speedup, and the
+// engine-scoped per-line write cost. -profile captures a pprof CPU
+// profile per benchmark and prints a top-N hot-function table (decoded
+// in-process, no external tooling), so "what is hot now" is one command
+// away and optimization claims can cite profiles instead of guesses.
 package main
 
 import (
@@ -34,12 +39,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	vcc "repro"
 	"repro/internal/bitutil"
+	"repro/internal/campaign"
 	"repro/internal/coset"
 	"repro/internal/pcm"
 	"repro/internal/prng"
@@ -96,19 +103,40 @@ type Report struct {
 	// SpeedupVCCMLCEnergySAW is ref/fast ns/op of the VCC MLC energy+SAW
 	// encode microbenchmark — the fast-path PR's acceptance metric.
 	SpeedupVCCMLCEnergySAW float64 `json:"speedup_vcc_mlc_energy_saw,omitempty"`
+	// SpeedupVCCStoredSLCEnergySAW is ref/fast on the stored-ROM SLC
+	// energy+SAW encode — the stored-kernel fast-scan acceptance metric
+	// (required >= 2.5x by the line-batched pipeline PR).
+	SpeedupVCCStoredSLCEnergySAW float64 `json:"speedup_vcc_stored_slc_energy_saw,omitempty"`
+	// SpeedupDecodeStored is ref/fast on the stored-codec line decode
+	// (DecodeWords vs a per-word Decode loop over the same 8-word lines).
+	SpeedupDecodeStored float64 `json:"speedup_decode_stored,omitempty"`
+	// EngineWriteNsPerLine is the engine-scoped write cost: apply_write
+	// shards=1 ns/op divided by the batch's line count. Host-dependent
+	// like any absolute time; the diff gate compares it only through the
+	// same-host ns/op rules on the underlying result.
+	EngineWriteNsPerLine float64 `json:"engine_write_ns_per_line,omitempty"`
+	// Campaigns embeds reduced-horizon scenario-campaign summaries
+	// (keyed by campaign name, then by the scenario's summary scalars)
+	// so lifetime-extension and model-error trajectories ride the same
+	// report and diff gate as the timing results.
+	Campaigns map[string]map[string]float64 `json:"campaigns,omitempty"`
 }
 
 // historyEntry is one line of the append-only BENCH_HISTORY.jsonl run
 // log: everything needed to place a measurement in the perf trajectory
 // without trusting the mutable snapshot files.
 type historyEntry struct {
-	Time                   string   `json:"time"`
-	GitSHA                 string   `json:"git_sha"`
-	Host                   Host     `json:"host"`
-	BenchTime              string   `json:"benchtime"`
-	Snapshot               string   `json:"snapshot"`
-	Results                []Result `json:"results"`
-	SpeedupVCCMLCEnergySAW float64  `json:"speedup_vcc_mlc_energy_saw,omitempty"`
+	Time                         string                        `json:"time"`
+	GitSHA                       string                        `json:"git_sha"`
+	Host                         Host                          `json:"host"`
+	BenchTime                    string                        `json:"benchtime"`
+	Snapshot                     string                        `json:"snapshot"`
+	Results                      []Result                      `json:"results"`
+	SpeedupVCCMLCEnergySAW       float64                       `json:"speedup_vcc_mlc_energy_saw,omitempty"`
+	SpeedupVCCStoredSLCEnergySAW float64                       `json:"speedup_vcc_stored_slc_energy_saw,omitempty"`
+	SpeedupDecodeStored          float64                       `json:"speedup_decode_stored,omitempty"`
+	EngineWriteNsPerLine         float64                       `json:"engine_write_ns_per_line,omitempty"`
+	Campaigns                    map[string]map[string]float64 `json:"campaigns,omitempty"`
 }
 
 // gitSHA best-effort resolves HEAD, with a "-dirty" suffix when the
@@ -278,6 +306,45 @@ func encodeBench(codec coset.Codec, n int, mlcPlane, slc, ref bool, obj coset.Ob
 	}
 }
 
+// decodeBench builds a line-decode closure over a ring of randomized
+// stored lines (8 words each, encoder-independent synthesized aux with
+// in-range kernel indices): fast drives the batched DecodeWords plan,
+// ref the per-word Decode loop memctrl used before the line decoder.
+func decodeBench(dec coset.LineDecoder, p, r int, ref bool) func() func(int) {
+	return func() func(int) {
+		const (
+			ringLen      = 64
+			wordsPerLine = 8
+			total        = ringLen * wordsPerLine
+		)
+		rng := prng.New(9)
+		enc := make([]uint64, total)
+		aux := make([]uint64, total)
+		left := make([]uint64, total)
+		out := make([]uint64, wordsPerLine)
+		for i := range enc {
+			enc[i] = rng.Uint64()
+			left[i] = rng.Uint64() & bitutil.Mask(32)
+			aux[i] = (rng.Uint64()%uint64(r))<<uint(p) | rng.Uint64()&bitutil.Mask(p)
+		}
+		var sink uint64
+		return func(iters int) {
+			for i := 0; i < iters; i++ {
+				k := (i & (ringLen - 1)) * wordsPerLine
+				if ref {
+					for w := 0; w < wordsPerLine; w++ {
+						out[w] = dec.Decode(enc[k+w], aux[k+w], left[k+w])
+					}
+				} else {
+					dec.DecodeWords(enc[k:k+wordsPerLine], aux[k:k+wordsPerLine],
+						left[k:k+wordsPerLine], out)
+				}
+				sink ^= out[0]
+			}
+		}
+	}
+}
+
 // engineBench builds a mixed Apply-loop closure over a sharded engine.
 func engineBench(cfg vcc.ShardedMemoryConfig, readFrac float64, batch int) func() func(int) {
 	return func() func(int) {
@@ -398,6 +465,17 @@ func benches() []bench {
 			encodeBench(coset.NewRCC(64, 256, 1), 64, false, false, false, objES)},
 		{"encode/flipcy/mlc/energy_saw", 0,
 			encodeBench(coset.NewFlipcy(64), 64, false, false, false, objES)},
+
+		// Decode microbenchmarks: the line-decode pairs (DecodeWords vs
+		// the per-word loop the controller read path replaced).
+		{"decode/vcc_stored256/line/fast", 0,
+			decodeBench(coset.NewVCCStored(64, 16, 256, 1), 4, 16, false)},
+		{"decode/vcc_stored256/line/ref", 0,
+			decodeBench(coset.NewVCCStored(64, 16, 256, 1), 4, 16, true)},
+		{"decode/vcc_gen256/line/fast", 0,
+			decodeBench(coset.NewVCCGenerated(16, 256), 2, 64, false)},
+		{"decode/vcc_gen256/line/ref", 0,
+			decodeBench(coset.NewVCCGenerated(16, 256), 2, 64, true)},
 
 		// Engine benchmarks (bytes/op = one batch of 64-byte lines).
 		{"engine/apply_write/vcc256/shards=1", batch * vcc.LineSize,
@@ -538,6 +616,72 @@ func diffReports(base, fresh *Report) []string {
 		fmt.Printf("  speedup %-40s %6.2fx (base %6.2fx, floor %5.2fx)  %s\n",
 			name, fs, bs, floor, status)
 	}
+	fails = append(fails, diffCampaigns(base, fresh)...)
+	return fails
+}
+
+// diffCampaigns gates the scenario-campaign summaries a report embeds.
+// Campaigns or metrics absent from the baseline never fail the gate —
+// BENCH_*.json files from before the embedding must keep passing — and
+// neither does a campaign the fresh run skipped; only movements on
+// metrics present on both sides fail, plus fresh-side verification
+// violations, which are an absolute invariant:
+//
+//   - lifetime-extension metrics (wear-leveling "extension", fault-aging
+//     "ext_measured_final") must not fall below half the baseline (both
+//     are deterministic ratios > 1 when healthy, so a halving is a code
+//     change, not seed noise);
+//   - the fault-aging analytic-model error "rel_err_final" must not grow
+//     past twice the baseline plus a 0.02 absolute floor;
+//   - "verify_violations" must be zero wherever the fresh run reports it.
+func diffCampaigns(base, fresh *Report) []string {
+	var fails []string
+	names := make([]string, 0, len(fresh.Campaigns))
+	for name := range fresh.Campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fsum := fresh.Campaigns[name]
+		if v, ok := fsum["verify_violations"]; ok && v != 0 {
+			fails = append(fails, fmt.Sprintf("campaign %s: %g verification violations", name, v))
+		}
+		bsum, ok := base.Campaigns[name]
+		if !ok {
+			fmt.Printf("  campaign %-38s new, no baseline\n", name)
+			continue
+		}
+		for _, key := range []string{"extension", "ext_measured_final"} {
+			bv, okb := bsum[key]
+			fv, okf := fsum[key]
+			if !okf {
+				continue
+			}
+			status := "ok"
+			if !okb {
+				status = "no baseline metric"
+			} else if bv >= 1 && fv < bv/2 {
+				status = "LIFETIME REGRESSION"
+				fails = append(fails, fmt.Sprintf("campaign %s: %s %.3f, baseline %.3f",
+					name, key, fv, bv))
+			}
+			fmt.Printf("  campaign %-38s %8.3f (base %8.3f)  %s\n",
+				name+"/"+key, fv, bv, status)
+		}
+		if fv, okf := fsum["rel_err_final"]; okf {
+			bv, okb := bsum["rel_err_final"]
+			status := "ok"
+			if !okb {
+				status = "no baseline metric"
+			} else if fv > 2*bv+0.02 {
+				status = "MODEL ERROR REGRESSION"
+				fails = append(fails, fmt.Sprintf("campaign %s: rel_err_final %.4f, baseline %.4f",
+					name, fv, bv))
+			}
+			fmt.Printf("  campaign %-38s %8.4f (base %8.4f)  %s\n",
+				name+"/rel_err_final", fv, bv, status)
+		}
+	}
 	return fails
 }
 
@@ -606,9 +750,27 @@ func matchBenches(bs []bench, substr string) []bench {
 	return out
 }
 
+// campaignSummaries runs the named scenario campaigns (comma-separated)
+// at a reduced horizon and returns their summary scalars for embedding.
+func campaignSummaries(names string, horizon int64) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		res, err := campaign.Run(n, campaign.Params{Seed: 1, Shards: 1, Horizon: horizon})
+		if err != nil {
+			return nil, err
+		}
+		out[n] = res.Summary
+	}
+	return out, nil
+}
+
 func main() {
 	btFlag := flag.String("benchtime", "1s", "per-benchmark target: a duration (1s) or fixed iterations (1x)")
-	out := flag.String("out", "BENCH_7.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_8.json", "output path for the JSON report")
 	validatePath := flag.String("validate", "", "validate an existing report instead of running")
 	diffBase := flag.String("diff", "", "baseline report to diff a fresh report (-in) against; exits nonzero on regression")
 	inPath := flag.String("in", "", "fresh report consumed by -diff")
@@ -617,6 +779,9 @@ func main() {
 	profileDir := flag.String("profiledir", "", "directory for raw .pprof files (default: a fresh temp dir)")
 	topN := flag.Int("topn", 10, "rows in each -profile hot-function table")
 	match := flag.String("match", "", "only run benchmarks whose name contains this substring")
+	campaigns := flag.String("campaigns", "fault-aging,wearlevel-rotation",
+		"scenario campaigns to run at reduced horizon and embed in the report (empty disables)")
+	campHorizon := flag.Int64("campaignhorizon", 20000, "op-budget override for embedded campaigns")
 	flag.Parse()
 
 	if *validatePath != "" {
@@ -696,10 +861,51 @@ func main() {
 				r.Name, r.NsPerOp, r.AllocsPerOp)
 		}
 	}
-	if fast, ok := byName["encode/vcc_gen256/mlc/energy_saw/fast"]; ok {
-		if ref, ok := byName["encode/vcc_gen256/mlc/energy_saw/ref"]; ok && fast.NsPerOp > 0 {
-			rep.SpeedupVCCMLCEnergySAW = ref.NsPerOp / fast.NsPerOp
-			fmt.Printf("%-48s %12.2fx\n", "speedup: vcc mlc energy+saw (ref/fast)", rep.SpeedupVCCMLCEnergySAW)
+	speedupOf := func(prefix string) float64 {
+		fast, okF := byName[prefix+"/fast"]
+		ref, okR := byName[prefix+"/ref"]
+		if !okF || !okR || fast.NsPerOp <= 0 {
+			return 0
+		}
+		return ref.NsPerOp / fast.NsPerOp
+	}
+	if s := speedupOf("encode/vcc_gen256/mlc/energy_saw"); s > 0 {
+		rep.SpeedupVCCMLCEnergySAW = s
+		fmt.Printf("%-48s %12.2fx\n", "speedup: vcc mlc energy+saw (ref/fast)", s)
+	}
+	if s := speedupOf("encode/vcc_stored256/slc/energy_saw"); s > 0 {
+		rep.SpeedupVCCStoredSLCEnergySAW = s
+		fmt.Printf("%-48s %12.2fx\n", "speedup: vcc stored slc energy+saw (ref/fast)", s)
+	}
+	if s := speedupOf("decode/vcc_stored256/line"); s > 0 {
+		rep.SpeedupDecodeStored = s
+		fmt.Printf("%-48s %12.2fx\n", "speedup: stored line decode (ref/fast)", s)
+	}
+	if r, ok := byName["engine/apply_write/vcc256/shards=1"]; ok && r.NsPerOp > 0 {
+		rep.EngineWriteNsPerLine = r.NsPerOp / 1024 // batch lines per op
+		fmt.Printf("%-48s %12.1f ns\n", "engine: write cost per 64-byte line", rep.EngineWriteNsPerLine)
+	}
+	if *campaigns != "" {
+		camps, err := campaignSummaries(*campaigns, *campHorizon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		rep.Campaigns = camps
+		cnames := make([]string, 0, len(camps))
+		for n := range camps {
+			cnames = append(cnames, n)
+		}
+		sort.Strings(cnames)
+		for _, n := range cnames {
+			keys := make([]string, 0, len(camps[n]))
+			for k := range camps[n] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("%-48s %12.6g\n", "campaign: "+n+"/"+k, camps[n][k])
+			}
 		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -715,13 +921,17 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 	if *historyPath != "" {
 		err := appendHistory(*historyPath, historyEntry{
-			Time:                   rep.Timestamp,
-			GitSHA:                 rep.GitSHA,
-			Host:                   host,
-			BenchTime:              *btFlag,
-			Snapshot:               *out,
-			Results:                rep.Results,
-			SpeedupVCCMLCEnergySAW: rep.SpeedupVCCMLCEnergySAW,
+			Time:                         rep.Timestamp,
+			GitSHA:                       rep.GitSHA,
+			Host:                         host,
+			BenchTime:                    *btFlag,
+			Snapshot:                     *out,
+			Results:                      rep.Results,
+			SpeedupVCCMLCEnergySAW:       rep.SpeedupVCCMLCEnergySAW,
+			SpeedupVCCStoredSLCEnergySAW: rep.SpeedupVCCStoredSLCEnergySAW,
+			SpeedupDecodeStored:          rep.SpeedupDecodeStored,
+			EngineWriteNsPerLine:         rep.EngineWriteNsPerLine,
+			Campaigns:                    rep.Campaigns,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)

@@ -14,6 +14,7 @@
 //	vccrepro -campaign list               # enumerate scenario campaigns
 //	vccrepro -campaign fault-aging        # one long-horizon scenario campaign
 //	vccrepro -campaign crash-recovery -horizon 2000 -lines 128  # reduced scale
+//	vccrepro -campaign all -history BENCH_HISTORY.jsonl  # log summaries to the trajectory
 //
 // Experiment ids follow the paper's numbering (fig1..fig13, table1,
 // table2) plus the ablations (ablate-*). Output tables carry notes
@@ -28,10 +29,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/campaign"
@@ -54,6 +58,7 @@ func main() {
 		camp     = flag.String("campaign", "", "scenario campaign to run ('list' enumerates; see internal/campaign)")
 		lines    = flag.Int("lines", 0, "line capacity override for -campaign; 0 = scenario default")
 		horizon  = flag.Int64("horizon", 0, "op-budget override for -campaign (reduced-horizon smoke runs); 0 = scenario default")
+		history  = flag.String("history", "", "append -campaign summaries as JSON lines to this trajectory log (e.g. BENCH_HISTORY.jsonl)")
 	)
 	flag.Parse()
 
@@ -67,7 +72,7 @@ func main() {
 		runCampaign(*camp, campaign.Params{
 			Seed: *seed, Shards: *shards, Workers: *workers,
 			Lines: *lines, Horizon: *horizon,
-		})
+		}, *history)
 		return
 	}
 	if *run == "" {
@@ -144,8 +149,11 @@ func main() {
 
 // runCampaign executes one scenario campaign (or lists them) and exits
 // nonzero on an unknown name or a failed verification invariant, so CI
-// smoke steps catch regressions without parsing the table.
-func runCampaign(name string, p campaign.Params) {
+// smoke steps catch regressions without parsing the table. With a
+// history path, each campaign's summary is appended as one JSON line to
+// the same append-only trajectory log benchreport writes, so lifetime
+// metrics are versioned alongside the timing results.
+func runCampaign(name string, p campaign.Params, history string) {
 	if name == "list" || name == "all" {
 		for _, in := range campaign.List() {
 			fmt.Printf("%-20s %s\n", in.Name, in.Title)
@@ -171,6 +179,64 @@ func runCampaign(name string, p campaign.Params) {
 			fmt.Fprintf(os.Stderr, "vccrepro: campaign %s reported %g verification violations\n", n, v)
 			os.Exit(1)
 		}
+		if history != "" {
+			if err := appendCampaignHistory(history, n, p, res.Summary); err != nil {
+				fmt.Fprintf(os.Stderr, "vccrepro: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 	fmt.Printf("%d campaign(s) in %.1fs\n", len(names), time.Since(start).Seconds())
+}
+
+// campaignHistoryEntry is one JSON line in the trajectory log. The
+// "kind" discriminator keeps these distinguishable from benchreport's
+// timing entries when both land in the same BENCH_HISTORY.jsonl.
+type campaignHistoryEntry struct {
+	Kind     string             `json:"kind"`
+	Time     string             `json:"time"`
+	GitSHA   string             `json:"git_sha"`
+	Campaign string             `json:"campaign"`
+	Seed     uint64             `json:"seed"`
+	Horizon  int64              `json:"horizon,omitempty"`
+	Lines    int                `json:"lines,omitempty"`
+	Summary  map[string]float64 `json:"summary"`
+}
+
+// appendCampaignHistory appends one summary line; the log is
+// append-only by contract — existing lines are never rewritten.
+func appendCampaignHistory(path, name string, p campaign.Params, summary map[string]float64) error {
+	line, err := json.Marshal(campaignHistoryEntry{
+		Kind: "campaign", Time: time.Now().UTC().Format(time.RFC3339),
+		GitSHA: gitSHA(), Campaign: name,
+		Seed: p.Seed, Horizon: p.Horizon, Lines: p.Lines,
+		Summary: summary,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// gitSHA best-effort resolves HEAD, with a "-dirty" suffix for
+// uncommitted trees; history entries record "unknown" outside a git
+// checkout rather than failing the run.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		sha += "-dirty"
+	}
+	return sha
 }

@@ -2,6 +2,7 @@ package coset
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitutil"
 	"repro/internal/prng"
@@ -18,6 +19,10 @@ type FNW struct {
 	// sc backs the plain Encode entry point with the sliced fast path;
 	// controllers pass their own context via EncodeSliced.
 	sc SlicedCtx
+	// flagTab maps the aux bits to the full-plane inversion mask they
+	// select (built when the sub-block count fits the same table budget
+	// as VCC's decode plan), making DecodeWords one XOR per word.
+	flagTab []uint64
 }
 
 // NewFNW returns a Flip-N-Write codec over n-bit planes with k-bit
@@ -26,7 +31,16 @@ func NewFNW(n, k int) *FNW {
 	if n%k != 0 {
 		panic(fmt.Sprintf("coset: FNW k=%d must divide n=%d", k, n))
 	}
-	return &FNW{n: n, k: k}
+	c := &FNW{n: n, k: k}
+	if p := n / k; p <= vccFlagTabMaxP {
+		kMask := bitutil.Mask(k)
+		c.flagTab = make([]uint64, 1<<uint(p))
+		for f := 1; f < len(c.flagTab); f++ {
+			low := uint(bits.TrailingZeros(uint(f)))
+			c.flagTab[f] = c.flagTab[f&(f-1)] | kMask<<(low*uint(k))
+		}
+	}
+	return c
 }
 
 // Name implements Codec.
@@ -105,6 +119,24 @@ func (c *FNW) Decode(enc, aux, left uint64) uint64 {
 		}
 	}
 	return out
+}
+
+// DecodeWords implements LineDecoder: Decode's per-sub-block flip loop
+// is a pure function of the aux bits, so it collapses into one table
+// lookup and XOR per word. Aux bits above the sub-block count are
+// ignored, exactly as Decode's loop ignores them.
+func (c *FNW) DecodeWords(enc, aux, left, out []uint64) {
+	if c.flagTab == nil {
+		for i := range aux {
+			out[i] = c.Decode(enc[i], aux[i], left[i])
+		}
+		return
+	}
+	nMask := bitutil.Mask(c.n)
+	pMask := uint64(len(c.flagTab) - 1)
+	for i, a := range aux {
+		out[i] = (enc[i] & nMask) ^ c.flagTab[a&pMask]
+	}
 }
 
 // Flipcy (Imran et al., ICCAD 2019) writes the data, its one's

@@ -36,6 +36,22 @@ type FastCodec interface {
 	EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (enc, aux uint64)
 }
 
+// LineDecoder is implemented by codecs with a batched decode fast path.
+// DecodeWords recovers len(out) data planes in one devirtualized pass:
+// out[i] must equal Decode(enc[i], aux[i], left[i]) bit for bit for
+// every i (enforced by TestDecodeWordsMatchesDecode and the engine read
+// oracles). A memory controller that detects the interface at
+// construction decodes a whole cache line with one dynamic dispatch and
+// per-word arithmetic precomputed at codec construction, instead of
+// eight interface calls that each re-derive kernel state.
+type LineDecoder interface {
+	Codec
+	// DecodeWords decodes enc[i] under aux[i]/left[i] into out[i]. The
+	// four slices must have equal length; enc/aux/left may not alias
+	// out.
+	DecodeWords(enc, aux, left, out []uint64)
+}
+
 // bestOf enumerates num candidates (cand(i) must return the full code
 // plane for index i) and returns the lexicographically cheapest including
 // its aux-write cost. It is the shared engine of the explicit-candidate

@@ -40,12 +40,26 @@ const maxNibGroups = 64
 // nibTableMinPrices is the amortization threshold of BindFor: nibble
 // tables are built only when the codec expects at least this many
 // PartCost prices per partition per 16-entry group. One group costs 16
-// table-entry constructions; below ~16 prices per group the per-symbol
-// direct path is cheaper than building tables it will barely consult
-// (measured on the BenchmarkEncode matrix: VCC-Gen(16,256) prices 128x
-// per partition and wins big, FNW prices 2x and would pay ~30x its
-// query cost in construction).
+// table-entry constructions via the generic assembly; below ~16 prices
+// per group the per-symbol direct path is cheaper than building tables
+// it will barely consult (measured on the BenchmarkEncode matrix:
+// VCC-Gen(16,256) prices 128x per partition and wins big, FNW prices 2x
+// and would pay ~30x its query cost in construction).
 const nibTableMinPrices = 16
+
+// nibTableMinPricesEnergySAW is the lower threshold applied under
+// ObjEnergySAW, where two effects shift the break-even: every full
+// group — MLC-plane, full-word MLC and SLC alike — is assembled by the
+// packed doubling DP (a handful of SWAR mask derivations plus ~14
+// packed adds) instead of 16 independent count evaluations, and the
+// bound tables feed the lazy branchless kernel scan whose queries are
+// four loads against a direct path of two energy MACs plus a SAW count.
+// Stored-kernel VCC (r=16: 32 prices per partition, 8 per group) sits
+// exactly at this line and measures ~2.3x faster with tables; FNW
+// (2 prices) still stays direct. Other objectives price through the
+// generic Pair walk, whose cheaper direct path keeps the old
+// break-even.
+const nibTableMinPricesEnergySAW = 8
 
 // SlicedCtx is a write context pre-sliced into partitions. A memory
 // controller owns one and rebinds it per word (Bind allocates nothing),
@@ -108,6 +122,19 @@ type SlicedCtx struct {
 	cHi, cLo    float64
 	nibTab      [maxNibGroups * 16]uint64
 
+	// Line-scoped bind state. lineKey fingerprints every input of the
+	// word-invariant bind layer (geometry validation, the 2x2 aux-bit
+	// cost table, group layout, the table-amortization decision); when
+	// a rebind arrives with an identical fingerprint — the 8 words of a
+	// cache line, or every word of a steady single-codec workload —
+	// BindFor skips that whole layer and only re-slices the new word.
+	// fastRebinds counts the skips (observable by tests; one increment
+	// per word is noise next to the work it replaces).
+	lineOK      bool
+	lineKey     bindKey
+	wantTab     bool
+	fastRebinds uint64
+
 	// etab memoizes the energy multiply-accumulate over count pairs:
 	// etab[lo<<6|hi] = float64(hi)*cHi + float64(lo)*cLo, the exact
 	// pairFromCounts expression, so the hot encode loop converts packed
@@ -134,6 +161,21 @@ func (sc *SlicedCtx) Bind(ev *Evaluator, m int) bool {
 	return sc.BindFor(ev, m, 0)
 }
 
+// bindKey fingerprints the word-invariant inputs of a bind: the plane
+// geometry, objective, cell mode, energy model, the table-mode toggles
+// and the amortization hint. Everything else a bind consumes (the old
+// word, stuck cells, left digits, old aux) is per-word and lives in the
+// slicing layer.
+type bindKey struct {
+	n, m           int
+	obj            Objective
+	mode           pcm.CellMode
+	mlcPlane       bool
+	energy         pcm.EnergyModel
+	force, disable bool
+	hint           int
+}
+
 // BindFor is Bind with an amortization hint: pricesPerPartition is the
 // number of PartCost queries the codec expects to issue against each
 // partition before the next rebind. When the hint clears the per-group
@@ -141,6 +183,11 @@ func (sc *SlicedCtx) Bind(ev *Evaluator, m int) bool {
 // builds the per-partition nibble count tables so each query collapses
 // into ceil(m/4) table lookups; below it, queries run the direct
 // per-symbol path and construction costs nothing.
+//
+// BindFor is line-scoped: when the configuration fingerprint matches
+// the previous bind — the common case for the 8 words of a cache line,
+// and for consecutive lines of a steady workload — the word-invariant
+// layer (BindLine) is skipped and only the new word is sliced.
 func (sc *SlicedCtx) BindFor(ev *Evaluator, m, pricesPerPartition int) bool {
 	if ev.planeMask == 0 {
 		// Raw-literal evaluator: rebind so defaults (plane width, energy
@@ -150,6 +197,51 @@ func (sc *SlicedCtx) BindFor(ev *Evaluator, m, pricesPerPartition int) bool {
 		ev.Reset(ev.Ctx, ev.Obj)
 	}
 	c := &ev.Ctx
+	if !sc.lineOK || (bindKey{c.N, m, ev.Obj, c.Mode, c.MLCPlane, c.Energy,
+		sc.ForceTables, sc.DisableTables, pricesPerPartition}) != sc.lineKey {
+		if !sc.BindLine(ev, m, pricesPerPartition) {
+			return false
+		}
+	} else {
+		sc.fastRebinds++
+	}
+	p := sc.p
+	sc.oldAux = c.OldAux
+	if sc.mlcPlane {
+		w := 2 * m
+		bitutil.SubBlocksInto(sc.old[:p], c.OldWord, w)
+		bitutil.SubBlocksInto(sc.stuckMask[:p], c.StuckMask, w)
+		bitutil.SubBlocksInto(sc.stuckVal[:p], c.StuckVal, w)
+		for j := 0; j < p; j++ {
+			sc.leftSpread[j] = bitutil.SpreadOdd(bitutil.SubBlock(c.NewLeft, j, m))
+		}
+	} else {
+		bitutil.SubBlocksInto(sc.old[:p], c.OldWord, m)
+		bitutil.SubBlocksInto(sc.stuckMask[:p], c.StuckMask, m)
+		bitutil.SubBlocksInto(sc.stuckVal[:p], c.StuckVal, m)
+	}
+	sc.tabOK = false
+	if sc.wantTab {
+		sc.buildNibbleTables()
+	}
+	return true
+}
+
+// BindLine performs the word-invariant layer of a bind: geometry
+// validation, the 2x2 aux-bit cost table (aux-bit cost depends only on
+// mode/energy/objective, never on the word), nibble-group layout, and
+// the table-amortization decision. It reports whether the sliced fast
+// path supports this configuration, and on success records the
+// fingerprint so subsequent same-configuration BindFor calls skip
+// straight to word slicing. A memory controller may call it once per
+// line; BindFor calls it automatically on any fingerprint miss, so the
+// explicit call is an optimization, never a correctness requirement.
+func (sc *SlicedCtx) BindLine(ev *Evaluator, m, pricesPerPartition int) bool {
+	if ev.planeMask == 0 {
+		ev.Reset(ev.Ctx, ev.Obj)
+	}
+	c := &ev.Ctx
+	sc.lineOK = false
 	if m <= 0 || c.N%m != 0 || c.N/m > maxSlices {
 		return false
 	}
@@ -163,24 +255,9 @@ func (sc *SlicedCtx) BindFor(ev *Evaluator, m, pricesPerPartition int) bool {
 	} else if c.Mode == pcm.MLC && m%2 != 0 {
 		return false
 	}
-	p := c.N / m
-	sc.m, sc.p = m, p
+	sc.m, sc.p = m, c.N/m
 	sc.obj, sc.mode, sc.mlcPlane = ev.Obj, c.Mode, c.MLCPlane
 	sc.energy = c.Energy
-	sc.oldAux = c.OldAux
-	if c.MLCPlane {
-		w := 2 * m
-		bitutil.SubBlocksInto(sc.old[:p], c.OldWord, w)
-		bitutil.SubBlocksInto(sc.stuckMask[:p], c.StuckMask, w)
-		bitutil.SubBlocksInto(sc.stuckVal[:p], c.StuckVal, w)
-		for j := 0; j < p; j++ {
-			sc.leftSpread[j] = bitutil.SpreadOdd(bitutil.SubBlock(c.NewLeft, j, m))
-		}
-	} else {
-		bitutil.SubBlocksInto(sc.old[:p], c.OldWord, m)
-		bitutil.SubBlocksInto(sc.stuckMask[:p], c.StuckMask, m)
-		bitutil.SubBlocksInto(sc.stuckVal[:p], c.StuckVal, m)
-	}
 	for old := 0; old < 2; old++ {
 		for val := 0; val < 2; val++ {
 			sc.auxTab[old][val] = auxBitCost(sc.mode, sc.energy, sc.obj,
@@ -189,11 +266,15 @@ func (sc *SlicedCtx) BindFor(ev *Evaluator, m, pricesPerPartition int) bool {
 	}
 	sc.groups = bitutil.NibbleGroups(m)
 	sc.lastNibMask = bitutil.Mask(m - 4*(sc.groups-1))
-	sc.tabOK = false
-	if sc.obj != ObjOnes && !sc.DisableTables &&
-		(sc.ForceTables || pricesPerPartition >= nibTableMinPrices*sc.groups) {
-		sc.buildNibbleTables()
+	minPrices := nibTableMinPrices
+	if sc.obj == ObjEnergySAW {
+		minPrices = nibTableMinPricesEnergySAW
 	}
+	sc.wantTab = sc.obj != ObjOnes && !sc.DisableTables &&
+		(sc.ForceTables || pricesPerPartition >= minPrices*sc.groups)
+	sc.lineKey = bindKey{c.N, m, ev.Obj, c.Mode, c.MLCPlane, c.Energy,
+		sc.ForceTables, sc.DisableTables, pricesPerPartition}
+	sc.lineOK = true
 	return true
 }
 
@@ -234,6 +315,98 @@ func (sc *SlicedCtx) buildNibbleTables() {
 			gmask := uint64(0xF)
 			if g == sc.groups-1 {
 				gmask = sc.lastNibMask
+			}
+			if gmask == 0xF && !sc.mlcPlane {
+				sh := uint(4 * g)
+				oldN := (sc.old[j] >> sh) & 0xF
+				smN := (sc.stuckMask[j] >> sh) & 0xF
+				svN := (sc.stuckVal[j] >> sh) & 0xF
+				stuck := svN & smN
+				out := sc.nibTab[t : t+16]
+				if sc.mode == pcm.MLC {
+					// Full-word MLC group: two whole symbols. Counts
+					// decompose per symbol, so evaluate each symbol slot's
+					// four candidate values once (change/high/low from the
+					// stuck-overlaid stored symbol, SAW from the stuck
+					// mismatch — the same per-symbol cases
+					// pcm.MLCWordCounts sums), pack each with its
+					// complement partner (symbol value XOR 3, composing to
+					// the nibble's XOR 0xF), and assemble the 16 entries as
+					// a 4x4 outer sum: 8 symbol evaluations and 16 packed
+					// adds replace 16 word-count passes.
+					var q0, q1 [4]uint64
+					for slot := 0; slot < 2; slot++ {
+						b2 := uint(2 * slot)
+						oldS := (oldN >> b2) & 3
+						smS := (smN >> b2) & 3
+						svS := (svN >> b2) & 3
+						stS := svS & smS
+						var e [4]uint64
+						for v := uint64(0); v < 4; v++ {
+							stored := (v &^ smS) | stS
+							diff := stored ^ oldS
+							ne := (diff | diff>>1) & 1
+							hi := ne & stored & 1
+							lo := ne ^ hi
+							wr := (v ^ svS) & smS
+							saw := (wr | wr>>1) & 1
+							e[v] = hi | lo<<8 | saw<<16
+						}
+						if slot == 0 {
+							for v := uint64(0); v < 4; v++ {
+								q0[v] = e[v] | e[v^3]<<32
+							}
+						} else {
+							for v := uint64(0); v < 4; v++ {
+								q1[v] = e[v] | e[v^3]<<32
+							}
+						}
+					}
+					for v1 := uint64(0); v1 < 4; v1++ {
+						b := q1[v1]
+						out[v1<<2] = b + q0[0]
+						out[v1<<2|1] = b + q0[1]
+						out[v1<<2|2] = b + q0[2]
+						out[v1<<2|3] = b + q0[3]
+					}
+				} else {
+					// Full SLC group: four independent cells. Derive every
+					// slot's SET/RESET/SAW bit for candidate 0 and 1 with
+					// nibble-wide mask algebra (the per-bit cases
+					// pcm.SLCWordCounts counts), then assemble all 16
+					// packed entries in place by doubling, exactly as the
+					// MLC-plane path below does: 14 packed adds replace 16
+					// count evaluations.
+					st0 := stuck
+					st1 := (0xF &^ smN) | stuck
+					x0 := st0 ^ oldN
+					x1 := st1 ^ oldN
+					set0 := x0 & st0
+					set1 := x1 & st1
+					rst0 := x0 &^ st0
+					rst1 := x1 &^ st1
+					w0 := svN & smN
+					w1 := (svN ^ 0xF) & smN
+					n := 1
+					for slot := 0; slot < 4; slot++ {
+						b := uint(slot)
+						e0 := set0>>b&1 | (rst0>>b&1)<<8 | (w0>>b&1)<<16
+						e1 := set1>>b&1 | (rst1>>b&1)<<8 | (w1>>b&1)<<16
+						q0 := e0 | e1<<32
+						q1 := e1 | e0<<32
+						if slot == 0 {
+							out[0], out[1] = q0, q1
+						} else {
+							for v := 0; v < n; v++ {
+								out[v|n] = out[v] + q1
+								out[v] += q0
+							}
+						}
+						n <<= 1
+					}
+				}
+				t += 16
+				continue
 			}
 			if sc.mlcPlane && gmask == 0xF {
 				// Full plane group: symbols [4g, 4g+4) of the partition,
@@ -439,6 +612,26 @@ func (sc *SlicedCtx) partCostDirect(j int, v uint64) Pair {
 	default:
 		panic("coset: unknown objective")
 	}
+}
+
+// sliceFlips counts partition j's flips for the unshifted m-bit value v
+// as a raw integer: the count partCostDirect wraps in a float Pair,
+// exposed undecorated for the integer flips specialization. It equals
+// Evaluator.Part(v<<(j*m), j, m).Primary exactly (the float is the
+// int's exact image).
+func (sc *SlicedCtx) sliceFlips(j int, v uint64) int {
+	var desired uint64
+	if sc.mlcPlane {
+		desired = sc.leftSpread[j] | bitutil.SpreadEven(v)
+	} else {
+		desired = v
+	}
+	sm := sc.stuckMask[j]
+	stored := (desired &^ sm) | (sc.stuckVal[j] & sm)
+	if sc.mode == pcm.MLC {
+		return bitutil.SymbolCount(sc.old[j], stored)
+	}
+	return bits.OnesCount64(sc.old[j] ^ stored)
 }
 
 func (sc *SlicedCtx) sliceEnergy(j int, stored uint64) float64 {

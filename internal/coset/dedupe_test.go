@@ -1,0 +1,125 @@
+package coset
+
+import (
+	"testing"
+
+	"repro/internal/bitutil"
+	"repro/internal/prng"
+)
+
+// TestStoredKernelClassTablesExact pins the kernel canonicalization
+// (vccSearch.dedupe) against brute force, mirroring what
+// TestNibbleTableCountsExact does for the count tables: dedupe resolves
+// classes through an epoch-tagged open-addressed hash map, the oracle
+// here recomputes every relation with O(r^2) scalar scans — a
+// deliberately different implementation of the same definition. Kernel
+// sets are seeded with exact duplicates and complement pairs at small m
+// so hash collisions and both presence orientations occur constantly,
+// and the same vccSearch is reused across trials so the lazy epoch
+// invalidation (not a fresh map) is what keeps stale classes out.
+func TestStoredKernelClassTablesExact(t *testing.T) {
+	rng := prng.New(0xC1A55)
+	var s vccSearch
+	for trial := 0; trial < 300; trial++ {
+		m := []int{2, 4, 8, 16}[trial%4]
+		mMask := bitutil.Mask(m)
+		r := 1 + int(rng.Uint64()%63)
+		kernels := make([]uint64, r)
+		for i := range kernels {
+			switch {
+			case i > 0 && rng.Uint64()%4 == 0: // exact duplicate
+				kernels[i] = kernels[int(rng.Uint64()%uint64(i))]
+			case i > 0 && rng.Uint64()%4 == 0: // complement pair
+				kernels[i] = kernels[int(rng.Uint64()%uint64(i))] ^ mMask
+			default:
+				kernels[i] = rng.Uint64() & mMask
+			}
+		}
+		s.ensure(r, 1)
+		q := s.dedupe(kernels, mMask)
+		if q < 1 || q > r {
+			t.Fatalf("trial %d: q=%d out of range (r=%d)", trial, q, r)
+		}
+		// Per-kernel relations: class points at the canonical value,
+		// comp records the orientation.
+		for i, k := range kernels {
+			canon, comp := k, false
+			if kc := k ^ mMask; kc < k {
+				canon, comp = kc, true
+			}
+			cl := s.class[i]
+			if cl < 0 || int(cl) >= q {
+				t.Fatalf("trial %d kernel %d: class %d out of range (q=%d)", trial, i, cl, q)
+			}
+			if s.canon[cl] != canon {
+				t.Fatalf("trial %d kernel %#x: canon[class]=%#x, want %#x",
+					trial, k, s.canon[cl], canon)
+			}
+			if s.comp[i] != comp {
+				t.Fatalf("trial %d kernel %#x: comp=%v, want %v", trial, k, s.comp[i], comp)
+			}
+		}
+		// Per-class relations: canonical values pairwise distinct, every
+		// class inhabited, presence bits exactly the orientations seen.
+		for a := 0; a < q; a++ {
+			for b := a + 1; b < q; b++ {
+				if s.canon[a] == s.canon[b] {
+					t.Fatalf("trial %d: classes %d and %d share canon %#x",
+						trial, a, b, s.canon[a])
+				}
+			}
+			var pres uint8
+			for i := range kernels {
+				if int(s.class[i]) == a {
+					if s.comp[i] {
+						pres |= 2
+					} else {
+						pres |= 1
+					}
+				}
+			}
+			if pres == 0 {
+				t.Fatalf("trial %d: class %d has no kernels", trial, a)
+			}
+			if s.pres[a] != pres {
+				t.Fatalf("trial %d class %d: pres=%b, want %b", trial, a, s.pres[a], pres)
+			}
+		}
+	}
+}
+
+// TestStoredDedupeCachedOncePerROM pins the static-ROM caching: a
+// stored kernel set never changes, so its canonicalization must be
+// computed on the first sliced encode and reused — with the class
+// tables still describing the ROM exactly — for every later word.
+func TestStoredDedupeCachedOncePerROM(t *testing.T) {
+	rng := prng.New(0x57A7)
+	// A narrow kernel width forces real duplicates into the ROM so the
+	// cached q is genuinely smaller than r.
+	c := NewVCC(64, NewStoredKernels(32, 4, 11))
+	var sc SlicedCtx
+	for trial := 0; trial < 20; trial++ {
+		ctx := equivCtx(rng, 64, false)
+		// ObjSAWEnergy stays on the generic class-table scan (the flips
+		// and energy+SAW specializations bypass dedupe entirely).
+		ev := NewEvaluator(ctx, ObjSAWEnergy)
+		c.EncodeSliced(rng.Uint64(), ev, &sc)
+		if !c.fs.staticDone {
+			t.Fatal("stored encode left staticDone unset")
+		}
+	}
+	kernels := c.src.Kernels(0)
+	mMask := bitutil.Mask(4)
+	for i, k := range kernels {
+		canon := k
+		if kc := k ^ mMask; kc < k {
+			canon = kc
+		}
+		if got := c.fs.canon[c.fs.class[i]]; got != canon {
+			t.Fatalf("cached class table: kernel %d canon %#x, want %#x", i, got, canon)
+		}
+	}
+	if c.fs.staticQ >= len(kernels) {
+		t.Fatalf("staticQ=%d found no duplicates in a 32-kernel 4-bit ROM", c.fs.staticQ)
+	}
+}

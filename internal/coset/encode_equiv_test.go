@@ -140,6 +140,23 @@ func TestFastEncodeMatchesReference(t *testing.T) {
 						t.Fatalf("trial %d obj %v ctx %+v data %#x:\nfast (enc,aux) = (%#x,%#x)\nref  (enc,aux) = (%#x,%#x)",
 							trial, obj, ctx, data, fastEnc, fastAux, refEnc, refAux)
 					}
+					// Line-scoped bind sweep: re-encoding the same word must
+					// take the warm fingerprint path (every equivCodec
+					// geometry binds, so the second BindFor must skip the
+					// word-invariant layer) and still produce the identical
+					// result — the controller's 8-words-per-line pattern.
+					if fc, ok := ec.codec.(FastCodec); ok {
+						rebinds := sc.fastRebinds
+						warmEnc, warmAux := fc.EncodeSliced(data, NewEvaluator(ctx, obj), &sc)
+						if warmEnc != fastEnc || warmAux != fastAux {
+							t.Fatalf("trial %d obj %v: warm rebind diverged: (%#x,%#x) vs (%#x,%#x)",
+								trial, obj, warmEnc, warmAux, fastEnc, fastAux)
+						}
+						if sc.fastRebinds != rebinds+1 {
+							t.Fatalf("trial %d obj %v: warm re-encode took the cold bind path (fastRebinds %d -> %d)",
+								trial, obj, rebinds, sc.fastRebinds)
+						}
+					}
 					// Decode must invert the fast encoding too.
 					if dec := ec.codec.Decode(fastEnc, fastAux, ctx.NewLeft); dec != data {
 						t.Fatalf("trial %d obj %v: decode(fast) = %#x, want %#x",
@@ -312,6 +329,10 @@ func FuzzEncodeEquivalence(f *testing.F) {
 		uint64(0xF000F0), uint64(0x3C), uint8(2), uint8(0x40|3))
 	f.Add(uint64(0xABCDEF), uint64(0x1234), uint64(0x5678), uint64(0xFF00FF),
 		uint64(0xF000F0), uint64(0x3C), uint8(2), uint8(0x80|3))
+	// Seed pinning the warm line-bind re-encode (objSel bit 4) on the
+	// stored-kernel codec, whose fast scan the warm path feeds.
+	f.Add(uint64(0x5CC5CC), uint64(0x9999), uint64(0x1111), uint64(0xF0F0),
+		uint64(0x5050), uint64(0x7), uint8(0x10|2), uint8(0))
 
 	codecs := equivCodecs()
 	var sc SlicedCtx
@@ -353,6 +374,22 @@ func FuzzEncodeEquivalence(f *testing.F) {
 		if fastEnc != refEnc || fastAux != refAux {
 			t.Fatalf("%s obj %v: fast (%#x,%#x) != ref (%#x,%#x)",
 				ec.name, obj, fastEnc, fastAux, refEnc, refAux)
+		}
+		// objSel bit 4 re-encodes through the warm line-bind fingerprint:
+		// the second pass must skip the word-invariant bind layer yet
+		// remain bit-identical to the cold result.
+		if objSel&16 != 0 {
+			if fc, ok := ec.codec.(FastCodec); ok {
+				rebinds := sc.fastRebinds
+				warmEnc, warmAux := fc.EncodeSliced(data, NewEvaluator(ctx, obj), &sc)
+				if warmEnc != fastEnc || warmAux != fastAux {
+					t.Fatalf("%s obj %v: warm rebind diverged: (%#x,%#x) vs (%#x,%#x)",
+						ec.name, obj, warmEnc, warmAux, fastEnc, fastAux)
+				}
+				if sc.fastRebinds != rebinds+1 {
+					t.Fatalf("%s obj %v: warm re-encode took the cold bind path", ec.name, obj)
+				}
+			}
 		}
 	})
 }

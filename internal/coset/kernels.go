@@ -24,6 +24,16 @@ type KernelSource interface {
 	Stored() bool
 }
 
+// KernelAtSource is implemented by kernel sources that can produce a
+// single kernel by index without materializing the whole set. The
+// decode path consumes exactly one kernel per word (the stored index),
+// so a generated source answering KernelAt replaces an r-kernel
+// expansion per decoded word with one masked shift.
+type KernelAtSource interface {
+	// KernelAt returns kernel i of the set Kernels(left) would return.
+	KernelAt(left uint64, i int) uint64
+}
+
 // StoredKernels is a ROM of r random m-bit kernels (the paper's
 // "VCC-Stored" variant: slightly better encoding quality, but the kernel
 // set is a secret that could in principle leak).
@@ -50,6 +60,9 @@ func NewStoredKernels(r, m int, seed uint64) *StoredKernels {
 
 // Kernels implements KernelSource.
 func (s *StoredKernels) Kernels(left uint64) []uint64 { return s.kernels }
+
+// KernelAt implements KernelAtSource.
+func (s *StoredKernels) KernelAt(left uint64, i int) uint64 { return s.kernels[i] }
 
 // NumKernels implements KernelSource.
 func (s *StoredKernels) NumKernels() int { return len(s.kernels) }
@@ -78,8 +91,15 @@ type GeneratedKernels struct {
 	// pure XORs of base vectors against them.
 	tiled []uint64
 	// scratch avoids a per-word allocation; Kernels returns this slice,
-	// valid until the next call.
-	scratch []uint64
+	// valid until the next call. lastLeft/warm memoize the left plane
+	// the scratch currently expands — the cross-word kernel-expansion
+	// cache: consecutive words sharing a left plane (zero fills, memset
+	// patterns, rewrites of the same word) reuse the expansion instead
+	// of recomputing r XORs. Callers never mutate the returned slice
+	// (it is the codec-facing kernel set), so the memo cannot go stale.
+	scratch  []uint64
+	lastLeft uint64
+	warm     bool
 }
 
 // NewGeneratedKernels builds an Algorithm 2 generator producing r kernels
@@ -112,6 +132,9 @@ func NewGeneratedKernels(l, m, r int) *GeneratedKernels {
 // Kernels implements KernelSource. Kernel index k maps to base vector
 // k%b and mask k/b, matching Algorithm 2's R_{i*b+j} = M_i XOR base_j.
 func (g *GeneratedKernels) Kernels(left uint64) []uint64 {
+	if g.warm && left == g.lastLeft {
+		return g.scratch
+	}
 	mk := bitutil.Mask(g.m)
 	for i, tiled := range g.tiled {
 		rest := left
@@ -120,7 +143,13 @@ func (g *GeneratedKernels) Kernels(left uint64) []uint64 {
 			rest >>= uint(g.m)
 		}
 	}
+	g.lastLeft, g.warm = left, true
 	return g.scratch
+}
+
+// KernelAt implements KernelAtSource without touching the scratch set.
+func (g *GeneratedKernels) KernelAt(left uint64, i int) uint64 {
+	return (left >> (uint(i%g.b) * uint(g.m)) & bitutil.Mask(g.m)) ^ g.tiled[i/g.b]
 }
 
 // NumKernels implements KernelSource.
@@ -153,6 +182,18 @@ func (h *HybridKernels) Kernels(left uint64) []uint64 {
 	h.scratch[0] = 0
 	copy(h.scratch[1:], h.inner.Kernels(left))
 	return h.scratch
+}
+
+// KernelAt implements KernelAtSource: index 0 is the zero kernel, the
+// rest shift down onto the wrapped source.
+func (h *HybridKernels) KernelAt(left uint64, i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if ka, ok := h.inner.(KernelAtSource); ok {
+		return ka.KernelAt(left, i-1)
+	}
+	return h.inner.Kernels(left)[i-1]
 }
 
 // NumKernels implements KernelSource.

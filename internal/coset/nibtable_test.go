@@ -135,6 +135,59 @@ func TestBindForTablesAllocFree(t *testing.T) {
 	}
 }
 
+// TestBindLineRebindAllocFree pins the line-scoped bind contract: after
+// one successful BindLine, same-configuration BindFor calls must take
+// the warm fingerprint path — one fastRebinds increment per word, no
+// allocations — while still re-slicing each word's context. This is the
+// controller's per-line pattern (8 words, one fingerprint).
+func TestBindLineRebindAllocFree(t *testing.T) {
+	rng := prng.New(0xB11D)
+	const ringLen = 8
+	var ctxs [ringLen]Ctx
+	for i := range ctxs {
+		ctxs[i] = equivCtx(rng, 64, false)
+		// Hold the word-invariant fingerprint fields fixed across the
+		// ring; everything per-word (old word, stuck cells, old aux)
+		// stays randomized.
+		ctxs[i].Mode = pcm.SLC
+		ctxs[i].Energy = pcm.EnergyModel{}
+	}
+	ev := NewEvaluator(ctxs[0], ObjEnergySAW)
+	var sc SlicedCtx
+	const hint = 32 // the stored-ROM hint: tables amortize under energy+SAW
+	if !sc.BindLine(ev, 16, hint) {
+		t.Fatal("BindLine refused a supported configuration")
+	}
+	run := func() {
+		for i := range ctxs {
+			ev.Reset(ctxs[i], ObjEnergySAW)
+			if !sc.BindFor(ev, 16, hint) {
+				t.Fatal("BindFor refused the bound-line configuration")
+			}
+		}
+	}
+	before := sc.fastRebinds
+	run()
+	if got := sc.fastRebinds - before; got != ringLen {
+		t.Errorf("warm ring pass took %d fast rebinds, want %d", got, ringLen)
+	}
+	if !sc.tabOK {
+		t.Fatal("stored-ROM hint did not build nibble tables under energy+SAW")
+	}
+	if avg := testing.AllocsPerRun(50, run); avg != 0 {
+		t.Errorf("warm BindFor ring pass allocated %.2f times, want 0", avg)
+	}
+	// A changed objective must miss the fingerprint and rebind cold.
+	before = sc.fastRebinds
+	ev.Reset(ctxs[0], ObjFlips)
+	if !sc.BindFor(ev, 16, hint) {
+		t.Fatal("BindFor refused an objective change")
+	}
+	if sc.fastRebinds != before {
+		t.Error("objective change incorrectly took the warm fingerprint path")
+	}
+}
+
 func TestNibbleTableCountsExact(t *testing.T) {
 	rng := prng.New(0x7AB1E)
 	var sc SlicedCtx

@@ -38,7 +38,27 @@ type VCC struct {
 	// a VCC, like the kernel sources it wraps, single-goroutine state.
 	sc SlicedCtx
 	fs vccSearch
+
+	// Decode fast-path plan, fixed at construction (see DecodeWords).
+	// repMul tiles an m-bit kernel across all p partitions with one
+	// multiply (ones at bit positions j*m; kernels carry no bits above
+	// m, so the partial products never overlap and the sum is exactly
+	// the OR of the shifted copies). flagTab maps the p flag bits to
+	// the full-plane complement mask they select. storedTiled caches
+	// the ROM kernels pre-tiled; kat answers single generated kernels
+	// without expanding the set. flagTab == nil (p too wide for the
+	// table) disables the plan and DecodeWords falls back to Decode.
+	repMul      uint64
+	flagTab     []uint64
+	storedTiled []uint64
+	kat         KernelAtSource
 }
+
+// vccFlagTabMaxP bounds the decode flag table at 256 entries (2 KiB).
+// NewVCC admits p up to 16, but beyond 8 flag bits the table would
+// outgrow its cache-residency budget for a rarely-used geometry, so
+// those decode through the reference path instead.
+const vccFlagTabMaxP = 8
 
 // vccSearch is the reusable scratch of the sliced encode search.
 type vccSearch struct {
@@ -175,7 +195,28 @@ func NewVCC(n int, src KernelSource) *VCC {
 	if p > 16 {
 		panic("coset: too many partitions")
 	}
-	return &VCC{n: n, m: m, p: p, src: src}
+	c := &VCC{n: n, m: m, p: p, src: src}
+	if p <= vccFlagTabMaxP {
+		for j := 0; j < p; j++ {
+			c.repMul |= 1 << uint(j*m)
+		}
+		mMask := bitutil.Mask(m)
+		c.flagTab = make([]uint64, 1<<uint(p))
+		for f := 1; f < len(c.flagTab); f++ {
+			low := uint(bits.TrailingZeros(uint(f)))
+			c.flagTab[f] = c.flagTab[f&(f-1)] | mMask<<(low*uint(m))
+		}
+		if src.Stored() {
+			ks := src.Kernels(0)
+			c.storedTiled = make([]uint64, len(ks))
+			for i, k := range ks {
+				c.storedTiled[i] = k * c.repMul
+			}
+		} else if ka, ok := src.(KernelAtSource); ok {
+			c.kat = ka
+		}
+	}
+	return c
 }
 
 // NewVCCStored is shorthand for the paper's VCC(n, N, r) with a kernel
@@ -331,17 +372,24 @@ func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, u
 	kernels := c.src.Kernels(ev.Ctx.NewLeft)
 	r := len(kernels)
 	s := &c.fs
-	s.ensure(r, c.p)
-	mMask := bitutil.Mask(c.m)
-	identity := !c.src.Stored()
-	// The specialization's suffix bounds assume cell energies are
-	// nonnegative (remaining partitions are floored at their aux cost
-	// alone), so a pathological negative-coefficient model stays on the
-	// generic path, whose floors are minima of actual candidate costs.
-	if identity && sc.tabOK && sc.obj == ObjEnergySAW && sc.etabFits &&
+	// The specialization prices kernels[i] directly and never consults
+	// the class tables, so it serves stored ROMs and per-word generated
+	// sets alike (pricing a duplicate kernel costs four table loads —
+	// cheaper than the dedupe that would skip it). Its suffix bounds
+	// assume cell energies are nonnegative (remaining partitions are
+	// floored at their aux cost alone), so a pathological
+	// negative-coefficient model stays on the generic path, whose floors
+	// are minima of actual candidate costs.
+	if sc.tabOK && sc.obj == ObjEnergySAW && sc.etabFits &&
 		sc.cHi >= 0 && sc.cLo >= 0 {
 		return c.encodeSlicedEnergySAW(d, kernels, sc, s)
 	}
+	if sc.obj == ObjFlips && !sc.tabOK {
+		return c.encodeSlicedFlips(d, kernels, sc)
+	}
+	s.ensure(r, c.p)
+	mMask := bitutil.Mask(c.m)
+	identity := !c.src.Stored()
 	var q int
 	if identity {
 		q = r
@@ -485,10 +533,12 @@ func (c *VCC) EncodeSliced(data uint64, ev *Evaluator, sc *SlicedCtx) (uint64, u
 	return bestEnc, bestAux
 }
 
-// encodeSlicedEnergySAW is EncodeSliced's hot specialization: per-word
-// (identity-class) kernels, nibble tables bound, ObjEnergySAW with
-// nonnegative cell energies — the memory-controller configuration the
-// paper's encode-latency claim rests on. Instead of the generic
+// encodeSlicedEnergySAW is EncodeSliced's hot specialization: nibble
+// tables bound, ObjEnergySAW with nonnegative cell energies — the
+// memory-controller configuration the paper's encode-latency claim
+// rests on. It prices each kernel value as supplied by the source, so
+// it serves stored ROMs (whose tables BindFor now amortizes at r=16)
+// exactly as it serves per-word generated sets. Instead of the generic
 // fill-then-scan structure it runs one lazy pass in kernel order: each
 // partition of a kernel is priced on demand (one fused table walk
 // yields both orientations' packed counts; the energy
@@ -637,6 +687,124 @@ func (c *VCC) encodeSlicedEnergySAW(d uint64, kernels []uint64, sc *SlicedCtx, s
 		}
 		return bestEnc, bestAux
 	}
+	if c.p == 4 && groups == 4 {
+		// The full-word stored geometry (n=64, m=16 — the engine's
+		// default codec, SLC or full-word MLC): all four partition
+		// evaluations unrolled with the same branch-free IEEE-bit
+		// select as the p=2 plane variant above, loop-invariants
+		// (table windows, aux costs, suffix floors) held in registers
+		// and a prune check after every partition.
+		t40 := sc.nibTab[0:64]
+		t41 := sc.nibTab[64:128]
+		t42 := sc.nibTab[128:192]
+		t43 := sc.nibTab[192:256]
+		d0, d1, d2, d3 := djv[0], djv[1], djv[2], djv[3]
+		a00, a10 := a0[0], a1[0]
+		a01, a11 := a0[1], a1[1]
+		a02, a12 := a0[2], a1[2]
+		a03, a13 := a0[3], a1[3]
+		suff1, suff2, suff3, suff4 := suff[1], suff[2], suff[3], suff[4]
+		shm := uint(c.m)
+		for i := 0; i < q; i++ {
+			k := kernels[i]
+			y := d0 ^ k
+			acc := t40[y&0xF] + t40[16+(y>>4&0xF)] +
+				t40[32+(y>>8&0xF)] + t40[48+(y>>12&0xF)]
+			acc0 := uint32(acc)
+			acc1 := uint32(acc >> 32)
+			b0 := math.Float64bits(etab[(acc0&0x3F)|(acc0>>2&0xFC0)] + a00)
+			b1 := math.Float64bits(etab[(acc1&0x3F)|(acc1>>2&0xFC0)] + a10)
+			saw0 := uint64(acc0 >> 16)
+			saw1 := uint64(acc1 >> 16)
+			e := b0 ^ b1
+			mNE := uint64(int64(e|(0-e)) >> 63)
+			mLT := uint64((int64(b1) - int64(b0)) >> 63)
+			w := mLT | (^mNE & uint64((int64(saw1)-int64(saw0))>>63))
+			cp := math.Float64frombits(b0 ^ (e & w))
+			enc := y ^ (mMask & w)
+			flags := w & 1
+			saw := saw0 ^ ((saw0 ^ saw1) & w)
+			if i > 0 && cp+suff1 > threshP {
+				continue
+			}
+			y = d1 ^ k
+			acc = t41[y&0xF] + t41[16+(y>>4&0xF)] +
+				t41[32+(y>>8&0xF)] + t41[48+(y>>12&0xF)]
+			acc0 = uint32(acc)
+			acc1 = uint32(acc >> 32)
+			b0 = math.Float64bits(etab[(acc0&0x3F)|(acc0>>2&0xFC0)] + a01)
+			b1 = math.Float64bits(etab[(acc1&0x3F)|(acc1>>2&0xFC0)] + a11)
+			saw0 = uint64(acc0 >> 16)
+			saw1 = uint64(acc1 >> 16)
+			e = b0 ^ b1
+			mNE = uint64(int64(e|(0-e)) >> 63)
+			mLT = uint64((int64(b1) - int64(b0)) >> 63)
+			w = mLT | (^mNE & uint64((int64(saw1)-int64(saw0))>>63))
+			cp += math.Float64frombits(b0 ^ (e & w))
+			enc |= (y ^ (mMask & w)) << shm
+			flags |= (w & 1) << 1
+			saw += saw0 ^ ((saw0 ^ saw1) & w)
+			if i > 0 && cp+suff2 > threshP {
+				continue
+			}
+			y = d2 ^ k
+			acc = t42[y&0xF] + t42[16+(y>>4&0xF)] +
+				t42[32+(y>>8&0xF)] + t42[48+(y>>12&0xF)]
+			acc0 = uint32(acc)
+			acc1 = uint32(acc >> 32)
+			b0 = math.Float64bits(etab[(acc0&0x3F)|(acc0>>2&0xFC0)] + a02)
+			b1 = math.Float64bits(etab[(acc1&0x3F)|(acc1>>2&0xFC0)] + a12)
+			saw0 = uint64(acc0 >> 16)
+			saw1 = uint64(acc1 >> 16)
+			e = b0 ^ b1
+			mNE = uint64(int64(e|(0-e)) >> 63)
+			mLT = uint64((int64(b1) - int64(b0)) >> 63)
+			w = mLT | (^mNE & uint64((int64(saw1)-int64(saw0))>>63))
+			cp += math.Float64frombits(b0 ^ (e & w))
+			enc |= (y ^ (mMask & w)) << (2 * shm)
+			flags |= (w & 1) << 2
+			saw += saw0 ^ ((saw0 ^ saw1) & w)
+			if i > 0 && cp+suff3 > threshP {
+				continue
+			}
+			y = d3 ^ k
+			acc = t43[y&0xF] + t43[16+(y>>4&0xF)] +
+				t43[32+(y>>8&0xF)] + t43[48+(y>>12&0xF)]
+			acc0 = uint32(acc)
+			acc1 = uint32(acc >> 32)
+			b0 = math.Float64bits(etab[(acc0&0x3F)|(acc0>>2&0xFC0)] + a03)
+			b1 = math.Float64bits(etab[(acc1&0x3F)|(acc1>>2&0xFC0)] + a13)
+			saw0 = uint64(acc0 >> 16)
+			saw1 = uint64(acc1 >> 16)
+			e = b0 ^ b1
+			mNE = uint64(int64(e|(0-e)) >> 63)
+			mLT = uint64((int64(b1) - int64(b0)) >> 63)
+			w = mLT | (^mNE & uint64((int64(saw1)-int64(saw0))>>63))
+			cp += math.Float64frombits(b0 ^ (e & w))
+			enc |= (y ^ (mMask & w)) << (3 * shm)
+			flags |= (w & 1) << 3
+			saw += saw0 ^ ((saw0 ^ saw1) & w)
+			if i > 0 && cp+suff4 > threshP {
+				continue
+			}
+			if useIdxTab {
+				for b := 0; b < nb; b++ {
+					cp += s.idxP[uint64(i)>>uint(b)&1][b]
+				}
+			} else {
+				for b := c.p; b < auxBits; b++ {
+					cp += sc.AuxBit(b, uint64(i)>>uint(b-c.p)&1).Primary
+				}
+			}
+			if i == 0 || cp < bestP || (cp == bestP && saw < bestSaw) {
+				bestEnc = enc
+				bestAux = uint64(i)<<4 | flags
+				bestP, bestSaw = cp, saw
+				threshP = pruneThreshold(bestP)
+			}
+		}
+		return bestEnc, bestAux
+	}
 	for i := 0; i < q; i++ {
 		k := kernels[i]
 		var enc, flags, saw uint64
@@ -704,6 +872,85 @@ func (c *VCC) encodeSlicedEnergySAW(d uint64, kernels []uint64, sc *SlicedCtx, s
 	return bestEnc, bestAux
 }
 
+// encodeSlicedFlips is the table-free integer specialization for
+// ObjFlips — the engine's default objective. Flip counts and aux-bit
+// costs are small nonnegative integers whose float64 images are exact,
+// and a flips Pair carries zero Secondary, so every comparison the
+// reference search makes (orientation select, incumbent update, prune)
+// collapses to an integer compare: the specialization reproduces
+// EncodeRef decision for decision with no float arithmetic at all. Like
+// the energy+SAW scan it prices each kernel value exactly as the source
+// supplies it (stored ROM or generated), lazily per partition,
+// abandoning a kernel once its partial count plus the remaining
+// partitions' aux-cost floor reaches the incumbent — integer counts are
+// exact, so >= prunes soundly against the reference's strict-improvement
+// rule.
+func (c *VCC) encodeSlicedFlips(d uint64, kernels []uint64, sc *SlicedCtx) (uint64, uint64) {
+	mMask := bitutil.Mask(c.m)
+	auxBits := c.AuxBits()
+	var djv [maxSlices]uint64
+	var a0, a1 [maxSlices]int
+	var suff [maxSlices + 1]int
+	for j := 0; j < c.p; j++ {
+		djv[j] = bitutil.SubBlock(d, j, c.m)
+		a0[j] = int(sc.AuxBit(j, 0).Primary)
+		a1[j] = int(sc.AuxBit(j, 1).Primary)
+	}
+	idxFloor := 0
+	for b := c.p; b < auxBits; b++ {
+		f0 := int(sc.AuxBit(b, 0).Primary)
+		if f1 := int(sc.AuxBit(b, 1).Primary); f1 < f0 {
+			f0 = f1
+		}
+		idxFloor += f0
+	}
+	suff[c.p] = idxFloor
+	for j := c.p - 1; j >= 0; j-- {
+		af := a0[j]
+		if a1[j] < af {
+			af = a1[j]
+		}
+		suff[j] = af + suff[j+1]
+	}
+	var bestEnc, bestAux uint64
+	best := 0
+	for i, k := range kernels {
+		var enc, flags uint64
+		cost := 0
+		pruned := false
+		for j := 0; j < c.p; j++ {
+			y0 := djv[j] ^ k
+			c0 := sc.sliceFlips(j, y0) + a0[j]
+			c1 := sc.sliceFlips(j, y0^mMask) + a1[j]
+			sh := uint(j * c.m)
+			if c1 < c0 {
+				cost += c1
+				enc |= (y0 ^ mMask) << sh
+				flags |= 1 << uint(j)
+			} else {
+				cost += c0
+				enc |= y0 << sh
+			}
+			if i > 0 && cost+suff[j+1] >= best {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		for b := c.p; b < auxBits; b++ {
+			cost += int(sc.AuxBit(b, uint64(i)>>uint(b-c.p)&1).Primary)
+		}
+		if i == 0 || cost < best {
+			bestEnc = enc
+			bestAux = uint64(i)<<uint(c.p) | flags
+			best = cost
+		}
+	}
+	return bestEnc, bestAux
+}
+
 // Decode implements Codec: the inverse is a single XOR/XNOR per
 // partition, selected by the stored flags (Section IV-A: "the process of
 // decoding is simpler ... and incurs negligible latency overhead").
@@ -726,6 +973,51 @@ func (c *VCC) Decode(enc, aux, left uint64) uint64 {
 		out |= (yj ^ kj) << uint(j*c.m)
 	}
 	return out
+}
+
+// DecodeWords implements LineDecoder. Per word the whole partition loop
+// of Decode collapses into three XORs against precomputed state:
+//
+//	out = (enc & Mask(n)) ^ tile(kernel) ^ flagTab[flags]
+//
+// Bit-identity with Decode is structural, not approximate: Decode
+// assembles Sum_j (SubBlock(enc,j,m) ^ k_j) << j*m where k_j is the
+// kernel or its m-bit complement per flag bit j. The sub-block
+// reassembly of enc is enc & Mask(n); the kernel terms are the kernel
+// tiled across all partitions (repMul); and the per-flag complements
+// are Mask(m) at each flagged partition — exactly flagTab's entry. XOR
+// is bitwise, so regrouping the terms cannot change any bit. Stored
+// ROMs read their kernel pre-tiled from storedTiled; generated sources
+// produce the single indexed kernel via KernelAt instead of expanding
+// all r kernels per word as Decode must.
+func (c *VCC) DecodeWords(enc, aux, left, out []uint64) {
+	r := c.src.NumKernels()
+	nMask := bitutil.Mask(c.n)
+	pMask := bitutil.Mask(c.p)
+	sh := uint(c.p)
+	switch {
+	case c.storedTiled != nil:
+		for i, a := range aux {
+			ki := a >> sh
+			if ki >= uint64(r) {
+				panic(fmt.Sprintf("coset: VCC kernel index %d out of range", ki))
+			}
+			out[i] = (enc[i] & nMask) ^ c.storedTiled[ki] ^ c.flagTab[a&pMask]
+		}
+	case c.kat != nil:
+		for i, a := range aux {
+			ki := a >> sh
+			if ki >= uint64(r) {
+				panic(fmt.Sprintf("coset: VCC kernel index %d out of range", ki))
+			}
+			k := c.kat.KernelAt(left[i], int(ki))
+			out[i] = (enc[i] & nMask) ^ k*c.repMul ^ c.flagTab[a&pMask]
+		}
+	default:
+		for i := range aux {
+			out[i] = c.Decode(enc[i], aux[i], left[i])
+		}
+	}
 }
 
 // VirtualCoset materializes virtual coset candidate with the given aux

@@ -221,6 +221,15 @@ type Controller struct {
 	// — inside one controller-owned allocation made at New.
 	fast   coset.FastCodec
 	sliced coset.SlicedCtx
+	// lineDec is non-nil when the codec exposes the batched decode fast
+	// path (detected once at construction): ReadLine then decodes the
+	// whole line with one dynamic dispatch instead of eight per-word
+	// Decode calls. lefts/rights stage the split planes; for full-word
+	// codecs lefts is never written and stays all-zero — the same left
+	// value the per-word path passes.
+	lineDec coset.LineDecoder
+	lefts   [WordsPerLine]uint64
+	rights  [WordsPerLine]uint64
 
 	stats Stats
 }
@@ -257,6 +266,7 @@ func New(cfg Config) (*Controller, error) {
 		aux:      make([]uint64, nw),
 	}
 	c.fast, _ = cfg.Codec.(coset.FastCodec)
+	c.lineDec, _ = cfg.Codec.(coset.LineDecoder)
 	return c, nil
 }
 
@@ -297,27 +307,36 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 	dev := c.cfg.Device
 	energy := dev.Config().Energy
 	mode := dev.Config().Mode
+	repo := c.cfg.FaultRepo
+	codec := c.cfg.Codec
+	// The write context's configuration half (plane geometry, cell mode,
+	// energy model) is identical for all eight words of the line; only
+	// the stored-state half varies per word. Hoisting the template here
+	// pairs with the codec-side line-scoped bind: SlicedCtx fingerprints
+	// exactly these fields and skips its word-invariant bind layer when
+	// they repeat.
+	ctx := coset.Ctx{
+		N:        codec.PlaneBits(),
+		Mode:     mode,
+		MLCPlane: c.mlcPlane,
+		Energy:   energy,
+	}
 
 	for col, wv := range words {
 		w := line*WordsPerLine + col
 		oldStored := dev.Read(w)
 		var stuckMask, stuckVal uint64
-		if c.cfg.FaultRepo != nil {
-			d, _ := c.cfg.FaultRepo.Lookup(w)
+		if repo != nil {
+			d, _ := repo.Lookup(w)
 			stuckMask, stuckVal = d.StuckMask, d.StuckVal
 		} else {
 			stuckMask, stuckVal = dev.Stuck(w)
 		}
-		ctx := coset.Ctx{
-			N:         c.cfg.Codec.PlaneBits(),
-			Mode:      mode,
-			MLCPlane:  c.mlcPlane,
-			OldWord:   oldStored,
-			StuckMask: stuckMask,
-			StuckVal:  stuckVal,
-			OldAux:    c.aux[w],
-			Energy:    energy,
-		}
+		ctx.OldWord = oldStored
+		ctx.StuckMask = stuckMask
+		ctx.StuckVal = stuckVal
+		ctx.OldAux = c.aux[w]
+		ctx.NewLeft = 0
 		var plane uint64
 		if c.mlcPlane {
 			var right uint64
@@ -331,7 +350,7 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 		if c.fast != nil {
 			enc, aux = c.fast.EncodeSliced(plane, &c.ev, &c.sliced)
 		} else {
-			enc, aux = c.cfg.Codec.Encode(plane, &c.ev)
+			enc, aux = codec.Encode(plane, &c.ev)
 		}
 
 		var desired uint64
@@ -341,10 +360,10 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 			desired = enc
 		}
 		res := dev.Write(w, desired)
-		if c.cfg.FaultRepo != nil {
-			c.cfg.FaultRepo.RecordVerify(w, desired, res.Stored)
+		if repo != nil {
+			repo.RecordVerify(w, desired, res.Stored)
 		}
-		auxE := energy.AuxBitsEnergy(mode, c.aux[w], aux, c.cfg.Codec.AuxBits())
+		auxE := energy.AuxBitsEnergy(mode, c.aux[w], aux, codec.AuxBits())
 		c.aux[w] = aux
 
 		c.stats.EnergyPJ += res.EnergyPJ + auxE
@@ -374,15 +393,38 @@ func (c *Controller) ReadLine(line int, dst []byte) []byte {
 		panic("memctrl: ReadLine needs a 64-byte buffer")
 	}
 	dev := c.cfg.Device
-	for col := 0; col < WordsPerLine; col++ {
-		w := line*WordsPerLine + col
-		stored := dev.Read(w)
+	base := line * WordsPerLine
+	if c.lineDec != nil {
+		// Batched decode fast path: the aux words of a line are stored
+		// contiguously, so the whole line decodes with one dispatch.
+		// For full-word codecs c.lefts is never written and stays
+		// all-zero — the same left value the per-word path passes.
+		auxs := c.aux[base : base+WordsPerLine]
 		if c.mlcPlane {
-			left, right := bitutil.SplitPlanes(stored)
-			plane := c.cfg.Codec.Decode(right, c.aux[w], left)
-			c.words[col] = bitutil.MergePlanes(left, plane)
+			for col := 0; col < WordsPerLine; col++ {
+				c.lefts[col], c.rights[col] = bitutil.SplitPlanes(dev.Read(base + col))
+			}
+			c.lineDec.DecodeWords(c.rights[:], auxs, c.lefts[:], c.words[:])
+			for col := 0; col < WordsPerLine; col++ {
+				c.words[col] = bitutil.MergePlanes(c.lefts[col], c.words[col])
+			}
 		} else {
-			c.words[col] = c.cfg.Codec.Decode(stored, c.aux[w], 0)
+			for col := 0; col < WordsPerLine; col++ {
+				c.rights[col] = dev.Read(base + col)
+			}
+			c.lineDec.DecodeWords(c.rights[:], auxs, c.lefts[:], c.words[:])
+		}
+	} else {
+		for col := 0; col < WordsPerLine; col++ {
+			w := base + col
+			stored := dev.Read(w)
+			if c.mlcPlane {
+				left, right := bitutil.SplitPlanes(stored)
+				plane := c.cfg.Codec.Decode(right, c.aux[w], left)
+				c.words[col] = bitutil.MergePlanes(left, plane)
+			} else {
+				c.words[col] = c.cfg.Codec.Decode(stored, c.aux[w], 0)
+			}
 		}
 	}
 	bitutil.WordsToBytesInto(dst, c.words[:])

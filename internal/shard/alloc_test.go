@@ -15,15 +15,18 @@ import (
 )
 
 // TestApplySteadyStateAllocsSlicedEncoders is the 0-alloc guard of the
-// write path: once warm, Engine.Apply of an all-write batch with a
-// reused Outcome slice must not allocate — per-batch dispatch state
-// lives in pooled tickets, and every sliced encoder prices candidates
-// out of the controller-owned SlicedCtx. VCC-Generated is the teeth of
-// the guard: its BindFor hint rebuilds the nibble count tables (and on
-// an energy objective the etab cache) on every word, so steady-state
-// table construction is proven allocation-free, not just assumed — the
-// tables are fixed arrays owned by the SlicedCtx, overwritten in place
-// across rebinds.
+// full line pipeline: once warm, Engine.Apply of a mixed read/write
+// batch with a reused Outcome slice must not allocate — per-batch
+// dispatch state lives in pooled tickets, every sliced encoder prices
+// candidates out of the controller-owned SlicedCtx (rebinding through
+// the line-scoped fingerprint), and reads decode through the batched
+// DecodeWords fast path (all three codecs implement LineDecoder).
+// VCC-Generated is the teeth of the write-side guard: its BindFor hint
+// rebuilds the nibble count tables (and on an energy objective the etab
+// cache) on every word, so steady-state table construction is proven
+// allocation-free, not just assumed — the tables are fixed arrays owned
+// by the SlicedCtx, overwritten in place across rebinds. Read ops carry
+// preallocated destination buffers, matching a steady-state caller.
 func TestApplySteadyStateAllocsSlicedEncoders(t *testing.T) {
 	codecs := []struct {
 		name string
@@ -55,7 +58,11 @@ func TestApplySteadyStateAllocsSlicedEncoders(t *testing.T) {
 			for i := range ops {
 				data := make([]byte, LineSize)
 				rng.Fill(data)
-				ops[i] = Op{Kind: OpWrite, Line: (i * 7) % lines, Data: data}
+				kind := OpWrite
+				if i%4 == 3 { // every 4th op reads back through DecodeWords
+					kind = OpRead
+				}
+				ops[i] = Op{Kind: kind, Line: (i * 7) % lines, Data: data}
 			}
 			outs := make([]Outcome, batch)
 			// One warm pass settles lazily-built scratch (kernel dedupe
