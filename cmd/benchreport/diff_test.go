@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -152,6 +153,76 @@ func TestDiffReportsCatchesCampaignViolations(t *testing.T) {
 	}
 	if fails := diffReports(base, fresh); !hasFail(fails, "verification violations") {
 		t.Fatalf("campaign verification violations not flagged: %v", fails)
+	}
+}
+
+func loadgenBlob(throughput float64, errResps, transport int64) []byte {
+	return []byte(fmt.Sprintf(`{
+		"schema": "vccrepro-loadgen/v1",
+		"clients": 8, "tenants": 2, "requests": 400, "ops_done": 6400,
+		"throughput_ops_per_sec": %g,
+		"error_responses": %d, "transport_errors": %d,
+		"latency_ns": {"p50_ns": 900000, "p95_ns": 1800000, "p99_ns": 2300000}
+	}`, throughput, errResps, transport))
+}
+
+func TestDiffLoadgenNewVsOldBaseline(t *testing.T) {
+	// BENCH_8 predates the server subsystem: a fresh report carrying a
+	// loadgen summary against it is "new, no baseline", never a failure.
+	base, fresh := diffFixture()
+	fresh.Loadgen = loadgenBlob(100000, 0, 0)
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("loadgen summary missing from base flagged: %v", fails)
+	}
+}
+
+func TestDiffLoadgenCatchesUncleanRun(t *testing.T) {
+	// Error responses gate absolutely — even without a baseline: a
+	// non-OK response during the smoke burst is a protocol failure.
+	base, fresh := diffFixture()
+	fresh.Loadgen = loadgenBlob(100000, 3, 0)
+	if fails := diffReports(base, fresh); !hasFail(fails, "unclean") {
+		t.Fatalf("error responses not flagged: %v", fails)
+	}
+	fresh.Loadgen = loadgenBlob(100000, 0, 1)
+	if fails := diffReports(base, fresh); !hasFail(fails, "unclean") {
+		t.Fatalf("transport errors not flagged: %v", fails)
+	}
+}
+
+func TestDiffLoadgenThroughputGateIsHostScoped(t *testing.T) {
+	base, fresh := diffFixture()
+	base.Loadgen = loadgenBlob(100000, 0, 0)
+	fresh.Loadgen = loadgenBlob(100000, 0, 0)
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("identical loadgen summaries flagged: %v", fails)
+	}
+	// A >2.5x same-host throughput collapse is a regression...
+	fresh.Loadgen = loadgenBlob(30000, 0, 0)
+	if fails := diffReports(base, fresh); !hasFail(fails, "ops/s") {
+		t.Fatalf("same-host throughput collapse not flagged: %v", fails)
+	}
+	// ...but the same numbers across machines are not comparable.
+	fresh.Host.Hostname = "b"
+	if fails := diffReports(base, fresh); len(fails) != 0 {
+		t.Fatalf("cross-host throughput delta flagged: %v", fails)
+	}
+}
+
+func TestCheckLoadgen(t *testing.T) {
+	if _, err := checkLoadgen(loadgenBlob(100000, 0, 0)); err != nil {
+		t.Fatalf("clean summary rejected: %v", err)
+	}
+	for name, blob := range map[string][]byte{
+		"wrong-schema":  []byte(`{"schema": "vccrepro-bench/v2"}`),
+		"zero-ops":      []byte(`{"schema": "vccrepro-loadgen/v1", "ops_done": 0}`),
+		"unclean":       loadgenBlob(100000, 1, 0),
+		"non-monotone":  []byte(`{"schema": "vccrepro-loadgen/v1", "ops_done": 1, "throughput_ops_per_sec": 1, "latency_ns": {"p50_ns": 5, "p95_ns": 3, "p99_ns": 9}}`),
+		"not-even-json": []byte(`{`),
+	} {
+		if _, err := checkLoadgen(blob); err == nil {
+			t.Errorf("checkLoadgen accepted %s summary", name)
+		}
 	}
 }
 

@@ -9,17 +9,20 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport                      # ~1s per benchmark, writes BENCH_8.json
+//	go run ./cmd/benchreport                      # ~1s per benchmark, writes BENCH_9.json
 //	go run ./cmd/benchreport -benchtime 1x        # one iteration each (CI smoke)
 //	go run ./cmd/benchreport -benchtime 500ms -out /tmp/bench.json
-//	go run ./cmd/benchreport -validate BENCH_8.json
-//	go run ./cmd/benchreport -diff BENCH_8.json -in /tmp/bench.json
+//	go run ./cmd/benchreport -validate BENCH_9.json
+//	go run ./cmd/benchreport -validate summary.json        # a cmd/loadgen summary
+//	go run ./cmd/benchreport -diff BENCH_8.json -in BENCH_9.json
+//	go run ./cmd/benchreport -loadgen summary.json         # embed served-engine numbers
 //	go run ./cmd/benchreport -profile -match encode/vcc_gen256 -topn 10
 //
 // The report includes the fast-vs-reference encode and line-decode
-// pairs plus reduced-horizon scenario-campaign summaries (-campaigns),
-// so the perf trajectory and the lifetime-extension trajectory ride the
-// same diff gate. Headline named metrics: the VCC MLC energy+SAW encode
+// pairs plus reduced-horizon scenario-campaign summaries (-campaigns)
+// and, with -loadgen, a cmd/loadgen served-engine summary, so the perf
+// trajectory, the lifetime-extension trajectory and the network-path
+// throughput ride the same diff gate. Headline named metrics: the VCC MLC energy+SAW encode
 // speedup (speedup_vcc_mlc_energy_saw, the nibble-table PR's >= 3.3x
 // acceptance), the stored-ROM SLC encode speedup
 // (speedup_vcc_stored_slc_energy_saw, the line-batched pipeline PR's
@@ -120,6 +123,11 @@ type Report struct {
 	// so lifetime-extension and model-error trajectories ride the same
 	// report and diff gate as the timing results.
 	Campaigns map[string]map[string]float64 `json:"campaigns,omitempty"`
+	// Loadgen embeds a cmd/loadgen summary (-loadgen flag) verbatim, so
+	// served-engine throughput and tail latency ride the same snapshot
+	// and diff gate as the in-process numbers. Kept raw: loadgen owns
+	// its schema, benchreport only reads the gated subset.
+	Loadgen json.RawMessage `json:"loadgen,omitempty"`
 }
 
 // historyEntry is one line of the append-only BENCH_HISTORY.jsonl run
@@ -137,6 +145,7 @@ type historyEntry struct {
 	SpeedupDecodeStored          float64                       `json:"speedup_decode_stored,omitempty"`
 	EngineWriteNsPerLine         float64                       `json:"engine_write_ns_per_line,omitempty"`
 	Campaigns                    map[string]map[string]float64 `json:"campaigns,omitempty"`
+	Loadgen                      json.RawMessage               `json:"loadgen,omitempty"`
 }
 
 // gitSHA best-effort resolves HEAD, with a "-dirty" suffix when the
@@ -491,10 +500,72 @@ func benches() []bench {
 	}
 }
 
+// loadgenSummary is the subset of cmd/loadgen's report (schema
+// vccrepro-loadgen/*) the validate and diff gates read; the embedded
+// document keeps every field loadgen wrote.
+type loadgenSummary struct {
+	Schema      string  `json:"schema"`
+	Clients     int     `json:"clients"`
+	Tenants     int     `json:"tenants"`
+	Requests    int64   `json:"requests"`
+	OpsDone     int64   `json:"ops_done"`
+	ThroughputO float64 `json:"throughput_ops_per_sec"`
+	ErrorResps  int64   `json:"error_responses"`
+	Transport   int64   `json:"transport_errors"`
+	Latency     struct {
+		P50 uint64 `json:"p50_ns"`
+		P95 uint64 `json:"p95_ns"`
+		P99 uint64 `json:"p99_ns"`
+	} `json:"latency_ns"`
+}
+
+// checkLoadgen parses and sanity-checks a loadgen summary blob: right
+// schema family, a run that actually moved data, cleanly, with a
+// coherent latency histogram.
+func checkLoadgen(raw []byte) (loadgenSummary, error) {
+	var s loadgenSummary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, err
+	}
+	if !strings.HasPrefix(s.Schema, "vccrepro-loadgen") {
+		return s, fmt.Errorf("schema %q is not a vccrepro-loadgen summary", s.Schema)
+	}
+	if s.OpsDone <= 0 || s.ThroughputO <= 0 {
+		return s, fmt.Errorf("no completed ops (ops_done=%d, %.0f ops/s)", s.OpsDone, s.ThroughputO)
+	}
+	if s.ErrorResps != 0 || s.Transport != 0 {
+		return s, fmt.Errorf("unclean run: %d error responses, %d transport errors",
+			s.ErrorResps, s.Transport)
+	}
+	if s.Latency.P50 > s.Latency.P95 || s.Latency.P95 > s.Latency.P99 {
+		return s, fmt.Errorf("non-monotone latency quantiles p50=%d p95=%d p99=%d",
+			s.Latency.P50, s.Latency.P95, s.Latency.P99)
+	}
+	return s, nil
+}
+
+// validate checks either document family by schema: full bench reports
+// and standalone cmd/loadgen summaries (the CI smoke runs
+// `benchreport -validate summary.json` on the latter directly).
 func validate(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var sniff struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &sniff); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if strings.HasPrefix(sniff.Schema, "vccrepro-loadgen") {
+		s, err := checkLoadgen(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: ok (%d clients x %d tenants, %d ops, %.0f ops/s, schema %s)\n",
+			path, s.Clients, s.Tenants, s.OpsDone, s.ThroughputO, s.Schema)
+		return nil
 	}
 	var rep Report
 	if err := json.Unmarshal(raw, &rep); err != nil {
@@ -506,6 +577,11 @@ func validate(path string) error {
 	for _, r := range rep.Results {
 		if r.Name == "" || r.NsPerOp <= 0 || r.Iterations < 1 {
 			return fmt.Errorf("%s: malformed result %+v", path, r)
+		}
+	}
+	if rep.Loadgen != nil {
+		if _, err := checkLoadgen(rep.Loadgen); err != nil {
+			return fmt.Errorf("%s: embedded loadgen summary: %w", path, err)
 		}
 	}
 	fmt.Printf("%s: ok (%d results, schema %s)\n", path, len(rep.Results), rep.Schema)
@@ -617,6 +693,50 @@ func diffReports(base, fresh *Report) []string {
 			name, fs, bs, floor, status)
 	}
 	fails = append(fails, diffCampaigns(base, fresh)...)
+	fails = append(fails, diffLoadgen(base, fresh, sameHost)...)
+	return fails
+}
+
+// diffLoadgen gates the embedded served-engine summary. A fresh report
+// without one is fine (not every run serves the engine), and a baseline
+// without one — every BENCH_*.json before the subsystem existed — makes
+// the metrics "new, no baseline", never a failure. Cleanliness gates on
+// the fresh side alone: error responses, transport errors, or zero
+// completed ops are protocol failures regardless of baseline. Absolute
+// throughput gates only same-host, with the same 2.5x movement floor as
+// ns/op; tail latencies print for the trajectory but do not gate (they
+// move with client count and pacing, not just code).
+func diffLoadgen(base, fresh *Report, sameHost bool) []string {
+	if fresh.Loadgen == nil {
+		return nil
+	}
+	var fails []string
+	var fs loadgenSummary
+	if err := json.Unmarshal(fresh.Loadgen, &fs); err != nil {
+		return []string{fmt.Sprintf("loadgen: embedded summary unreadable: %v", err)}
+	}
+	if fs.ErrorResps != 0 || fs.Transport != 0 || fs.OpsDone <= 0 {
+		fails = append(fails, fmt.Sprintf("loadgen: unclean run (%d error responses, %d transport errors, %d ops)",
+			fs.ErrorResps, fs.Transport, fs.OpsDone))
+	}
+	if base.Loadgen == nil {
+		fmt.Printf("  loadgen %-39s %8.0f ops/s p99=%dns  new, no baseline\n",
+			"throughput", fs.ThroughputO, fs.Latency.P99)
+		return fails
+	}
+	var bs loadgenSummary
+	if err := json.Unmarshal(base.Loadgen, &bs); err != nil {
+		fmt.Printf("  loadgen %-39s baseline summary unreadable, skipping\n", "throughput")
+		return fails
+	}
+	status := "ok"
+	if sameHost && bs.ThroughputO > 0 && fs.ThroughputO < bs.ThroughputO/2.5 {
+		status = "THROUGHPUT REGRESSION"
+		fails = append(fails, fmt.Sprintf("loadgen: %.0f ops/s, baseline %.0f",
+			fs.ThroughputO, bs.ThroughputO))
+	}
+	fmt.Printf("  loadgen %-39s %8.0f ops/s (base %8.0f) p99=%dns (base %dns)  %s\n",
+		"throughput", fs.ThroughputO, bs.ThroughputO, fs.Latency.P99, bs.Latency.P99, status)
 	return fails
 }
 
@@ -770,7 +890,7 @@ func campaignSummaries(names string, horizon int64) (map[string]map[string]float
 
 func main() {
 	btFlag := flag.String("benchtime", "1s", "per-benchmark target: a duration (1s) or fixed iterations (1x)")
-	out := flag.String("out", "BENCH_8.json", "output path for the JSON report")
+	out := flag.String("out", "BENCH_9.json", "output path for the JSON report")
 	validatePath := flag.String("validate", "", "validate an existing report instead of running")
 	diffBase := flag.String("diff", "", "baseline report to diff a fresh report (-in) against; exits nonzero on regression")
 	inPath := flag.String("in", "", "fresh report consumed by -diff")
@@ -782,6 +902,7 @@ func main() {
 	campaigns := flag.String("campaigns", "fault-aging,wearlevel-rotation",
 		"scenario campaigns to run at reduced horizon and embed in the report (empty disables)")
 	campHorizon := flag.Int64("campaignhorizon", 20000, "op-budget override for embedded campaigns")
+	loadgenPath := flag.String("loadgen", "", "embed a cmd/loadgen -json summary into the report (empty disables)")
 	flag.Parse()
 
 	if *validatePath != "" {
@@ -885,6 +1006,21 @@ func main() {
 		rep.EngineWriteNsPerLine = r.NsPerOp / 1024 // batch lines per op
 		fmt.Printf("%-48s %12.1f ns\n", "engine: write cost per 64-byte line", rep.EngineWriteNsPerLine)
 	}
+	if *loadgenPath != "" {
+		raw, err := os.ReadFile(*loadgenPath)
+		if err == nil {
+			var s loadgenSummary
+			if s, err = checkLoadgen(raw); err == nil {
+				rep.Loadgen = json.RawMessage(raw)
+				fmt.Printf("%-48s %12.0f ops/s (p99 %dns)\n",
+					"loadgen: served throughput", s.ThroughputO, s.Latency.P99)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: -loadgen %s: %v\n", *loadgenPath, err)
+			os.Exit(1)
+		}
+	}
 	if *campaigns != "" {
 		camps, err := campaignSummaries(*campaigns, *campHorizon)
 		if err != nil {
@@ -932,6 +1068,7 @@ func main() {
 			SpeedupDecodeStored:          rep.SpeedupDecodeStored,
 			EngineWriteNsPerLine:         rep.EngineWriteNsPerLine,
 			Campaigns:                    rep.Campaigns,
+			Loadgen:                      rep.Loadgen,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)

@@ -35,11 +35,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/coset"
@@ -337,40 +334,18 @@ type mixSource struct {
 // footprint. Weights are normalized to sum to 1, so "seq:1,zipf:1" is
 // an even mix; repeated patterns get independent PRNG streams.
 func newMixSource(spec string, n int, zipfS float64, stride int, cfg replayConfig) (*mixSource, error) {
-	var arms []workload.Arm
-	total := 0.0
-	for i, tok := range strings.Split(spec, ",") {
-		name, fracS, ok := strings.Cut(strings.TrimSpace(tok), ":")
-		if !ok {
-			return nil, fmt.Errorf("-mix token %q: want pattern:fraction", tok)
-		}
-		frac, err := strconv.ParseFloat(fracS, 64)
-		if err != nil || !(frac >= 0) || math.IsInf(frac, 0) {
-			return nil, fmt.Errorf("-mix token %q: bad fraction", tok)
-		}
-		var p workload.Pattern
-		switch name {
-		case "seq":
-			p = workload.NewSequential(cfg.lines)
-		case "zipf":
-			p = workload.NewZipfHot(cfg.lines, zipfS,
-				prng.NewFrom(cfg.seed, fmt.Sprintf("tracegen-mix-zipf-%d", i)))
-		case "stride":
-			p = workload.NewStrided(cfg.lines, stride)
-		case "chase":
-			p = workload.NewPointerChase(cfg.lines,
-				prng.NewFrom(cfg.seed, fmt.Sprintf("tracegen-mix-chase-%d", i)))
-		default:
-			return nil, fmt.Errorf("-mix pattern %q: want seq|zipf|stride|chase", name)
-		}
-		arms = append(arms, workload.Arm{Frac: frac, Pattern: p})
-		total += frac
-	}
-	if total <= 0 {
-		return nil, fmt.Errorf("-mix %q: fractions must sum to > 0", spec)
-	}
-	for i := range arms {
-		arms[i].Frac /= total
+	// The grammar (and the PRNG stream labels that keep recorded mixes
+	// replaying bit-identically) lives in workload.ParseMix, shared
+	// with cmd/loadgen.
+	pat, err := workload.ParseMix(spec, workload.MixOpts{
+		Lines:    cfg.lines,
+		ZipfSkew: zipfS,
+		Stride:   stride,
+		Seed:     cfg.seed,
+		Label:    "tracegen-mix",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("-mix: %w", err)
 	}
 	frac := cfg.readFrac
 	if frac < 0 {
@@ -378,7 +353,7 @@ func newMixSource(spec string, n int, zipfS float64, stride int, cfg replayConfi
 	}
 	return &mixSource{
 		stream: workload.NewStream(cfg.seed, workload.Phase{
-			Pattern: workload.NewMixture(arms...), ReadFrac: frac,
+			Pattern: pat, ReadFrac: frac,
 		}),
 		rng:  prng.NewFrom(cfg.seed, "tracegen-mix-data"),
 		left: n,

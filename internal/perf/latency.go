@@ -1,0 +1,159 @@
+package perf
+
+// This file adds measured-latency accounting to the modeled-IPC
+// package: a fixed-footprint log-linear histogram for request
+// latencies, used by the network load generator (cmd/loadgen) to
+// report p50/p95/p99 without retaining per-request samples.
+//
+// Bucketing: values below 2^latSubBits are exact; above that each
+// power-of-two range splits into 2^latSubBits equal sub-buckets, so
+// the relative quantization error is bounded by 2^-latSubBits
+// (~3.1%) at any magnitude — the standard HDR-histogram trade.
+
+import (
+	"encoding/json"
+	"math/bits"
+)
+
+const (
+	// latSubBits is the sub-bucket resolution: each power-of-two range
+	// splits into 1<<latSubBits buckets.
+	latSubBits = 5
+	// latBuckets covers the full uint64 range: the exact low range is
+	// buckets [0, 2^latSubBits), and exponent range exp (0 to
+	// 63-latSubBits) occupies [(exp+1)<<latSubBits, (exp+2)<<latSubBits).
+	latBuckets = (64 - latSubBits + 1) << latSubBits
+)
+
+// LatencySink accumulates latency samples into a log-linear histogram
+// with bounded (~3%) relative error. The zero value is ready to use;
+// it is not safe for concurrent use — give each producer its own sink
+// and Merge them.
+type LatencySink struct {
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+	bucket [latBuckets]uint64
+}
+
+// bucketOf maps a sample to its histogram bucket.
+func bucketOf(v uint64) int {
+	if v < 1<<latSubBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - latSubBits - 1
+	return exp<<latSubBits + int(v>>uint(exp)) // high latSubBits+1 bits, offset past the exact range
+}
+
+// bucketValue returns a representative (midpoint) sample for a bucket.
+func bucketValue(b int) uint64 {
+	if b < 1<<latSubBits {
+		return uint64(b)
+	}
+	exp := uint(b>>latSubBits - 1)
+	sub := uint64(b&(1<<latSubBits-1) | 1<<latSubBits)
+	return sub<<exp + 1<<exp>>1
+}
+
+// Record adds one sample (typically nanoseconds).
+func (s *LatencySink) Record(v uint64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	s.bucket[bucketOf(v)]++
+}
+
+// Merge folds o into s.
+func (s *LatencySink) Merge(o *LatencySink) {
+	if o.count == 0 {
+		return
+	}
+	if s.count == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.sum += o.sum
+	for i, c := range o.bucket {
+		s.bucket[i] += c
+	}
+}
+
+// Count returns the number of recorded samples.
+func (s *LatencySink) Count() uint64 { return s.count }
+
+// Mean returns the exact arithmetic mean (the sum is kept exactly).
+func (s *LatencySink) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.count)
+}
+
+// Min returns the smallest recorded sample (exact).
+func (s *LatencySink) Min() uint64 { return s.min }
+
+// Max returns the largest recorded sample (exact).
+func (s *LatencySink) Max() uint64 { return s.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) as a representative
+// bucket value, clamped to the exact observed min/max.
+func (s *LatencySink) Quantile(q float64) uint64 {
+	if s.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.count-1))
+	var seen uint64
+	for b, c := range s.bucket {
+		seen += uint64(c)
+		if seen > rank {
+			v := bucketValue(b)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// LatencySummary is the JSON shape loadgen reports (all values in the
+// unit the samples were recorded in, nanoseconds by convention).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_ns"`
+	P50   uint64  `json:"p50_ns"`
+	P95   uint64  `json:"p95_ns"`
+	P99   uint64  `json:"p99_ns"`
+	Min   uint64  `json:"min_ns"`
+	Max   uint64  `json:"max_ns"`
+}
+
+// Summary extracts the standard report.
+func (s *LatencySink) Summary() LatencySummary {
+	return LatencySummary{
+		Count: s.count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+		Min:   s.min,
+		Max:   s.max,
+	}
+}
+
+// MarshalJSON serializes the summary (not the raw buckets).
+func (s *LatencySink) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Summary())
+}

@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestLatencyBucketRoundTrip(t *testing.T) {
+	// Every value must land in a valid bucket whose representative is
+	// within the histogram's relative-error bound.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024,
+		1 << 20, 1<<20 + 1, 1<<40 + 12345, math.MaxUint64} {
+		b := bucketOf(v)
+		if b < 0 || b >= latBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of [0,%d)", v, b, latBuckets)
+		}
+		rep := bucketValue(b)
+		if v < 1<<latSubBits {
+			if rep != v {
+				t.Fatalf("low range must be exact: bucketValue(bucketOf(%d)) = %d", v, rep)
+			}
+			continue
+		}
+		relErr := math.Abs(float64(rep)-float64(v)) / float64(v)
+		if relErr > 1.0/(1<<latSubBits) {
+			t.Fatalf("bucketOf(%d) -> rep %d: relative error %.4f", v, rep, relErr)
+		}
+	}
+	// Buckets are monotone in the sample value.
+	prev := -1
+	for exp := 0; exp < 64; exp++ {
+		v := uint64(1) << exp
+		b := bucketOf(v)
+		if b <= prev {
+			t.Fatalf("bucketOf(1<<%d) = %d not increasing past %d", exp, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	var s LatencySink
+	// A known uniform distribution: 1..10000.
+	for v := uint64(1); v <= 10000; v++ {
+		s.Record(v)
+	}
+	if s.Count() != 10000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Min() != 1 || s.Max() != 10000 {
+		t.Fatalf("min/max = %d/%d", s.Min(), s.Max())
+	}
+	if got, want := s.Mean(), 5000.5; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.5, 5000}, {0.95, 9500}, {0.99, 9900}, {1, 10000}} {
+		got := float64(s.Quantile(tc.q))
+		if math.Abs(got-tc.want)/tc.want > 0.04 {
+			t.Errorf("q%.2f = %.0f, want %.0f +/- 4%%", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestLatencyMergeMatchesSingle(t *testing.T) {
+	rng := prng.NewFrom(7, "latency-merge-test")
+	var whole LatencySink
+	parts := make([]LatencySink, 4)
+	for i := 0; i < 40000; i++ {
+		v := rng.Uint64() % (1 << 22)
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged LatencySink
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != whole {
+		t.Fatalf("merged sink differs from single-producer sink: %+v vs %+v",
+			merged.Summary(), whole.Summary())
+	}
+	sum := merged.Summary()
+	if sum.P50 > sum.P95 || sum.P95 > sum.P99 || sum.P99 > sum.Max || sum.Min > sum.P50 {
+		t.Fatalf("summary not monotone: %+v", sum)
+	}
+}
+
+func TestLatencyEmptySink(t *testing.T) {
+	var s LatencySink
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Count() != 0 {
+		t.Fatal("empty sink must report zeros")
+	}
+	var o LatencySink
+	o.Record(5)
+	o.Merge(&s) // merging an empty sink is a no-op
+	if o.Count() != 1 || o.Min() != 5 || o.Max() != 5 {
+		t.Fatalf("merge with empty sink corrupted state: %+v", o.Summary())
+	}
+}

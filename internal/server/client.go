@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+)
+
+// StatusError is a non-OK wire response surfaced as a Go error. The
+// connection stays usable after one.
+type StatusError struct {
+	// Status is the wire status code (StatusMalformed, StatusRange, ...).
+	Status byte
+	// Msg is the server's human-readable message body.
+	Msg string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %s: %s", StatusName(e.Status), e.Msg)
+}
+
+// Client is a synchronous line-store protocol client: one request in
+// flight at a time, request and response frames built in reusable
+// buffers (steady-state round trips allocate nothing). Not safe for
+// concurrent use — loadgen concurrency comes from one Client per
+// simulated client goroutine.
+type Client struct {
+	nc    net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	id    uint32
+	req   []byte
+	resp  []byte
+	batch []byte
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		br: bufio.NewReader(nc),
+		bw: bufio.NewWriter(nc),
+	}
+}
+
+// Dial connects to a line-store server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// DialRetry dials until the server accepts or the window elapses —
+// for harnesses that race client startup against the server's bind.
+func DialRetry(addr string, wait time.Duration) (*Client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server: dial %s: gave up after %v: %w", addr, wait, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// roundTrip sends verb+body and returns the OK response body, valid
+// until the next call. A non-OK status comes back as *StatusError.
+func (c *Client) roundTrip(verb byte, body []byte) ([]byte, error) {
+	c.id++
+	c.req = append(c.req[:0], verb)
+	c.req = binary.BigEndian.AppendUint32(c.req, c.id)
+	c.req = append(c.req, body...)
+	if err := writeFrame(c.bw, c.req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(c.br, c.resp)
+	if err != nil {
+		return nil, err
+	}
+	c.resp = payload
+	if len(payload) < reqHeaderLen {
+		return nil, fmt.Errorf("server: short response (%d bytes)", len(payload))
+	}
+	status, id, rbody := payload[0], binary.BigEndian.Uint32(payload[1:5]), payload[reqHeaderLen:]
+	if id != c.id {
+		return nil, fmt.Errorf("server: response id %d, want %d", id, c.id)
+	}
+	if status != StatusOK {
+		return nil, &StatusError{Status: status, Msg: string(rbody)}
+	}
+	return rbody, nil
+}
+
+// Hello binds the connection to a tenant and returns the tenant's
+// slice size in lines.
+func (c *Client) Hello(tenant int) (uint64, error) {
+	var body [4]byte
+	binary.BigEndian.PutUint32(body[:], uint32(tenant))
+	rb, err := c.roundTrip(VerbHello, body[:])
+	if err != nil {
+		return 0, err
+	}
+	if len(rb) != 8 {
+		return 0, fmt.Errorf("server: hello response body is %d bytes, want 8", len(rb))
+	}
+	return binary.BigEndian.Uint64(rb), nil
+}
+
+// Write stores one tenant-relative line and returns its stuck-at-wrong
+// cell count.
+func (c *Client) Write(line uint64, data []byte) (int, error) {
+	if len(data) != LineSize {
+		return 0, fmt.Errorf("server: write needs %d bytes, got %d", LineSize, len(data))
+	}
+	var body [8 + LineSize]byte
+	binary.BigEndian.PutUint64(body[:8], line)
+	copy(body[8:], data)
+	rb, err := c.roundTrip(VerbWrite, body[:])
+	if err != nil {
+		return 0, err
+	}
+	if len(rb) != 4 {
+		return 0, fmt.Errorf("server: write response body is %d bytes, want 4", len(rb))
+	}
+	return int(binary.BigEndian.Uint32(rb)), nil
+}
+
+// Read fetches one tenant-relative line into dst (allocated when nil,
+// must be LineSize bytes otherwise).
+func (c *Client) Read(line uint64, dst []byte) ([]byte, error) {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], line)
+	rb, err := c.roundTrip(VerbRead, body[:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rb) != LineSize {
+		return nil, fmt.Errorf("server: read response body is %d bytes, want %d", len(rb), LineSize)
+	}
+	if dst == nil {
+		dst = make([]byte, LineSize)
+	} else if len(dst) != LineSize {
+		return nil, fmt.Errorf("server: read needs a %d-byte buffer, got %d", LineSize, len(dst))
+	}
+	copy(dst, rb)
+	return dst, nil
+}
+
+// BatchOp is one element of a Client.Batch request.
+type BatchOp struct {
+	// Kind is BatchWrite or BatchRead.
+	Kind byte
+	// Line is the tenant-relative line index.
+	Line uint64
+	// Data is the LineSize write payload (BatchWrite) or an optional
+	// read destination (BatchRead; results alias the client's response
+	// buffer when nil, valid until the next call).
+	Data []byte
+}
+
+// BatchResult is the per-op result of Client.Batch.
+type BatchResult struct {
+	// SAW is the stuck-at-wrong cell count (writes only).
+	SAW int
+	// Data is the line read back (reads only); aliases the op's Data
+	// buffer when one was provided, the client's response buffer
+	// otherwise.
+	Data []byte
+}
+
+// Batch applies a mixed op sequence in order in one round trip.
+// res is reused when it has the capacity (like vcc outcome slices).
+func (c *Client) Batch(ops []BatchOp, res []BatchResult) ([]BatchResult, error) {
+	body := c.batchBody(ops)
+	rb, err := c.roundTrip(VerbBatch, body)
+	if err != nil {
+		return nil, err
+	}
+	if cap(res) >= len(ops) {
+		res = res[:len(ops)]
+	} else {
+		res = make([]BatchResult, len(ops))
+	}
+	if len(rb) < 4 {
+		return nil, fmt.Errorf("server: batch response body is %d bytes", len(rb))
+	}
+	if n := binary.BigEndian.Uint32(rb); int(n) != len(ops) {
+		return nil, fmt.Errorf("server: batch response has %d ops, want %d", n, len(ops))
+	}
+	off := 4
+	for i := range ops {
+		if off >= len(rb) {
+			return nil, fmt.Errorf("server: batch response truncated at op %d", i)
+		}
+		kind := rb[off]
+		off++
+		if kind != ops[i].Kind {
+			return nil, fmt.Errorf("server: batch op %d came back as kind %d, want %d", i, kind, ops[i].Kind)
+		}
+		switch kind {
+		case BatchWrite:
+			if off+4 > len(rb) {
+				return nil, fmt.Errorf("server: batch response truncated at op %d", i)
+			}
+			res[i] = BatchResult{SAW: int(binary.BigEndian.Uint32(rb[off:]))}
+			off += 4
+		case BatchRead:
+			if off+LineSize > len(rb) {
+				return nil, fmt.Errorf("server: batch response truncated at op %d", i)
+			}
+			data := rb[off : off+LineSize]
+			if ops[i].Data != nil {
+				copy(ops[i].Data, data)
+				data = ops[i].Data
+			}
+			res[i] = BatchResult{Data: data}
+			off += LineSize
+		}
+	}
+	return res, nil
+}
+
+// batchBody serializes ops into the client's scratch buffer (reused
+// across calls; the round trip copies it onto the wire before return).
+func (c *Client) batchBody(ops []BatchOp) []byte {
+	need := 4
+	for i := range ops {
+		need += 1 + 8
+		if ops[i].Kind == BatchWrite {
+			need += LineSize
+		}
+	}
+	if cap(c.batch) < need {
+		c.batch = make([]byte, 0, need)
+	}
+	body := c.batch[:0]
+	body = binary.BigEndian.AppendUint32(body, uint32(len(ops)))
+	for i := range ops {
+		body = append(body, ops[i].Kind)
+		body = binary.BigEndian.AppendUint64(body, ops[i].Line)
+		if ops[i].Kind == BatchWrite {
+			body = append(body, ops[i].Data...)
+		}
+	}
+	c.batch = body
+	return body
+}
+
+// Stats fetches the connection's tenant statistics snapshot.
+func (c *Client) Stats() (TenantStats, error) {
+	rb, err := c.roundTrip(VerbStats, nil)
+	if err != nil {
+		return TenantStats{}, err
+	}
+	return ParseTenantStats(rb)
+}
+
+// Flush forces deferred write-back state down to the devices, covering
+// everything this connection submitted before it.
+func (c *Client) Flush() error {
+	_, err := c.roundTrip(VerbFlush, nil)
+	return err
+}

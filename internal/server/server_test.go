@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	vcc "repro"
+)
+
+func testMem(t *testing.T, lines, shards int) *vcc.ShardedMemory {
+	t.Helper()
+	mem, err := vcc.NewShardedMemory(vcc.ShardedMemoryConfig{Lines: lines, Shards: shards, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mem.Close)
+	return mem
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted a nil memory")
+	}
+	mem := testMem(t, 64, 1)
+	if _, err := New(Config{Mem: mem, Tenants: 65}); err == nil {
+		t.Error("New accepted more tenants than lines")
+	}
+	srv, err := New(Config{Mem: mem, Tenants: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Tenants() != 4 || srv.TenantLines() != 16 {
+		t.Fatalf("4 tenants over 64 lines: got %d x %d", srv.Tenants(), srv.TenantLines())
+	}
+	if _, err := srv.TenantStats(4); err == nil {
+		t.Error("TenantStats accepted an out-of-range tenant")
+	}
+}
+
+// TestOversizedFrameFarewell sends a frame whose announced length
+// exceeds MaxFrame: the server must answer StatusTooLarge and then
+// close (the frame body cannot be skipped).
+func TestOversizedFrameFarewell(t *testing.T) {
+	mem := testMem(t, 64, 1)
+	_, addr := startServer(t, Config{Mem: mem})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := nc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	resp, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatalf("no farewell response: %v", err)
+	}
+	if len(resp) < reqHeaderLen || resp[0] != StatusTooLarge {
+		t.Fatalf("farewell = %x, want StatusTooLarge", resp)
+	}
+	if _, err := readFrame(br, nil); err != io.EOF {
+		t.Fatalf("connection survived an unskippable frame: %v", err)
+	}
+}
+
+// TestStatusNamesAndErrors pins the mnemonics error text flows
+// through (clients log these verbatim).
+func TestStatusNamesAndErrors(t *testing.T) {
+	for s, want := range map[byte]string{
+		StatusOK: "ok", StatusMalformed: "malformed", StatusUnknownVerb: "unknown-verb",
+		StatusNoTenant: "no-tenant", StatusBadTenant: "bad-tenant", StatusRange: "range",
+		StatusShutdown: "shutdown", StatusTooLarge: "too-large", 200: "status-200",
+	} {
+		if got := StatusName(s); got != want {
+			t.Errorf("StatusName(%d) = %q, want %q", s, got, want)
+		}
+	}
+	e := &StatusError{Status: StatusRange, Msg: "line 9 outside"}
+	if !strings.Contains(e.Error(), "range") || !strings.Contains(e.Error(), "line 9") {
+		t.Errorf("StatusError.Error() = %q", e.Error())
+	}
+}
+
+func TestTenantStatsWireRoundTrip(t *testing.T) {
+	in := TenantStats{Ops: 1, LineWrites: 2, LineReads: 3, SAWCells: 4,
+		BitFlips: 5, CellChanges: 6, CacheHits: 7, CacheMisses: 8, EnergyPJ: 9.25}
+	out, err := ParseTenantStats(in.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := ParseTenantStats(make([]byte, 3)); err == nil {
+		t.Error("ParseTenantStats accepted a short body")
+	}
+	var sum TenantStats
+	sum.Add(in)
+	sum.Add(in)
+	if sum.Ops != 2 || sum.EnergyPJ != 18.5 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}
+
+// TestHTTPFront drives the JSON debug endpoints through the same
+// engine path and cross-checks against the TCP protocol's view.
+func TestHTTPFront(t *testing.T) {
+	mem := testMem(t, 256, 2)
+	srv, addr := startServer(t, Config{Mem: mem, Tenants: 2})
+	hs := httptest.NewServer(srv.HTTPHandler())
+	defer hs.Close()
+
+	get := func(path string, want int) []byte {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d (%s), want %d", path, resp.StatusCode, blob, want)
+		}
+		return blob
+	}
+
+	if !strings.Contains(string(get("/healthz", http.StatusOK)), "ok") {
+		t.Fatal("healthz did not answer ok")
+	}
+	get("/v1/stats?tenant=9", http.StatusBadRequest)
+	get("/v1/line?tenant=0&line=999999", http.StatusBadRequest)
+
+	// Write over HTTP, read it back over HTTP and over TCP.
+	data := goldenLine(0x55)
+	body, _ := json.Marshal(map[string]string{"data": hex.EncodeToString(data)})
+	req, _ := http.NewRequest(http.MethodPut, hs.URL+"/v1/line?tenant=1&line=7", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT line = %d", resp.StatusCode)
+	}
+
+	var rd struct {
+		Line uint64 `json:"line"`
+		Data string `json:"data"`
+	}
+	if err := json.Unmarshal(get("/v1/line?tenant=1&line=7", http.StatusOK), &rd); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Data != hex.EncodeToString(data) {
+		t.Fatalf("HTTP read back %s, want %s", rd.Data, hex.EncodeToString(data))
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Hello(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP read disagrees with HTTP write")
+	}
+
+	// The HTTP ops were accounted to tenant 1 like any other request.
+	var st TenantStats
+	if err := json.Unmarshal(get("/v1/stats?tenant=1", http.StatusOK), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 3 || st.LineWrites != 1 || st.LineReads != 2 {
+		t.Fatalf("tenant 1 stats = %+v, want 1 write + 2 reads", st)
+	}
+	if blob := get("/v1/stats?tenant=0", http.StatusOK); !strings.Contains(string(blob), "\"ops\": 0") {
+		var st0 TenantStats
+		json.Unmarshal(blob, &st0)
+		if st0.Ops != 0 {
+			t.Fatalf("tenant 0 saw tenant 1's traffic: %s", blob)
+		}
+	}
+}
+
+// TestTenantIsolation ensures a tenant cannot address another
+// tenant's slice through any verb.
+func TestTenantIsolation(t *testing.T) {
+	mem := testMem(t, 256, 2)
+	_, addr := startServer(t, Config{Mem: mem, Tenants: 4})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	lines, err := cl.Hello(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 64 {
+		t.Fatalf("tenant slice = %d, want 64", lines)
+	}
+	data := make([]byte, LineSize)
+	for _, line := range []uint64{64, 255, 1 << 40} {
+		if _, err := cl.Write(line, data); !isStatus(err, StatusRange) {
+			t.Errorf("write line %d: err = %v, want StatusRange", line, err)
+		}
+		if _, err := cl.Read(line, nil); !isStatus(err, StatusRange) {
+			t.Errorf("read line %d: err = %v, want StatusRange", line, err)
+		}
+		if _, err := cl.Batch([]BatchOp{{Kind: BatchRead, Line: line}}, nil); !isStatus(err, StatusRange) {
+			t.Errorf("batch line %d: err = %v, want StatusRange", line, err)
+		}
+	}
+	// In-range traffic still flows on the same connection.
+	if _, err := cl.Write(63, data); err != nil {
+		t.Fatalf("in-range write after range errors: %v", err)
+	}
+}
+
+func isStatus(err error, status byte) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Status == status
+}
+
+// TestClientBatchTooLarge exercises the server-side batch bound.
+func TestClientBatchTooLarge(t *testing.T) {
+	mem := testMem(t, 64, 1)
+	_, addr := startServer(t, Config{Mem: mem, MaxBatchOps: 4})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Hello(0); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]BatchOp, 5)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: BatchRead, Line: uint64(i)}
+	}
+	if _, err := cl.Batch(ops, nil); !isStatus(err, StatusTooLarge) {
+		t.Fatalf("oversized batch: err = %v, want StatusTooLarge", err)
+	}
+	if _, err := cl.Batch(ops[:4], nil); err != nil {
+		t.Fatalf("bounded batch after error: %v", err)
+	}
+}
+
+// TestPipelinedWindow checks the reader/writer slot cycle under many
+// back-to-back requests on one connection (more than Window, so slots
+// recycle) with interleaved verbs.
+func TestPipelinedWindow(t *testing.T) {
+	mem := testMem(t, 128, 2)
+	_, addr := startServer(t, Config{Mem: mem, Window: 4})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Hello(0); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, LineSize)
+	for i := 0; i < 200; i++ {
+		line := uint64(i % 128)
+		data[0] = byte(i)
+		if _, err := cl.Write(line, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := cl.Read(line, nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("read %d returned stale data: %d", i, got[0])
+		}
+		if i%50 == 0 {
+			if err := cl.Flush(); err != nil {
+				t.Fatalf("flush %d: %v", i, err)
+			}
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 400 {
+		t.Fatalf("ops = %d, want 400", st.Ops)
+	}
+}
+
+// TestDialRetry covers the startup-race helper.
+func TestDialRetry(t *testing.T) {
+	if _, err := DialRetry("127.0.0.1:1", 1); err == nil {
+		t.Fatal("DialRetry to a dead port must fail")
+	}
+	mem := testMem(t, 64, 1)
+	_, addr := startServer(t, Config{Mem: mem})
+	cl, err := DialRetry(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+}

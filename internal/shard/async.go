@@ -34,6 +34,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/memctrl"
 )
 
 // ErrClosed is returned by Submit (and the synchronous wrappers built
@@ -80,6 +82,15 @@ type Ticket struct {
 	done chan struct{}
 	// cb, when set, is invoked on completion instead of signaling done.
 	cb func([]Outcome, error)
+	// cbStats, when set, is the statistics-carrying completion callback
+	// (SubmitFuncStats); mutually exclusive with cb.
+	cbStats func([]Outcome, memctrl.Stats, error)
+	// track enables per-ticket statistics accumulation: each drainer
+	// folds its shard's Stats delta into stats. statsMu guards the fold —
+	// a ticket's shards finish concurrently.
+	track   bool
+	statsMu sync.Mutex
+	stats   memctrl.Stats
 	// sess, when set, is the Session whose Drain tracks this ticket.
 	sess *Session
 	// flush marks a Flush/Close barrier: drainers flush their shard's
@@ -120,7 +131,13 @@ func (t *Ticket) runShard(s int) {
 			t.out[i] = Outcome{Data: b.Store.ReadLine(local, op.Data)}
 		}
 	}
-	e.live.add(b.Store.Stats().Delta(before))
+	delta := b.Store.Stats().Delta(before)
+	e.live.add(delta)
+	if t.track {
+		t.statsMu.Lock()
+		t.stats.Add(delta)
+		t.statsMu.Unlock()
+	}
 }
 
 // finish completes the ticket once the last shard is done: callback
@@ -130,11 +147,16 @@ func (t *Ticket) runShard(s int) {
 // also returned.
 func (t *Ticket) finish() {
 	sess := t.sess
-	if cb := t.cb; cb != nil {
-		out, err := t.out, t.err
+	switch {
+	case t.cb != nil:
+		cb, out, err := t.cb, t.out, t.err
 		t.e.putTicket(t)
 		cb(out, err)
-	} else {
+	case t.cbStats != nil:
+		cb, out, stats, err := t.cbStats, t.out, t.stats, t.err
+		t.e.putTicket(t)
+		cb(out, stats, err)
+	default:
 		t.done <- struct{}{}
 	}
 	if sess != nil {
@@ -157,7 +179,8 @@ func (e *Engine) putTicket(t *Ticket) {
 	}
 	t.active = t.active[:0]
 	t.ops, t.out = nil, nil
-	t.cb, t.sess = nil, nil
+	t.cb, t.cbStats, t.sess = nil, nil, nil
+	t.track, t.stats = false, memctrl.Stats{}
 	t.flush, t.inval = false, false
 	t.err = nil
 	e.tickets.Put(t)
@@ -169,7 +192,8 @@ func (e *Engine) putTicket(t *Ticket) {
 // by shard, and enqueues one issue per touched shard. With cb == nil it
 // returns a ticket to Wait on; with cb set it returns a nil ticket and
 // completion is delivered through the callback.
-func (e *Engine) submit(ops []Op, out []Outcome, cb func([]Outcome, error), sess *Session) (*Ticket, error) {
+func (e *Engine) submit(ops []Op, out []Outcome, cb func([]Outcome, error),
+	cbStats func([]Outcome, memctrl.Stats, error), sess *Session) (*Ticket, error) {
 	if err := e.validateOps(ops); err != nil {
 		return nil, err
 	}
@@ -180,6 +204,8 @@ func (e *Engine) submit(ops []Op, out []Outcome, cb func([]Outcome, error), sess
 	}
 	t := e.getTicket()
 	t.ops, t.out, t.cb, t.sess = ops, out, cb, sess
+	t.cbStats = cbStats
+	t.track = cbStats != nil
 	for i := range ops {
 		s := e.part.ShardOf(ops[i].Line)
 		if len(t.byShard[s]) == 0 {
@@ -211,7 +237,7 @@ func (e *Engine) submit(ops []Op, out []Outcome, cb func([]Outcome, error), sess
 		}
 		e.qmu.RUnlock()
 	}
-	if cb != nil {
+	if cb != nil || cbStats != nil {
 		return nil, nil
 	}
 	return t, nil
@@ -237,7 +263,7 @@ func (e *Engine) submit(ops []Op, out []Outcome, cb func([]Outcome, error), sess
 // tickets and recycled buffers, steady-state Submit/Wait performs zero
 // heap allocations per op.
 func (e *Engine) Submit(ops []Op, out []Outcome) (*Ticket, error) {
-	return e.submit(ops, out, nil, nil)
+	return e.submit(ops, out, nil, nil, nil)
 }
 
 // SubmitFunc is the callback form of Submit: fn is invoked exactly once
@@ -251,7 +277,25 @@ func (e *Engine) SubmitFunc(ops []Op, out []Outcome, fn func([]Outcome, error)) 
 	if fn == nil {
 		return errors.New("shard: SubmitFunc requires a callback")
 	}
-	_, err := e.submit(ops, out, fn, nil)
+	_, err := e.submit(ops, out, fn, nil, nil)
+	return err
+}
+
+// SubmitFuncStats is SubmitFunc with exact per-submission engine
+// statistics: fn additionally receives the memctrl.Stats delta this
+// batch's ops accumulated across the shards they touched — the same
+// per-entry deltas that feed the live counters, folded per ticket. It
+// lets a caller attribute engine work (line writes/reads, energy, SAW
+// cells, cache hits) to individual submissions — e.g. the network
+// server's per-tenant accounting — without snapshotting engine-wide
+// Stats around the call or racing a ResetStats from another client.
+// Everything else matches SubmitFunc: the callback runs on a drainer
+// goroutine (inline for an empty batch) and must not block.
+func (e *Engine) SubmitFuncStats(ops []Op, out []Outcome, fn func([]Outcome, memctrl.Stats, error)) error {
+	if fn == nil {
+		return errors.New("shard: SubmitFuncStats requires a callback")
+	}
+	_, err := e.submit(ops, out, nil, fn, nil)
 	return err
 }
 
@@ -271,7 +315,7 @@ func (e *Engine) NewSession() *Session { return &Session{e: e} }
 
 // Submit is Engine.Submit, tracked by the session's Drain.
 func (s *Session) Submit(ops []Op, out []Outcome) (*Ticket, error) {
-	return s.e.submit(ops, out, nil, s)
+	return s.e.submit(ops, out, nil, nil, s)
 }
 
 // SubmitFunc is Engine.SubmitFunc, tracked by the session's Drain
@@ -280,7 +324,17 @@ func (s *Session) SubmitFunc(ops []Op, out []Outcome, fn func([]Outcome, error))
 	if fn == nil {
 		return errors.New("shard: SubmitFunc requires a callback")
 	}
-	_, err := s.e.submit(ops, out, fn, s)
+	_, err := s.e.submit(ops, out, fn, nil, s)
+	return err
+}
+
+// SubmitFuncStats is Engine.SubmitFuncStats, tracked by the session's
+// Drain.
+func (s *Session) SubmitFuncStats(ops []Op, out []Outcome, fn func([]Outcome, memctrl.Stats, error)) error {
+	if fn == nil {
+		return errors.New("shard: SubmitFuncStats requires a callback")
+	}
+	_, err := s.e.submit(ops, out, nil, fn, s)
 	return err
 }
 

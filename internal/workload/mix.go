@@ -1,0 +1,128 @@
+package workload
+
+// This file holds the shared textual mixture grammar and the
+// client-side pacing driver. The "pat:frac,..." grammar started life
+// inside cmd/tracegen; loadgen replays the same mixes over the
+// network, so the parser lives here and both commands (and tests)
+// share one spelling of every pattern name and PRNG stream label.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// MixOpts parameterizes ParseMix.
+type MixOpts struct {
+	// Lines is the footprint every pattern addresses, in cache lines.
+	Lines int
+	// ZipfSkew is the zipf pattern's skew; 0 defaults to 1.2.
+	ZipfSkew float64
+	// Stride is the stride pattern's step in lines; 0 defaults to 64.
+	Stride int
+	// Seed derives the zipf/chase PRNG streams (with Label), so equal
+	// (spec, opts) pairs generate bit-identical address sequences.
+	Seed uint64
+	// Label prefixes the derived PRNG stream names; repeated patterns
+	// get independent streams ("<label>-zipf-<i>", "<label>-chase-<i>",
+	// i the token index). Callers must keep their label stable or
+	// recorded traces stop replaying bit-identically.
+	Label string
+}
+
+// ParseMix parses a "pat:frac,pat:frac,..." mixture spec (patterns
+// seq, zipf, stride, chase) into a Pattern over opts.Lines. Fractions
+// are normalized to sum to 1, so "seq:1,zipf:1" is an even mix.
+func ParseMix(spec string, opts MixOpts) (Pattern, error) {
+	if opts.Lines <= 0 {
+		return nil, fmt.Errorf("workload: mix needs a positive footprint, got %d lines", opts.Lines)
+	}
+	skew := opts.ZipfSkew
+	if skew == 0 {
+		skew = 1.2
+	}
+	stride := opts.Stride
+	if stride == 0 {
+		stride = 64
+	}
+	var arms []Arm
+	total := 0.0
+	for i, tok := range strings.Split(spec, ",") {
+		name, fracS, ok := strings.Cut(strings.TrimSpace(tok), ":")
+		if !ok {
+			return nil, fmt.Errorf("workload: mix token %q: want pattern:fraction", tok)
+		}
+		frac, err := strconv.ParseFloat(fracS, 64)
+		if err != nil || !(frac >= 0) || math.IsInf(frac, 0) {
+			return nil, fmt.Errorf("workload: mix token %q: bad fraction", tok)
+		}
+		var p Pattern
+		switch name {
+		case "seq":
+			p = NewSequential(opts.Lines)
+		case "zipf":
+			p = NewZipfHot(opts.Lines, skew,
+				prng.NewFrom(opts.Seed, fmt.Sprintf("%s-zipf-%d", opts.Label, i)))
+		case "stride":
+			p = NewStrided(opts.Lines, stride)
+		case "chase":
+			p = NewPointerChase(opts.Lines,
+				prng.NewFrom(opts.Seed, fmt.Sprintf("%s-chase-%d", opts.Label, i)))
+		default:
+			return nil, fmt.Errorf("workload: mix pattern %q: want seq|zipf|stride|chase", name)
+		}
+		arms = append(arms, Arm{Frac: frac, Pattern: p})
+		total += frac
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: mix %q: fractions must sum to > 0", spec)
+	}
+	for i := range arms {
+		arms[i].Frac /= total
+	}
+	return NewMixture(arms...), nil
+}
+
+// Pacer schedules an open-loop client: requests fire on a fixed
+// wall-clock grid of Rate per second regardless of response latency,
+// the standard way to measure a service's latency at a target load
+// (a closed loop degrades to coordinated omission: a slow response
+// delays the next request and hides the queueing it caused). A
+// non-positive rate disables pacing — the client runs closed-loop,
+// issuing as fast as responses return.
+type Pacer struct {
+	interval time.Duration
+	next     time.Time
+}
+
+// NewPacer builds a pacer firing ratePerSec times per second; rate
+// <= 0 returns a no-op closed-loop pacer.
+func NewPacer(ratePerSec float64) *Pacer {
+	if ratePerSec <= 0 {
+		return &Pacer{}
+	}
+	return &Pacer{interval: time.Duration(float64(time.Second) / ratePerSec)}
+}
+
+// Wait blocks until the next grid slot (never for a closed-loop
+// pacer) and returns the slot time — the intended start, which open-
+// loop latency accounting measures from so queueing delay behind a
+// slow server is charged to the server, not silently absorbed.
+func (p *Pacer) Wait(now time.Time) time.Time {
+	if p.interval == 0 {
+		return now
+	}
+	if p.next.IsZero() {
+		p.next = now
+	}
+	slot := p.next
+	p.next = slot.Add(p.interval)
+	if d := slot.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+	return slot
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func collectMix(t *testing.T, spec string, opts MixOpts, n int) []uint64 {
+	t.Helper()
+	pat, err := ParseMix(spec, opts)
+	if err != nil {
+		t.Fatalf("ParseMix(%q): %v", spec, err)
+	}
+	s := NewStream(opts.Seed, Phase{Pattern: pat})
+	lines := make([]uint64, n)
+	for i := range lines {
+		lines[i], _ = s.Next()
+	}
+	return lines
+}
+
+func TestParseMixDeterministic(t *testing.T) {
+	opts := MixOpts{Lines: 4096, Seed: 11, Label: "mix-test"}
+	a := collectMix(t, "seq:0.5,zipf:0.4,chase:0.1", opts, 2000)
+	b := collectMix(t, "seq:0.5,zipf:0.4,chase:0.1", opts, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same spec+opts diverged at op %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] >= uint64(opts.Lines) {
+			t.Fatalf("op %d line %d outside footprint %d", i, a[i], opts.Lines)
+		}
+	}
+	// A different label must derive different zipf/chase streams.
+	c := collectMix(t, "zipf:1", opts, 200)
+	d := collectMix(t, "zipf:1", MixOpts{Lines: 4096, Seed: 11, Label: "other"}, 200)
+	same := 0
+	for i := range c {
+		if c[i] == d[i] {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Fatal("different labels produced identical zipf streams")
+	}
+}
+
+func TestParseMixNormalizesAndRejects(t *testing.T) {
+	// Weights normalize: "seq:2" behaves like "seq:1" (Sequential's
+	// cursor starts at line 1).
+	a := collectMix(t, "seq:2", MixOpts{Lines: 64, Seed: 1, Label: "n"}, 10)
+	for i, l := range a {
+		if l != uint64(i+1)%64 {
+			t.Fatalf("normalized pure-seq mix not sequential at %d: %d", i, l)
+		}
+	}
+	for _, spec := range []string{"", "seq", "seq:x", "seq:-1", "bogus:1", "seq:0,zipf:0"} {
+		if _, err := ParseMix(spec, MixOpts{Lines: 64, Seed: 1, Label: "n"}); err == nil {
+			t.Errorf("ParseMix(%q) accepted a bad spec", spec)
+		}
+	}
+	if _, err := ParseMix("seq:1", MixOpts{Lines: 0}); err == nil {
+		t.Error("ParseMix accepted a zero footprint")
+	}
+}
+
+func TestPacer(t *testing.T) {
+	// Closed loop: never sleeps, returns now.
+	p := NewPacer(0)
+	now := time.Now()
+	if got := p.Wait(now); !got.Equal(now) {
+		t.Fatalf("closed-loop pacer shifted time: %v vs %v", got, now)
+	}
+	// Open loop: slots advance on the fixed grid regardless of the
+	// caller's arrival time.
+	p = NewPacer(1000) // 1ms grid
+	start := time.Now()
+	first := p.Wait(start)
+	second := p.Wait(first)
+	if !first.Equal(start) {
+		t.Fatalf("first slot = %v, want %v", first, start)
+	}
+	if want := start.Add(time.Millisecond); !second.Equal(want) {
+		t.Fatalf("second slot = %v, want %v", second, want)
+	}
+}

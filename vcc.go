@@ -173,6 +173,50 @@ type Stats struct {
 	RepairFailures int64
 }
 
+// Add folds o into s field-wise. Together with Delta it supports
+// interval accounting over a shared engine: take a snapshot, keep
+// serving, and attribute the difference — without ResetStats, which
+// would clobber every other observer's baseline.
+func (s *Stats) Add(o Stats) {
+	s.LineWrites += o.LineWrites
+	s.LineReads += o.LineReads
+	s.EnergyPJ += o.EnergyPJ
+	s.BitFlips += o.BitFlips
+	s.CellChanges += o.CellChanges
+	s.SAWCells += o.SAWCells
+	s.FailedCells += o.FailedCells
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvictions += o.CacheEvictions
+	s.Writebacks += o.Writebacks
+	s.CoalescedWrites += o.CoalescedWrites
+	s.RemappedLines += o.RemappedLines
+	s.RepairFailures += o.RepairFailures
+}
+
+// Delta returns s - o field-wise: the statistics accumulated between
+// two snapshots. It is the tenant-scoped (or any interval-scoped) view
+// of a shared engine: multiple observers can each difference their own
+// snapshots concurrently, where a ResetStats-based scheme would race.
+func (s Stats) Delta(o Stats) Stats {
+	return Stats{
+		LineWrites:      s.LineWrites - o.LineWrites,
+		LineReads:       s.LineReads - o.LineReads,
+		EnergyPJ:        s.EnergyPJ - o.EnergyPJ,
+		BitFlips:        s.BitFlips - o.BitFlips,
+		CellChanges:     s.CellChanges - o.CellChanges,
+		SAWCells:        s.SAWCells - o.SAWCells,
+		FailedCells:     s.FailedCells - o.FailedCells,
+		CacheHits:       s.CacheHits - o.CacheHits,
+		CacheMisses:     s.CacheMisses - o.CacheMisses,
+		CacheEvictions:  s.CacheEvictions - o.CacheEvictions,
+		Writebacks:      s.Writebacks - o.Writebacks,
+		CoalescedWrites: s.CoalescedWrites - o.CoalescedWrites,
+		RemappedLines:   s.RemappedLines - o.RemappedLines,
+		RepairFailures:  s.RepairFailures - o.RepairFailures,
+	}
+}
+
 // NewMemory builds a Memory from cfg. The pipeline assembly lives in
 // internal/shard (NewMemory builds exactly one shard's backend), so the
 // sequential engine and every shard of a ShardedMemory are the same
