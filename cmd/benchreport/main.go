@@ -510,8 +510,18 @@ type loadgenSummary struct {
 	Requests    int64   `json:"requests"`
 	OpsDone     int64   `json:"ops_done"`
 	ThroughputO float64 `json:"throughput_ops_per_sec"`
-	ErrorResps  int64   `json:"error_responses"`
-	Transport   int64   `json:"transport_errors"`
+	// Final failures: requests that exhausted loadgen's retry budget
+	// (with retries disabled, every failure). These gate cleanliness.
+	ErrorResps int64 `json:"error_responses"`
+	Transport  int64 `json:"transport_errors"`
+	// Recovered failures (schema v2, loadgen -retries): retried busy,
+	// device-error and transport faults that eventually succeeded.
+	// They never fail a gate — surviving injected faults is the point
+	// of a chaos run — but are surfaced for the trajectory.
+	Retries     int64 `json:"retries"`
+	BusyResps   int64 `json:"busy_responses"`
+	DevErrResps int64 `json:"device_error_responses"`
+	Reconnects  int64 `json:"reconnects"`
 	Latency     struct {
 		P50 uint64 `json:"p50_ns"`
 		P95 uint64 `json:"p95_ns"`
@@ -521,7 +531,10 @@ type loadgenSummary struct {
 
 // checkLoadgen parses and sanity-checks a loadgen summary blob: right
 // schema family, a run that actually moved data, cleanly, with a
-// coherent latency histogram.
+// coherent latency histogram. "Cleanly" means no FINAL failures —
+// faults that loadgen's retry budget recovered (schema v2 counters)
+// are fine, so a chaos smoke run that rode out injected device errors
+// still validates.
 func checkLoadgen(raw []byte) (loadgenSummary, error) {
 	var s loadgenSummary
 	if err := json.Unmarshal(raw, &s); err != nil {
@@ -563,8 +576,13 @@ func validate(path string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fmt.Printf("%s: ok (%d clients x %d tenants, %d ops, %.0f ops/s, schema %s)\n",
-			path, s.Clients, s.Tenants, s.OpsDone, s.ThroughputO, s.Schema)
+		recovered := ""
+		if s.Retries > 0 {
+			recovered = fmt.Sprintf(", recovered %d retries (%d busy, %d device-error, %d reconnects)",
+				s.Retries, s.BusyResps, s.DevErrResps, s.Reconnects)
+		}
+		fmt.Printf("%s: ok (%d clients x %d tenants, %d ops, %.0f ops/s, schema %s%s)\n",
+			path, s.Clients, s.Tenants, s.OpsDone, s.ThroughputO, s.Schema, recovered)
 		return nil
 	}
 	var rep Report

@@ -16,10 +16,20 @@
 // absorbed; the default is closed-loop (issue on response). Latencies
 // are recorded per client into internal/perf histograms and merged.
 //
-// The -json summary (schema vccrepro-loadgen/v1) embeds into the
+// With -retries N the clients use the resilient connection mode
+// (server.ClientOpts): busy and device-error responses and transport
+// drops are retried with jittered exponential backoff and transparent
+// reconnect, up to N attempts per request. Recovered failures are
+// reported in the retries/busy_responses/device_error_responses/
+// reconnects counters; error_responses and transport_errors count
+// only FINAL failures that exhausted the budget.
+//
+// The -json summary (schema vccrepro-loadgen/v2) embeds into the
 // benchreport trajectory via benchreport -loadgen; the process exits
-// nonzero on any transport error, any non-OK response, or zero
-// completed ops, so smoke tests can assert clean runs directly.
+// nonzero on any final transport error, any final non-OK response, or
+// zero completed ops — a run that recovered every fault through
+// retries exits 0, so chaos smoke tests can assert resilience
+// directly.
 package main
 
 import (
@@ -52,8 +62,15 @@ type Summary struct {
 	OpsDone     int64   `json:"ops_done"`
 	ThroughputO float64 `json:"throughput_ops_per_sec"`
 	ThroughputM float64 `json:"throughput_mb_per_sec"`
-	ErrorResps  int64   `json:"error_responses"`
-	Transport   int64   `json:"transport_errors"`
+	// ErrorResps and Transport count final failures only: requests
+	// that still failed after the -retries budget (all failures, with
+	// -retries 0). Recovered faults land in the four counters below.
+	ErrorResps  int64 `json:"error_responses"`
+	Transport   int64 `json:"transport_errors"`
+	Retries     int64 `json:"retries"`
+	BusyResps   int64 `json:"busy_responses"`
+	DevErrResps int64 `json:"device_error_responses"`
+	Reconnects  int64 `json:"reconnects"`
 
 	Latency   perf.LatencySummary  `json:"latency_ns"`
 	PerTenant []server.TenantStats `json:"per_tenant"`
@@ -63,10 +80,15 @@ type Summary struct {
 type client struct {
 	id        int
 	tenant    int
+	opts      server.ClientOpts
 	requests  int64
 	ops       int64
 	errResps  int64
 	transport int64
+	retries   int64
+	busy      int64
+	devErr    int64
+	reconns   int64
 	sink      perf.LatencySink
 	err       error
 }
@@ -87,6 +109,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "master seed; clients derive decorrelated streams")
 		wait     = flag.Duration("connectwait", 5*time.Second, "how long to retry the initial dials (server startup race)")
 		jsonOut  = flag.String("json", "", "write the machine-readable summary to this file ('-' = stdout)")
+
+		retries   = flag.Int("retries", 0, "per-request retry budget for busy/device-error/transport failures (0 = fail fast)")
+		retryBase = flag.Duration("retrybase", time.Millisecond, "-retries: initial backoff step")
+		retryMax  = flag.Duration("retrymax", 200*time.Millisecond, "-retries: backoff cap")
+		opTimeout = flag.Duration("optimeout", 0, "per-request connection deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -112,7 +139,13 @@ func main() {
 		deadline = start.Add(*duration)
 	}
 	for i := range cls {
-		cls[i] = &client{id: i, tenant: i % *tenants}
+		cls[i] = &client{id: i, tenant: i % *tenants, opts: server.ClientOpts{
+			OpTimeout:  *opTimeout,
+			MaxRetries: *retries,
+			RetryBase:  *retryBase,
+			RetryMax:   *retryMax,
+			Seed:       *seed ^ uint64(i)<<32,
+		}}
 		wg.Add(1)
 		go func(c *client) {
 			defer wg.Done()
@@ -123,7 +156,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	sum := Summary{
-		Schema:     "vccrepro-loadgen/v1",
+		Schema:     "vccrepro-loadgen/v2",
 		Addr:       *addr,
 		Clients:    *clients,
 		Tenants:    *tenants,
@@ -140,6 +173,10 @@ func main() {
 		sum.OpsDone += c.ops
 		sum.ErrorResps += c.errResps
 		sum.Transport += c.transport
+		sum.Retries += c.retries
+		sum.BusyResps += c.busy
+		sum.DevErrResps += c.devErr
+		sum.Reconnects += c.reconns
 		merged.Merge(&c.sink)
 		if c.err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: client %d: %v\n", c.id, c.err)
@@ -170,6 +207,10 @@ func main() {
 		time.Duration(sum.Latency.P50), time.Duration(sum.Latency.P95),
 		time.Duration(sum.Latency.P99), time.Duration(sum.Latency.Max))
 	fmt.Printf("  error responses=%d transport errors=%d\n", sum.ErrorResps, sum.Transport)
+	if sum.Retries > 0 || sum.BusyResps > 0 || sum.DevErrResps > 0 || sum.Reconnects > 0 {
+		fmt.Printf("  recovered: retries=%d busy=%d device-errors=%d reconnects=%d\n",
+			sum.Retries, sum.BusyResps, sum.DevErrResps, sum.Reconnects)
+	}
 	for _, st := range sum.PerTenant {
 		fmt.Printf("  tenant ops=%d writes=%d reads=%d saw=%d hits=%d misses=%d energy=%.0fpJ\n",
 			st.Ops, st.LineWrites, st.LineReads, st.SAWCells, st.CacheHits, st.CacheMisses, st.EnergyPJ)
@@ -196,12 +237,18 @@ func main() {
 // run executes one client's request loop.
 func (c *client) run(addr string, wait time.Duration, n int, deadline time.Time,
 	batch int, mix string, readFrac, zipfS float64, stride int, rate float64, seed uint64) error {
-	conn, err := server.DialRetry(addr, wait)
+	conn, err := server.DialRetryOpts(addr, wait, c.opts)
 	if err != nil {
 		c.transport++
 		return err
 	}
 	defer conn.Close()
+	defer func() {
+		c.retries = conn.Retries()
+		c.busy = conn.BusyResponses()
+		c.devErr = conn.DeviceErrorResponses()
+		c.reconns = conn.Reconnects()
+	}()
 	lines, err := conn.Hello(c.tenant)
 	if err != nil {
 		c.transport++

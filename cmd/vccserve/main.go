@@ -8,6 +8,7 @@
 //	vccserve -addr :7421 -lines 65536 -shards 4 -tenants 2
 //	vccserve -addr :7421 -cache -cachelines 1024 -cachepolicy wb
 //	vccserve -addr 127.0.0.1:7421 -http 127.0.0.1:7422 -encoder vccgen
+//	vccserve -addr :7421 -chaos 0.3 -chaostorn 0.1 -maxinflight 16
 //
 // The engine flags mirror vccrepro/tracegen: shard count, worker
 // bound, per-shard queue depth, decoded-line cache, remap spares and
@@ -17,6 +18,16 @@
 // verb and address lines tenant-relatively (see internal/server for
 // the wire protocol). SIGINT/SIGTERM shut down gracefully: in-flight
 // requests drain, then the engine flushes and closes.
+//
+// The -chaos* flags install the deterministic fault-injection
+// decorator (internal/chaos) on every shard: transient read/write
+// errors, torn writes, corrupted reads and latency stalls at the
+// given per-attempt rates. Faults surface on the wire as typed
+// device-error responses after the controller's bounded retries;
+// -maxinflight bounds admitted ops across all connections, shedding
+// excess requests with a typed busy response. Both keep the
+// connection alive, so retrying clients (loadgen, server.DialOpts)
+// recover without reconnecting.
 package main
 
 import (
@@ -72,6 +83,18 @@ func main() {
 		tenants  = flag.Int("tenants", 1, "tenant count (equal disjoint slices of the line space)")
 		maxBatch = flag.Int("maxbatch", 0, "max ops per BATCH frame (0 = server default)")
 		window   = flag.Int("window", 0, "per-connection in-flight request bound (0 = server default)")
+
+		chaosRW      = flag.Float64("chaos", 0, "transient read+write error rate per backend attempt (shorthand for -chaosread/-chaoswrite)")
+		chaosRead    = flag.Float64("chaosread", 0, "transient read-error rate per backend attempt")
+		chaosWrite   = flag.Float64("chaoswrite", 0, "transient write-error rate per backend attempt")
+		chaosTorn    = flag.Float64("chaostorn", 0, "torn-write rate (corrupted image stored, typed error returned)")
+		chaosCorrupt = flag.Float64("chaoscorrupt", 0, "corrupted-read rate (bit-flipped data plus typed error)")
+		chaosStall   = flag.Float64("chaosstall", 0, "latency-stall rate per op")
+		stallDelay   = flag.Duration("stalldelay", 0, "stall duration (0 = chaos default)")
+		opRetries    = flag.Int("opretries", 0, "controller in-place retry budget per faulted op (0 = default, negative = none)")
+		maxInflight  = flag.Int("maxinflight", 0, "server-wide admitted-op bound; excess requests shed with busy (0 = unlimited)")
+		writeTO      = flag.Duration("writetimeout", 0, "per-response-frame write deadline; slow clients are disconnected (0 = none)")
+		idleTO       = flag.Duration("idletimeout", 0, "per-request idle read deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -97,6 +120,18 @@ func main() {
 	if *spares > 0 {
 		cfg.RemapSpares = *spares
 	}
+	cfg.OpRetries = *opRetries
+	if *chaosRW != 0 || *chaosRead != 0 || *chaosWrite != 0 || *chaosTorn != 0 ||
+		*chaosCorrupt != 0 || *chaosStall != 0 {
+		cfg.Chaos = &vcc.ChaosSpec{
+			ReadErrRate:     *chaosRW + *chaosRead,
+			WriteErrRate:    *chaosRW + *chaosWrite,
+			TornWriteRate:   *chaosTorn,
+			ReadCorruptRate: *chaosCorrupt,
+			StallRate:       *chaosStall,
+			StallDelay:      *stallDelay,
+		}
+	}
 	if *cache {
 		policy, err := linecache.ParsePolicy(*cachePl)
 		if err != nil {
@@ -114,10 +149,13 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Mem:         mem,
-		Tenants:     *tenants,
-		MaxBatchOps: *maxBatch,
-		Window:      *window,
+		Mem:            mem,
+		Tenants:        *tenants,
+		MaxBatchOps:    *maxBatch,
+		Window:         *window,
+		MaxInflightOps: *maxInflight,
+		WriteTimeout:   *writeTO,
+		IdleTimeout:    *idleTO,
 	})
 	if err != nil {
 		fail(err)

@@ -1,0 +1,255 @@
+package campaign
+
+// The chaos scenario is the resilience capstone: it stands up the real
+// network service over a fault-injecting engine and machine-checks the
+// end-to-end failure contract from the client's seat. Unlike the other
+// scenarios it spans the full stack — chaos decorator, backend retry,
+// wire statuses, admission control, client backoff/reconnect — so its
+// traffic counters (retries, sheds) are timing-dependent; only the
+// invariant summary (verify_violations, untyped failures) is
+// deterministic, and it must be zero.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	vcc "repro"
+	"repro/internal/prng"
+	"repro/internal/server"
+)
+
+func init() {
+	Register("chaos",
+		"inject device faults, latency and admission pressure under the network service; verify no silent corruption and exact counter reconciliation",
+		runChaos)
+}
+
+// chaosTenantResult is one tenant's client-side tally.
+type chaosTenantResult struct {
+	ops, ok, devErr, busy, retries, reconnects, transport int64
+	corruptions, reconcileErrs, untypedFailures           int64
+	err                                                   error
+}
+
+// runChaos drives tenants concurrently through retrying clients
+// against a served engine whose chaos decorator fails, corrupts and
+// stalls ops, with an in-flight budget small enough to shed under
+// load. Three invariants are machine-checked, each a
+// verify_violations contribution:
+//
+//   - No silent corruption: every read that returns without error must
+//     equal the tenant's last acknowledged write of that line.
+//   - Typed failure: an op that still fails after the client's retry
+//     budget must fail as a *server.StatusError (or a transport
+//     error) — never by returning bad data.
+//   - Exact reconciliation: after recovery, each tenant's server-side
+//     Ops count equals its OK responses plus its device-error
+//     responses; shed (busy) requests are charged to nobody.
+func runChaos(p Params) *Result {
+	lines := orI(p.Lines, 256)
+	horizon := orI64(p.Horizon, 20_000)
+	tenants := 4
+	if lines < tenants {
+		tenants = 1
+	}
+	perTenant := horizon / int64(tenants)
+	if perTenant < 1 {
+		perTenant = 1
+	}
+
+	mem, err := vcc.NewShardedMemory(vcc.ShardedMemoryConfig{
+		Lines:  lines,
+		Shards: orI(p.Shards, 1),
+		Seed:   p.Seed,
+		Key:    campaignKey,
+		// Rates are per backend attempt; the controller retries each op
+		// twice, so a fault only reaches the wire when three draws in a
+		// row fail (~6% per op at these rates) — high enough that every
+		// run exercises the device-error path end to end.
+		Chaos: &vcc.ChaosSpec{
+			ReadErrRate:     0.3,
+			WriteErrRate:    0.3,
+			TornWriteRate:   0.1,
+			ReadCorruptRate: 0.1,
+			StallRate:       0.01,
+			StallDelay:      50 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("campaign chaos: %v", err))
+	}
+	defer mem.Close()
+	// An in-flight budget of half the tenant count guarantees admission
+	// pressure: with every tenant keeping one op in flight, some
+	// requests must shed with StatusBusy and win through on retry.
+	srv, err := server.New(server.Config{
+		Mem:            mem,
+		Tenants:        tenants,
+		MaxInflightOps: (tenants + 1) / 2,
+		WriteTimeout:   5 * time.Second,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("campaign chaos: %v", err))
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("campaign chaos: %v", err))
+	}
+	go srv.Serve(l)
+	defer srv.Stop()
+	addr := l.Addr().String()
+
+	results := make([]chaosTenantResult, tenants)
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			results[tn] = runChaosTenant(addr, tn, perTenant, p.Seed)
+		}(tn)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Name:  "chaos",
+		Title: "end-to-end failure contract under injected device faults and admission pressure",
+		Header: []string{"tenant", "ops", "ok", "device_errors", "busy",
+			"retries", "reconnects", "corruptions", "reconcile_errs"},
+		Notes: []string{
+			"chaos rates per backend attempt: 30% read/write transient, 10% torn-write, 10% read-corruption, 1% stalls",
+			"every fault is surfaced typed (StatusDeviceError/StatusBusy); retried ops must converge to clean data",
+			"server Ops per tenant must equal OK + device-error responses exactly (busy sheds charged to nobody)",
+			"traffic counters are timing-dependent; the violation counts are the deterministic contract",
+		},
+		Summary: map[string]float64{},
+	}
+	var violations, totRetries, totDevErr, totBusy, totReconnects, totUntyped float64
+	for tn := range results {
+		r := &results[tn]
+		if r.err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("tenant %d: %v", tn, r.err))
+			violations++
+		}
+		violations += float64(r.corruptions + r.reconcileErrs + r.untypedFailures)
+		totRetries += float64(r.retries)
+		totDevErr += float64(r.devErr)
+		totBusy += float64(r.busy)
+		totReconnects += float64(r.reconnects)
+		totUntyped += float64(r.untypedFailures)
+		res.Rows = append(res.Rows, []string{
+			fmtI(int64(tn)), fmtI(r.ops), fmtI(r.ok), fmtI(r.devErr), fmtI(r.busy),
+			fmtI(r.retries), fmtI(r.reconnects), fmtI(r.corruptions), fmtI(r.reconcileErrs),
+		})
+	}
+	res.Summary["verify_violations"] = violations
+	res.Summary["untyped_failures"] = totUntyped
+	res.Summary["retries"] = totRetries
+	res.Summary["device_errors"] = totDevErr
+	res.Summary["busy_shed"] = totBusy
+	res.Summary["reconnects"] = totReconnects
+	return res
+}
+
+// runChaosTenant is one tenant's client loop plus its final
+// verification pass.
+func runChaosTenant(addr string, tenant int, ops int64, seed uint64) chaosTenantResult {
+	var r chaosTenantResult
+	c, err := server.DialRetryOpts(addr, 5*time.Second, server.ClientOpts{
+		OpTimeout:  5 * time.Second,
+		MaxRetries: 500,
+		RetryBase:  50 * time.Microsecond,
+		RetryMax:   2 * time.Millisecond,
+		Seed:       seed ^ uint64(tenant)<<32,
+	})
+	if err != nil {
+		r.err = err
+		return r
+	}
+	defer c.Close()
+	slice, err := c.Hello(tenant)
+	if err != nil {
+		r.err = err
+		return r
+	}
+
+	rng := prng.NewFrom(seed, fmt.Sprintf("campaign-chaos-%d", tenant))
+	shadow := map[uint64][]byte{}
+	data := make([]byte, server.LineSize)
+	for i := int64(0); i < ops; i++ {
+		line := rng.Uint64n(slice)
+		if rng.Float64() < 0.4 && shadow[line] != nil {
+			got, err := c.Read(line, nil)
+			if err != nil {
+				if !typedFailure(err) {
+					r.untypedFailures++
+				}
+				continue
+			}
+			r.ok++
+			if !bytes.Equal(got, shadow[line]) {
+				r.corruptions++
+			}
+		} else {
+			rng.Fill(data)
+			if _, err := c.Write(line, data); err != nil {
+				if !typedFailure(err) {
+					r.untypedFailures++
+				}
+				continue
+			}
+			r.ok++
+			shadow[line] = append(shadow[line][:0], data...)
+		}
+	}
+
+	// Recovery pass: after the fault storm every acknowledged write must
+	// read back exactly, through whatever retries it takes.
+	for line, want := range shadow {
+		got, err := c.Read(line, nil)
+		if err != nil {
+			if !typedFailure(err) {
+				r.untypedFailures++
+			}
+			continue
+		}
+		r.ok++
+		if !bytes.Equal(got, want) {
+			r.corruptions++
+		}
+	}
+
+	r.devErr = c.DeviceErrorResponses()
+	r.busy = c.BusyResponses()
+	r.retries = c.Retries()
+	r.reconnects = c.Reconnects()
+	r.transport = c.TransportErrors()
+
+	st, err := c.Stats()
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.ops = st.Ops
+	// Exact reconciliation: every admitted op is accounted once — the
+	// requests that came back OK plus those that came back device-error.
+	if st.Ops != r.ok+r.devErr {
+		r.reconcileErrs++
+	}
+	return r
+}
+
+// typedFailure reports whether a final op failure is contractual: a
+// typed wire status or a transport-level error (which the client
+// surfaces as such, never as data).
+func typedFailure(err error) bool {
+	var se *server.StatusError
+	if errors.As(err, &se) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, net.ErrClosed)
+}

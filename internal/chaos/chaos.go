@@ -1,0 +1,218 @@
+// Package chaos implements a deterministic fault-injecting decorator
+// over any memctrl.LineStore. It is the "device that actually fails"
+// the rest of the resilience stack is built against: seeded PRNG,
+// per-op fault schedule, and a taxonomy of transient read/write
+// errors, torn writes, read corruption and latency stalls at
+// configurable rates.
+//
+// Placement. The decorator composes like every other LineStore layer
+// (linecache.Cache, memctrl.Remapper). The engine installs it at the
+// top of the per-shard stack (above the cache), so every injected
+// fault is visible to the shard backend's bounded retry and, past
+// that, to the client as a typed device-error status. Tests are free
+// to compose it anywhere — e.g. under the cache to exercise the
+// cache's writeback-retry policy.
+//
+// Determinism. All draws come from one xoshiro stream derived from
+// Config.Seed, advanced exactly once per eligible operation (one draw
+// per WriteLine, one per ReadLine) while any fault rate is nonzero.
+// Two runs with the same seed, rates, and op sequence inject the same
+// faults at the same ops. With every rate zero the decorator is
+// *inert*: no PRNG draws, no allocations, a single pointer indirection
+// to the inner store — bit-identical to the undecorated stack.
+//
+// No silent corruption. Every injected fault is surfaced as a
+// *memctrl.DeviceError. The corrupting kinds (torn write, read
+// corruption) deliberately mangle data *and* return the typed error,
+// so a caller that ignores errors would observe garbage — never a
+// fault that passes for success.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/memctrl"
+	"repro/internal/prng"
+)
+
+// Config assembles a Store.
+type Config struct {
+	// Inner is the decorated store (required).
+	Inner memctrl.LineStore
+	// Seed seeds the injection schedule. Stores built with the same
+	// seed and rates over the same op sequence inject identically.
+	Seed uint64
+	// ReadErrRate is the probability an eligible ReadLine fails with a
+	// transient read error before touching the inner store.
+	ReadErrRate float64
+	// WriteErrRate is the probability an eligible WriteLine fails with
+	// a transient write error before touching the inner store.
+	WriteErrRate float64
+	// TornWriteRate is the probability a WriteLine is torn: a
+	// bit-corrupted copy of the line is written to the inner store and
+	// the op still fails with a typed error. A retry must rewrite the
+	// whole line to restore it.
+	TornWriteRate float64
+	// ReadCorruptRate is the probability a ReadLine returns
+	// bit-corrupted data alongside a typed error (the device state
+	// itself stays intact, so a retry can return clean data).
+	ReadCorruptRate float64
+	// StallRate is the probability an op sleeps for StallDelay before
+	// executing, modeling a busy bank. Stalls are delays, not errors.
+	StallRate float64
+	// StallDelay is the stall duration (default 100µs when StallRate
+	// is nonzero).
+	StallDelay time.Duration
+}
+
+// Store is the fault-injecting LineStore decorator. Like every
+// LineStore it is not safe for concurrent use; shard.Engine serializes
+// access per shard.
+type Store struct {
+	inner memctrl.LineStore
+	cfg   Config
+	rng   *prng.Rand
+	// active caches "any rate nonzero" so the healthy configuration
+	// short-circuits to the inner store with no draws and no branches
+	// beyond this one bool.
+	active bool
+
+	injected int64 // injected faults (errors, not stalls)
+	stalls   int64
+}
+
+var _ memctrl.LineStore = (*Store)(nil)
+
+// New builds a fault-injecting decorator over cfg.Inner.
+func New(cfg Config) (*Store, error) {
+	if cfg.Inner == nil {
+		return nil, fmt.Errorf("chaos: Inner store is required")
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReadErrRate", cfg.ReadErrRate},
+		{"WriteErrRate", cfg.WriteErrRate},
+		{"TornWriteRate", cfg.TornWriteRate},
+		{"ReadCorruptRate", cfg.ReadCorruptRate},
+		{"StallRate", cfg.StallRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return nil, fmt.Errorf("chaos: %s %v out of [0,1]", r.name, r.v)
+		}
+	}
+	if cfg.StallDelay == 0 {
+		cfg.StallDelay = 100 * time.Microsecond
+	}
+	s := &Store{
+		inner: cfg.Inner,
+		cfg:   cfg,
+		active: cfg.ReadErrRate > 0 || cfg.WriteErrRate > 0 ||
+			cfg.TornWriteRate > 0 || cfg.ReadCorruptRate > 0 || cfg.StallRate > 0,
+	}
+	if s.active {
+		s.rng = prng.NewFrom(cfg.Seed, "chaos-schedule")
+	}
+	return s, nil
+}
+
+// Injected returns the number of faults injected so far (stalls
+// excluded).
+func (s *Store) Injected() int64 { return s.injected }
+
+// Stalls returns the number of latency stalls injected so far.
+func (s *Store) Stalls() int64 { return s.stalls }
+
+// corruptLine flips one deterministic pseudo-random bit of a 64-byte
+// line image.
+func (s *Store) corruptLine(data []byte) {
+	bit := s.rng.Uint64n(uint64(len(data)) * 8)
+	data[bit/8] ^= 1 << (bit % 8)
+}
+
+// WriteLine implements LineStore, injecting at most one fault per op:
+// first the stall draw, then one schedule draw deciding between a
+// transient write error (nothing reaches the device), a torn write (a
+// corrupted image reaches the device and the op still fails), or a
+// clean pass-through.
+func (s *Store) WriteLine(line int, plaintext []byte) ([]memctrl.WordOutcome, error) {
+	if !s.active {
+		return s.inner.WriteLine(line, plaintext)
+	}
+	if s.cfg.StallRate > 0 && s.rng.Float64() < s.cfg.StallRate {
+		s.stalls++
+		time.Sleep(s.cfg.StallDelay)
+	}
+	p := s.rng.Float64()
+	if p < s.cfg.WriteErrRate {
+		s.injected++
+		return nil, &memctrl.DeviceError{Kind: memctrl.FaultWriteTransient, Line: line}
+	}
+	if p < s.cfg.WriteErrRate+s.cfg.TornWriteRate {
+		s.injected++
+		// Program a corrupted image, then fail the op: the stored state
+		// is garbage until a retry rewrites the full line. The scratch
+		// copy allocates, which is fine — fault paths are rare by
+		// construction and must not scribble on the caller's buffer.
+		torn := make([]byte, len(plaintext))
+		copy(torn, plaintext)
+		s.corruptLine(torn)
+		s.inner.WriteLine(line, torn)
+		return nil, &memctrl.DeviceError{Kind: memctrl.FaultTornWrite, Line: line}
+	}
+	return s.inner.WriteLine(line, plaintext)
+}
+
+// ReadLine implements LineStore: one stall draw, then one schedule
+// draw deciding between a transient read error (inner store untouched),
+// a corrupted read (inner data fetched, one bit flipped, typed error
+// returned alongside), or a clean pass-through.
+func (s *Store) ReadLine(line int, dst []byte) ([]byte, error) {
+	if !s.active {
+		return s.inner.ReadLine(line, dst)
+	}
+	if s.cfg.StallRate > 0 && s.rng.Float64() < s.cfg.StallRate {
+		s.stalls++
+		time.Sleep(s.cfg.StallDelay)
+	}
+	p := s.rng.Float64()
+	if p < s.cfg.ReadErrRate {
+		s.injected++
+		return nil, &memctrl.DeviceError{Kind: memctrl.FaultReadTransient, Line: line}
+	}
+	if p < s.cfg.ReadErrRate+s.cfg.ReadCorruptRate {
+		s.injected++
+		out, err := s.inner.ReadLine(line, dst)
+		if err != nil {
+			return out, err
+		}
+		s.corruptLine(out)
+		return out, &memctrl.DeviceError{Kind: memctrl.FaultReadCorruption, Line: line}
+	}
+	return s.inner.ReadLine(line, dst)
+}
+
+// Flush implements LineStore. Flush is a control operation, not a data
+// op; faults are injected on the line ops it triggers below (when the
+// chaos layer sits under a write-back cache), not on Flush itself.
+func (s *Store) Flush() error { return s.inner.Flush() }
+
+// NumLines implements LineStore.
+func (s *Store) NumLines() int { return s.inner.NumLines() }
+
+// Stats implements LineStore: the inner stack's counters plus the
+// faults this layer injected.
+func (s *Store) Stats() memctrl.Stats {
+	st := s.inner.Stats()
+	st.DeviceErrors += s.injected
+	return st
+}
+
+// ResetStats implements LineStore, zeroing injection and inner
+// counters. The injection schedule (the PRNG stream) is untouched.
+func (s *Store) ResetStats() {
+	s.injected, s.stalls = 0, 0
+	s.inner.ResetStats()
+}

@@ -132,7 +132,10 @@ func runAblateVisibility(mode Mode, seed uint64) *Result {
 		if useRepo {
 			cfg.FaultRepo = faultrepo.New(pcm.MLC, 128)
 		}
-		ctrl := memctrl.MustNew(cfg)
+		ctrl, err := memctrl.New(cfg)
+		if err != nil {
+			panic(err)
+		}
 		rng := prng.NewFrom(seed, "vis-data")
 		buf := make([]byte, 64)
 		var perPass []int64

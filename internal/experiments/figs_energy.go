@@ -64,7 +64,12 @@ func runSim(c simConfig) simOutcome {
 	if c.encrypt {
 		cfg.Crypt = cryptmem.MustNew(simKey, c.lines)
 	}
-	ctrl := memctrl.MustNew(cfg)
+	ctrl, err := memctrl.New(cfg)
+	if err != nil {
+		// Experiment configs are static; a geometry error here is a bug
+		// in the experiment definition, not a runtime condition.
+		panic(err)
+	}
 
 	addrRNG := prng.NewFrom(c.seed, "addr")
 	dataRNG := prng.NewFrom(c.seed, "data")
@@ -89,7 +94,8 @@ func runSim(c simConfig) simOutcome {
 			line = int(addrRNG.Uint64n(uint64(c.lines)))
 			dataRNG.Fill(buf)
 		}
-		for _, o := range ctrl.WriteLine(line, buf) {
+		outc, _ := ctrl.WriteLine(line, buf)
+		for _, o := range outc {
 			sawBits += int64(o.Res.SAWBits)
 		}
 	}

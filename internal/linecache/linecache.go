@@ -195,25 +195,36 @@ func (c *Cache) newEntry(line int) *entry {
 }
 
 // install binds line to a fresh MRU entry, evicting the LRU victim if
-// the cache is full, and returns it.
-func (c *Cache) install(line int) *entry {
+// the cache is full, and returns it. A failed dirty-victim writeback
+// aborts the install: the victim stays cached and dirty (its data is
+// never dropped on a device error), and the caller decides how to
+// serve the triggering operation without a cache slot.
+func (c *Cache) install(line int) (*entry, error) {
 	if len(c.byLine) >= c.cap {
-		c.evict(c.tail.prev)
+		if err := c.evict(c.tail.prev); err != nil {
+			return nil, err
+		}
 	}
 	e := c.newEntry(line)
 	c.byLine[line] = e
 	c.pushFront(e)
-	return e
+	return e, nil
 }
 
-// evict removes the given entry, writing it back first when dirty.
-func (c *Cache) evict(e *entry) {
+// evict removes the given entry, writing it back first when dirty. On a
+// writeback device error the entry is kept, still dirty, so the data
+// survives for a later retry (eviction or Flush).
+func (c *Cache) evict(e *entry) error {
 	if e.dirty {
-		c.inner.WriteLine(e.line, e.data[:])
+		if _, err := c.inner.WriteLine(e.line, e.data[:]); err != nil {
+			return err
+		}
 		c.writebacks++
+		e.dirty = false
 	}
 	c.evictions++
 	c.drop(e)
+	return nil
 }
 
 // --- LineStore implementation ------------------------------------------
@@ -232,7 +243,15 @@ func sawCells(outs []memctrl.WordOutcome) int {
 // verbatim; under WriteBack the plaintext is absorbed into the cache and
 // an empty outcome slice is returned (the device outcomes materialize on
 // eviction or Flush, visible through Stats).
-func (c *Cache) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
+//
+// Device errors never strand state silently: a failed write-through
+// drops any cached copy (the device state is untrusted, so the next
+// read must fall through and observe it) and propagates the error; a
+// write-back absorb whose victim eviction fails forwards this one write
+// straight to the inner store instead, so the op either persists or
+// fails typed while the victim stays cached and dirty for a later
+// retry.
+func (c *Cache) WriteLine(line int, plaintext []byte) ([]memctrl.WordOutcome, error) {
 	if len(plaintext) != LineSize {
 		// Validate before absorbing: under WriteBack a short buffer would
 		// otherwise be truncated silently instead of panicking like the
@@ -240,28 +259,40 @@ func (c *Cache) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
 		panic("linecache: WriteLine needs a 64-byte line")
 	}
 	if c.policy == WriteThrough {
-		outs := c.inner.WriteLine(line, plaintext)
-		if sawCells(outs) > 0 {
-			// The device mangled the line; retaining the clean plaintext
-			// would mask the corruption on the next read hit.
+		outs, err := c.inner.WriteLine(line, plaintext)
+		if err != nil || sawCells(outs) > 0 {
+			// The device mangled the line (SAW) or the write failed;
+			// retaining clean plaintext would mask that on the next hit.
 			if e, ok := c.byLine[line]; ok {
 				c.drop(e)
 			}
-			return outs
+			return outs, err
 		}
 		e, ok := c.byLine[line]
 		if !ok {
-			e = c.install(line)
+			var ierr error
+			if e, ierr = c.install(line); ierr != nil {
+				// Write-through caches have no dirty victims, so install
+				// cannot fail here in a pure-WT stack; guard anyway and
+				// serve the (successful) write uncached.
+				return outs, nil
+			}
 		} else {
 			c.touch(e)
 		}
 		copy(e.data[:], plaintext)
-		return outs
+		return outs, nil
 	}
 	// WriteBack: absorb, defer the device write.
 	e, ok := c.byLine[line]
 	if !ok {
-		e = c.install(line)
+		var ierr error
+		if e, ierr = c.install(line); ierr != nil {
+			// No slot: the LRU victim's writeback failed. Write this op
+			// through directly so it either persists now or fails typed;
+			// its outcomes pass through like a write-through op's.
+			return c.inner.WriteLine(line, plaintext)
+		}
 	} else {
 		c.touch(e)
 		if e.dirty {
@@ -270,14 +301,17 @@ func (c *Cache) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
 	}
 	e.dirty = true
 	copy(e.data[:], plaintext)
-	return nil
+	return nil, nil
 }
 
 // ReadLine implements LineStore: hits copy the cached plaintext into dst
 // without touching the decode+decrypt pipeline; misses fall through to
 // the inner store and install whatever it returned (corruption
-// included).
-func (c *Cache) ReadLine(line int, dst []byte) []byte {
+// included). A failed inner read propagates without installing
+// anything; a failed dirty-victim eviction merely skips the install —
+// the read itself succeeded and the victim's data stays cached and
+// dirty, retried on the next eviction or Flush.
+func (c *Cache) ReadLine(line int, dst []byte) ([]byte, error) {
 	if dst == nil {
 		dst = make([]byte, LineSize)
 	}
@@ -288,24 +322,39 @@ func (c *Cache) ReadLine(line int, dst []byte) []byte {
 		c.touch(e)
 		copy(dst, e.data[:])
 		c.hits++
-		return dst
+		return dst, nil
 	}
 	c.misses++
-	out := c.inner.ReadLine(line, dst)
-	e := c.install(line)
-	copy(e.data[:], out)
-	return out
+	out, err := c.inner.ReadLine(line, dst)
+	if err != nil {
+		return out, err
+	}
+	if e, ierr := c.install(line); ierr == nil {
+		copy(e.data[:], out)
+	}
+	return out, nil
 }
 
 // Flush implements LineStore: every dirty line is written back to the
 // inner store (in LRU-list order, least recent first — deterministic)
 // and marked clean; entries whose writeback reported SAW cells are
 // dropped so the corruption stays visible. Clean entries stay cached.
-func (c *Cache) Flush() {
+// A writeback device error leaves that entry dirty (its data survives
+// for the next Flush); the walk continues so one bad line cannot
+// strand the rest, and the first error is returned after the full pass.
+func (c *Cache) Flush() error {
+	var first error
 	for e := c.tail.prev; e != &c.head; {
 		prev := e.prev
 		if e.dirty {
-			outs := c.inner.WriteLine(e.line, e.data[:])
+			outs, err := c.inner.WriteLine(e.line, e.data[:])
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				e = prev
+				continue
+			}
 			c.writebacks++
 			e.dirty = false
 			if sawCells(outs) > 0 {
@@ -314,7 +363,10 @@ func (c *Cache) Flush() {
 		}
 		e = prev
 	}
-	c.inner.Flush()
+	if err := c.inner.Flush(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Invalidate drops every cached line without writing anything back.

@@ -27,7 +27,7 @@ func newStub(corrupt ...int) *stubStore {
 	return s
 }
 
-func (s *stubStore) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
+func (s *stubStore) WriteLine(line int, plaintext []byte) ([]memctrl.WordOutcome, error) {
 	buf, ok := s.lines[line]
 	if !ok {
 		buf = new([LineSize]byte)
@@ -42,10 +42,10 @@ func (s *stubStore) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome 
 		s.stats.SAWCells++
 	}
 	s.outc[0] = memctrl.WordOutcome{Word: line * memctrl.WordsPerLine, SAWCells: saw}
-	return s.outc[:]
+	return s.outc[:], nil
 }
 
-func (s *stubStore) ReadLine(line int, dst []byte) []byte {
+func (s *stubStore) ReadLine(line int, dst []byte) ([]byte, error) {
 	if dst == nil {
 		dst = make([]byte, LineSize)
 	}
@@ -57,10 +57,17 @@ func (s *stubStore) ReadLine(line int, dst []byte) []byte {
 		}
 	}
 	s.stats.LineReads++
-	return dst
+	return dst, nil
 }
 
-func (s *stubStore) Flush()               {}
+// readMust is a test convenience over the error-carrying ReadLine for
+// a stub that never fails.
+func (s *stubStore) readMust(line int) []byte {
+	out, _ := s.ReadLine(line, nil)
+	return out
+}
+
+func (s *stubStore) Flush() error         { return nil }
 func (s *stubStore) Stats() memctrl.Stats { return s.stats }
 func (s *stubStore) ResetStats()          { s.stats = memctrl.Stats{} }
 func (s *stubStore) NumLines() int        { return 1 << 20 }
@@ -135,16 +142,16 @@ func TestWriteThroughSemantics(t *testing.T) {
 	inner := newStub()
 	c := mk(t, inner, 8, WriteThrough)
 	for l := 0; l < 4; l++ {
-		outs := c.WriteLine(l, line(byte(l+1)))
-		if len(outs) != 1 {
-			t.Fatalf("write-through must pass outcomes through, got %d", len(outs))
+		outs, err := c.WriteLine(l, line(byte(l+1)))
+		if err != nil || len(outs) != 1 {
+			t.Fatalf("write-through must pass outcomes through, got %d (err %v)", len(outs), err)
 		}
 	}
 	if inner.stats.LineWrites != 4 {
 		t.Fatalf("inner saw %d writes, want 4", inner.stats.LineWrites)
 	}
 	for l := 0; l < 4; l++ {
-		got := c.ReadLine(l, nil)
+		got, _ := c.ReadLine(l, nil)
 		if !bytes.Equal(got, line(byte(l+1))) {
 			t.Fatalf("line %d: wrong plaintext", l)
 		}
@@ -167,7 +174,7 @@ func TestWriteBackCoalescing(t *testing.T) {
 	inner := newStub()
 	c := mk(t, inner, 8, WriteBack)
 	for i := 0; i < 10; i++ {
-		if outs := c.WriteLine(3, line(byte(i))); len(outs) != 0 {
+		if outs, _ := c.WriteLine(3, line(byte(i))); len(outs) != 0 {
 			t.Fatalf("deferred write returned %d outcomes, want none", len(outs))
 		}
 	}
@@ -184,7 +191,7 @@ func TestWriteBackCoalescing(t *testing.T) {
 	if inner.stats.LineWrites != 1 {
 		t.Fatalf("flush issued %d device writes, want 1", inner.stats.LineWrites)
 	}
-	if !bytes.Equal(inner.ReadLine(3, nil), line(9)) {
+	if !bytes.Equal(inner.readMust(3), line(9)) {
 		t.Fatal("device holds a stale version after flush")
 	}
 	if c.DirtyLines() != 0 {
@@ -195,7 +202,7 @@ func TestWriteBackCoalescing(t *testing.T) {
 		t.Error("second flush must be a no-op")
 	}
 	// The flushed line stays cached (clean): reads still hit.
-	if got := c.ReadLine(3, nil); !bytes.Equal(got, line(9)) {
+	if got, _ := c.ReadLine(3, nil); !bytes.Equal(got, line(9)) {
 		t.Fatal("flushed line lost from cache")
 	}
 	if c.Stats().CacheMisses != 0 {
@@ -215,7 +222,7 @@ func TestLRUEviction(t *testing.T) {
 	if inner.stats.LineWrites != 1 {
 		t.Fatalf("eviction issued %d writebacks, want 1 (line 2)", inner.stats.LineWrites)
 	}
-	if !bytes.Equal(inner.ReadLine(2, nil), line(2)) {
+	if !bytes.Equal(inner.readMust(2), line(2)) {
 		t.Fatal("evicted dirty line not written back")
 	}
 	st := c.Stats()
@@ -243,20 +250,20 @@ func TestFaultVisibilityWriteThrough(t *testing.T) {
 	inner := newStub(5)
 	c := mk(t, inner, 8, WriteThrough)
 	want := line(0xAB)
-	outs := c.WriteLine(5, want)
+	outs, _ := c.WriteLine(5, want)
 	if sawCells(outs) == 0 {
 		t.Fatal("stub did not report the SAW cell")
 	}
-	got := c.ReadLine(5, nil)
+	got, _ := c.ReadLine(5, nil)
 	if bytes.Equal(got, want) {
 		t.Fatal("cache masked the stuck-at-wrong corruption")
 	}
-	if !bytes.Equal(got, inner.ReadLine(5, nil)) {
+	if !bytes.Equal(got, inner.readMust(5)) {
 		t.Fatal("cached read diverges from device contents")
 	}
 	// The corrupted read-miss result is now cached; further reads hit
 	// and still return the corrupted bytes.
-	again := c.ReadLine(5, nil)
+	again, _ := c.ReadLine(5, nil)
 	if !bytes.Equal(again, got) {
 		t.Fatal("repeated read changed contents")
 	}
@@ -274,11 +281,11 @@ func TestFaultVisibilityWriteBack(t *testing.T) {
 		c := mk(t, inner, 1, WriteBack)
 		want := line(0x11)
 		c.WriteLine(7, want)
-		if got := c.ReadLine(7, nil); !bytes.Equal(got, want) {
+		if got, _ := c.ReadLine(7, nil); !bytes.Equal(got, want) {
 			t.Fatal("pre-eviction read must serve the pending plaintext")
 		}
 		c.WriteLine(8, line(0x22)) // capacity 1: evicts 7, corrupting writeback
-		got := c.ReadLine(7, nil)
+		got, _ := c.ReadLine(7, nil)
 		if bytes.Equal(got, want) {
 			t.Fatal("post-eviction read masked the corruption")
 		}
@@ -289,11 +296,11 @@ func TestFaultVisibilityWriteBack(t *testing.T) {
 		want := line(0x11)
 		c.WriteLine(7, want)
 		c.Flush()
-		got := c.ReadLine(7, nil)
+		got, _ := c.ReadLine(7, nil)
 		if bytes.Equal(got, want) {
 			t.Fatal("post-flush read masked the corruption")
 		}
-		if !bytes.Equal(got, inner.ReadLine(7, nil)) {
+		if !bytes.Equal(got, inner.readMust(7)) {
 			t.Fatal("post-flush read diverges from device contents")
 		}
 	})
@@ -327,7 +334,7 @@ type orderStub struct {
 	order *[]int
 }
 
-func (s *orderStub) WriteLine(line int, plaintext []byte) []memctrl.WordOutcome {
+func (s *orderStub) WriteLine(line int, plaintext []byte) ([]memctrl.WordOutcome, error) {
 	*s.order = append(*s.order, line)
 	return s.stubStore.WriteLine(line, plaintext)
 }
@@ -357,7 +364,7 @@ func TestResetStats(t *testing.T) {
 	if st := c.Stats(); st != (memctrl.Stats{}) {
 		t.Errorf("stats not cleared: %+v", st)
 	}
-	if got := c.ReadLine(1, nil); !bytes.Equal(got, line(9)) {
+	if got, _ := c.ReadLine(1, nil); !bytes.Equal(got, line(9)) {
 		t.Error("ResetStats must not drop cached contents")
 	}
 }

@@ -1,0 +1,71 @@
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultKind classifies an injected or observed device fault. The chaos
+// decorator (internal/chaos) is the only producer today; the taxonomy
+// lives here so every layer of the stack — controller, cache, remapper,
+// shard engine, server — can type-switch on one currency without
+// importing the injector.
+type FaultKind uint8
+
+const (
+	// FaultReadTransient is a transient read failure: the device did not
+	// return data. Retrying the read may succeed.
+	FaultReadTransient FaultKind = iota
+	// FaultWriteTransient is a transient write failure: the device
+	// rejected the write before storing anything. Retrying may succeed.
+	FaultWriteTransient
+	// FaultTornWrite is a partially-applied write: some cells of the
+	// line were programmed with corrupted data before the operation
+	// failed. The stored state is garbage; a retry must re-encode and
+	// rewrite the whole line.
+	FaultTornWrite
+	// FaultReadCorruption is a read that returned bit-corrupted data.
+	// The device state itself is intact; retrying may return clean data.
+	FaultReadCorruption
+)
+
+// String names the fault kind for logs and error text.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultReadTransient:
+		return "read-transient"
+	case FaultWriteTransient:
+		return "write-transient"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultReadCorruption:
+		return "read-corruption"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// DeviceError is the typed error every LineStore fault surfaces as. It
+// never hides corruption: a store that detects (or injects) corrupted
+// data must either repair it or return one of these, so "no error"
+// always means "the bytes are trustworthy".
+type DeviceError struct {
+	// Kind classifies the fault.
+	Kind FaultKind
+	// Line is the logical line index the failing op addressed.
+	Line int
+}
+
+// Error implements error.
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("memctrl: device error %s on line %d", e.Kind, e.Line)
+}
+
+// IsTransient reports whether err is a DeviceError that a bounded
+// retry of the same operation can plausibly clear. All four injected
+// kinds qualify: transient read/write faults by definition, torn
+// writes because the retry re-encodes and rewrites the full line, and
+// read corruption because the underlying cells are intact.
+func IsTransient(err error) bool {
+	var de *DeviceError
+	return errors.As(err, &de)
+}

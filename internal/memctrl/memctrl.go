@@ -38,14 +38,19 @@ type LineStore interface {
 	// per-word device outcomes, valid until the next call. Stores that
 	// defer the device write (a write-back cache) return an empty slice:
 	// the outcomes materialize later, on Flush or eviction, and are then
-	// visible only through Stats.
-	WriteLine(line int, plaintext []byte) []WordOutcome
+	// visible only through Stats. A non-nil error is a *DeviceError:
+	// the write did not take effect cleanly (though a torn write may
+	// have left corrupted cells behind — the caller must retry or
+	// surface the error, never trust the stored state).
+	WriteLine(line int, plaintext []byte) ([]WordOutcome, error)
 	// ReadLine serves one 64-byte plaintext read into dst (allocated
-	// when nil).
-	ReadLine(line int, dst []byte) []byte
+	// when nil). A non-nil error is a *DeviceError; the returned bytes
+	// must not be trusted in that case.
+	ReadLine(line int, dst []byte) ([]byte, error)
 	// Flush forces every deferred write down to the device. It is a
-	// no-op for stores that write through.
-	Flush()
+	// no-op for stores that write through. On error some dirty state
+	// remains buffered; a later Flush retries it.
+	Flush() error
 	// Stats returns the accumulated statistics of the whole stack below
 	// (and including) this store.
 	Stats() Stats
@@ -124,6 +129,12 @@ type Stats struct {
 	// RepairFailures counts writes that still stored stuck-at-wrong
 	// cells after the remapping decorator ran out of spare lines.
 	RepairFailures int64
+	// DeviceErrors counts transient device faults surfaced by the stack
+	// (injected by internal/chaos or, someday, a real device model).
+	DeviceErrors int64
+	// ErrorRetries counts in-controller retries of a faulted op by the
+	// shard backend before it gave up or succeeded.
+	ErrorRetries int64
 }
 
 // Add folds o into s field-wise.
@@ -145,6 +156,8 @@ func (s *Stats) Add(o Stats) {
 	s.CoalescedWrites += o.CoalescedWrites
 	s.RemappedLines += o.RemappedLines
 	s.RepairFailures += o.RepairFailures
+	s.DeviceErrors += o.DeviceErrors
+	s.ErrorRetries += o.ErrorRetries
 }
 
 // HitRate returns CacheHits / (CacheHits + CacheMisses), or 0 before
@@ -178,6 +191,8 @@ func (s Stats) Delta(o Stats) Stats {
 		CoalescedWrites:  s.CoalescedWrites - o.CoalescedWrites,
 		RemappedLines:    s.RemappedLines - o.RemappedLines,
 		RepairFailures:   s.RepairFailures - o.RepairFailures,
+		DeviceErrors:     s.DeviceErrors - o.DeviceErrors,
+		ErrorRetries:     s.ErrorRetries - o.ErrorRetries,
 	}
 }
 
@@ -270,15 +285,6 @@ func New(cfg Config) (*Controller, error) {
 	return c, nil
 }
 
-// MustNew is New that panics on error (tests, examples).
-func MustNew(cfg Config) *Controller {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // NumLines returns the number of cache lines the controller serves.
 func (c *Controller) NumLines() int { return c.cfg.Device.NumWords() / WordsPerLine }
 
@@ -292,8 +298,12 @@ func (c *Controller) Codec() coset.Codec { return c.cfg.Codec }
 func (c *Controller) Aux(word int) uint64 { return c.aux[word] }
 
 // WriteLine processes one 64-byte writeback to the given line index and
-// returns per-word outcomes (valid until the next call).
-func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
+// returns per-word outcomes (valid until the next call). The modeled
+// device never fails on its own, so the error is always nil here; the
+// return exists so fault-injecting decorators (internal/chaos) can
+// satisfy the same LineStore contract. Passing a non-64-byte line is a
+// programmer error and panics.
+func (c *Controller) WriteLine(line int, plaintext []byte) ([]WordOutcome, error) {
 	if len(plaintext) != cryptmem.LineSize {
 		panic("memctrl: WriteLine needs a 64-byte line")
 	}
@@ -378,14 +388,16 @@ func (c *Controller) WriteLine(line int, plaintext []byte) []WordOutcome {
 		c.outc[col] = WordOutcome{Word: w, SAWCells: res.SAWCells, Res: res}
 	}
 	c.stats.LineWrites++
-	return c.outc[:]
+	return c.outc[:], nil
 }
 
 // ReadLine reads the line back through decode and decryption into dst
 // (64 bytes, allocated if nil). If any cell of the line is stuck at a
 // wrong value the plaintext will be correspondingly corrupted — exactly
-// the failure the protection schemes try to avoid.
-func (c *Controller) ReadLine(line int, dst []byte) []byte {
+// the failure the protection schemes try to avoid. The error is always
+// nil for the concrete controller (see WriteLine); a non-64-byte dst
+// panics as a programmer-error contract.
+func (c *Controller) ReadLine(line int, dst []byte) ([]byte, error) {
 	if dst == nil {
 		dst = make([]byte, cryptmem.LineSize)
 	}
@@ -433,12 +445,12 @@ func (c *Controller) ReadLine(line int, dst []byte) []byte {
 	}
 	c.stats.LineReads++
 	c.stats.WordsDecoded += WordsPerLine
-	return dst
+	return dst, nil
 }
 
 // Flush implements LineStore; the controller writes through, so there is
 // nothing to flush.
-func (c *Controller) Flush() {}
+func (c *Controller) Flush() error { return nil }
 
 // Stats returns the accumulated statistics.
 func (c *Controller) Stats() Stats { return c.stats }

@@ -53,7 +53,7 @@ func TestWriteReadRoundTripAllCodecs(t *testing.T) {
 		for line := 0; line < ctrl.NumLines(); line++ {
 			pt := linePattern(byte(line))
 			ctrl.WriteLine(line, pt)
-			got := ctrl.ReadLine(line, nil)
+			got, _ := ctrl.ReadLine(line, nil)
 			if !bytes.Equal(got, pt) {
 				t.Fatalf("%s: line %d round trip failed", codec.Name(), line)
 			}
@@ -63,7 +63,7 @@ func TestWriteReadRoundTripAllCodecs(t *testing.T) {
 		for line := 0; line < ctrl.NumLines(); line++ {
 			pt := linePattern(byte(line) ^ 0x5A)
 			ctrl.WriteLine(line, pt)
-			got := ctrl.ReadLine(line, nil)
+			got, _ := ctrl.ReadLine(line, nil)
 			if !bytes.Equal(got, pt) {
 				t.Fatalf("%s: line %d second round trip failed", codec.Name(), line)
 			}
@@ -73,11 +73,14 @@ func TestWriteReadRoundTripAllCodecs(t *testing.T) {
 
 func TestUnencryptedRoundTrip(t *testing.T) {
 	dev := pcm.NewDevice(pcm.Config{Mode: pcm.MLC, Rows: 4, WordsPerRow: 8})
-	ctrl := MustNew(Config{Device: dev, Codec: coset.NewVCCGenerated(16, 64),
+	ctrl, err := New(Config{Device: dev, Codec: coset.NewVCCGenerated(16, 64),
 		Objective: coset.ObjFlips})
+	if err != nil {
+		t.Fatal(err)
+	}
 	pt := linePattern(7)
 	ctrl.WriteLine(2, pt)
-	if !bytes.Equal(ctrl.ReadLine(2, nil), pt) {
+	if got, _ := ctrl.ReadLine(2, nil); !bytes.Equal(got, pt) {
 		t.Error("unencrypted round trip failed")
 	}
 }
@@ -97,7 +100,7 @@ func TestCiphertextStoredNotPlaintext(t *testing.T) {
 		t.Error("plaintext appears to be stored unencrypted")
 	}
 	// But the read path recovers it.
-	if !bytes.Equal(ctrl.ReadLine(0, nil), pt) {
+	if got, _ := ctrl.ReadLine(0, nil); !bytes.Equal(got, pt) {
 		t.Error("round trip failed")
 	}
 }
@@ -235,7 +238,7 @@ func TestRoundTripSurvivesManyOverwrites(t *testing.T) {
 		line := int(rng.Uint64n(uint64(ctrl.NumLines())))
 		rng.Fill(pt)
 		ctrl.WriteLine(line, pt)
-		if !bytes.Equal(ctrl.ReadLine(line, nil), pt) {
+		if got, _ := ctrl.ReadLine(line, nil); !bytes.Equal(got, pt) {
 			t.Fatalf("round trip failed at write %d", i)
 		}
 	}
@@ -248,10 +251,13 @@ func TestFaultRepoVisibility(t *testing.T) {
 		Faults: faults})
 	dev.InitRandom(prng.New(92))
 	repo := faultrepo.New(pcm.MLC, 32)
-	ctrl := MustNew(Config{Device: dev,
+	ctrl, err := New(Config{Device: dev,
 		Codec:     coset.NewVCCStored(64, 16, 64, 1),
 		Objective: coset.ObjSAWEnergy,
 		FaultRepo: repo})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rng := prng.New(93)
 	buf := make([]byte, cryptmem.LineSize)
 	var early, late int64

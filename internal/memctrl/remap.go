@@ -152,15 +152,17 @@ func (r *Remapper) pickSpare() int {
 // just taught the repository exactly the cells that defeated the
 // encoder, so a re-encode with that knowledge usually masks them
 // without burning a spare (the FLOWER-style discipline: remap only what
-// encoding cannot repair). Returns the final attempt's outcomes.
-func (r *Remapper) writeAt(p int, plaintext []byte) []WordOutcome {
-	outs := r.inner.WriteLine(p, plaintext)
-	if r.repo == nil || len(outs) == 0 || wordsSAW(outs) == 0 {
-		return outs
+// encoding cannot repair). Returns the final attempt's outcomes. Device
+// errors propagate immediately: the repair loop reacts to SAW outcomes,
+// not transient faults — those belong to the shard backend's retry.
+func (r *Remapper) writeAt(p int, plaintext []byte) ([]WordOutcome, error) {
+	outs, err := r.inner.WriteLine(p, plaintext)
+	if err != nil || r.repo == nil || len(outs) == 0 || wordsSAW(outs) == 0 {
+		return outs, err
 	}
-	retry := r.inner.WriteLine(p, plaintext)
+	retry, err := r.inner.WriteLine(p, plaintext)
 	r.retries++
-	return retry
+	return retry, err
 }
 
 // WriteLine implements LineStore. The write goes to the line's current
@@ -173,34 +175,34 @@ func (r *Remapper) writeAt(p int, plaintext []byte) []WordOutcome {
 // Stats (the device really programmed them). Deferred writes (an inner
 // store that returns no outcomes) pass through unrepaired — place the
 // Remapper below any write-back cache.
-func (r *Remapper) WriteLine(logical int, plaintext []byte) []WordOutcome {
-	outs := r.writeAt(r.mapTo[logical], plaintext)
-	if len(outs) == 0 || wordsSAW(outs) == 0 {
-		return outs
+func (r *Remapper) WriteLine(logical int, plaintext []byte) ([]WordOutcome, error) {
+	outs, err := r.writeAt(r.mapTo[logical], plaintext)
+	if err != nil || len(outs) == 0 || wordsSAW(outs) == 0 {
+		return outs, err
 	}
 	for {
 		next := r.pickSpare()
 		if next < 0 {
 			r.failures++
-			return outs
+			return outs, nil
 		}
 		r.remapped++
 		r.mapTo[logical] = next
-		outs = r.writeAt(next, plaintext)
-		if wordsSAW(outs) == 0 {
-			return outs
+		outs, err = r.writeAt(next, plaintext)
+		if err != nil || wordsSAW(outs) == 0 {
+			return outs, err
 		}
 	}
 }
 
 // ReadLine implements LineStore, serving the read from the line's
 // current physical location.
-func (r *Remapper) ReadLine(logical int, dst []byte) []byte {
+func (r *Remapper) ReadLine(logical int, dst []byte) ([]byte, error) {
 	return r.inner.ReadLine(r.mapTo[logical], dst)
 }
 
 // Flush implements LineStore.
-func (r *Remapper) Flush() { r.inner.Flush() }
+func (r *Remapper) Flush() error { return r.inner.Flush() }
 
 // Stats implements LineStore: the inner stack's counters plus the
 // remap-layer's. Note that LineWrites counts device writes including

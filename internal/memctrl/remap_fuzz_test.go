@@ -67,11 +67,11 @@ func FuzzFaultRemapRoundTrip(f *testing.F) {
 			if b&1 == 0 {
 				data := make([]byte, 64)
 				rng.Fill(data)
-				outs := r.WriteLine(line, data)
+				outs, _ := r.WriteLine(line, data)
 				written[line] = data
 				clean[line] = wordsSAW(outs) == 0
 			} else if written[line] != nil && clean[line] {
-				got := r.ReadLine(line, rd)
+				got, _ := r.ReadLine(line, rd)
 				if !bytes.Equal(got, written[line]) {
 					t.Fatalf("line %d: clean write did not round-trip (mapped to %d)",
 						line, r.Mapping(line))
@@ -94,7 +94,7 @@ func FuzzFaultRemapRoundTrip(f *testing.F) {
 			if data == nil || !clean[line] {
 				continue
 			}
-			if got := r.ReadLine(line, rd); !bytes.Equal(got, data) {
+			if got, _ := r.ReadLine(line, rd); !bytes.Equal(got, data) {
 				t.Fatalf("line %d corrupted by later traffic (mapped to %d)",
 					line, r.Mapping(line))
 			}

@@ -24,7 +24,7 @@ func newFakeStore(lines int) *fakeStore {
 	return &fakeStore{lines: lines, data: map[int][]byte{}, fails: map[int]int{}}
 }
 
-func (f *fakeStore) WriteLine(line int, plaintext []byte) []WordOutcome {
+func (f *fakeStore) WriteLine(line int, plaintext []byte) ([]WordOutcome, error) {
 	f.writes++
 	f.stats.LineWrites++
 	buf := make([]byte, len(plaintext))
@@ -38,19 +38,19 @@ func (f *fakeStore) WriteLine(line int, plaintext []byte) []WordOutcome {
 		}
 	}
 	f.stats.SAWCells += int64(saw)
-	return []WordOutcome{{Word: line * WordsPerLine, SAWCells: saw}}
+	return []WordOutcome{{Word: line * WordsPerLine, SAWCells: saw}}, nil
 }
 
-func (f *fakeStore) ReadLine(line int, dst []byte) []byte {
+func (f *fakeStore) ReadLine(line int, dst []byte) ([]byte, error) {
 	if dst == nil {
 		dst = make([]byte, len(f.data[line]))
 	}
 	copy(dst, f.data[line])
 	f.stats.LineReads++
-	return dst
+	return dst, nil
 }
 
-func (f *fakeStore) Flush()        {}
+func (f *fakeStore) Flush() error  { return nil }
 func (f *fakeStore) Stats() Stats  { return f.stats }
 func (f *fakeStore) ResetStats()   { f.stats = Stats{} }
 func (f *fakeStore) NumLines() int { return f.lines }
@@ -93,7 +93,7 @@ func TestRemapperRepairsFailedWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := line64(0xAB)
-	outs := r.WriteLine(3, data)
+	outs, _ := r.WriteLine(3, data)
 	if saw := wordsSAW(outs); saw != 0 {
 		t.Errorf("repaired write reports %d SAW cells, want 0", saw)
 	}
@@ -103,11 +103,11 @@ func TestRemapperRepairsFailedWrite(t *testing.T) {
 	if r.RemappedLines() != 1 || r.SparesLeft() != 1 {
 		t.Errorf("remapped=%d sparesLeft=%d, want 1,1", r.RemappedLines(), r.SparesLeft())
 	}
-	if got := r.ReadLine(3, nil); !bytes.Equal(got, data) {
+	if got, _ := r.ReadLine(3, nil); !bytes.Equal(got, data) {
 		t.Error("read after repair does not return written plaintext")
 	}
 	// A healthy line is untouched by the repair machinery.
-	if outs := r.WriteLine(4, line64(1)); wordsSAW(outs) != 0 || r.Mapping(4) != 4 {
+	if outs, _ := r.WriteLine(4, line64(1)); wordsSAW(outs) != 0 || r.Mapping(4) != 4 {
 		t.Error("healthy line was remapped")
 	}
 	st := r.Stats()
@@ -125,7 +125,7 @@ func TestRemapperPoolExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := r.WriteLine(0, line64(7))
+	outs, _ := r.WriteLine(0, line64(7))
 	if saw := wordsSAW(outs); saw == 0 {
 		t.Error("exhausted pool still reported a clean write")
 	}
@@ -178,7 +178,7 @@ func TestRemapperInPlaceRetryWithRepo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := r.WriteLine(1, line64(4))
+	outs, _ := r.WriteLine(1, line64(4))
 	if saw := wordsSAW(outs); saw != 0 {
 		t.Errorf("retried write reports %d SAW cells, want 0", saw)
 	}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/prng"
+)
+
+// Backoff computes capped exponential delays with deterministic
+// jitter: attempt n draws uniformly from [d/2, d) where
+// d = min(Base<<n, Max). The half-width jitter window desynchronizes
+// retry herds while keeping every delay within 2x of its neighbors;
+// seeding makes schedules reproducible in tests and campaigns. Not
+// safe for concurrent use — give each client its own Backoff.
+type Backoff struct {
+	base, max time.Duration
+	rng       *prng.Rand
+}
+
+// NewBackoff builds a jittered exponential backoff. base defaults to
+// 1ms, max to 200ms; max is raised to base when smaller.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max <= 0 {
+		max = 200 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: prng.NewFrom(seed, "client-backoff")}
+}
+
+// Delay returns the jittered delay for retry attempt n (0-based).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	half := d / 2
+	return half + time.Duration(b.rng.Float64()*float64(half))
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -22,11 +23,32 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server: %s: %s", StatusName(e.Status), e.Msg)
 }
 
+// ClientOpts tunes the client's resilience behavior. The zero value
+// is the legacy fail-fast client: no deadlines, no retries.
+type ClientOpts struct {
+	// OpTimeout bounds each request round trip via a connection
+	// deadline. 0 disables deadlines.
+	OpTimeout time.Duration
+	// MaxRetries is how many times one op is reissued after a
+	// retryable failure (transport error, StatusBusy,
+	// StatusDeviceError). Every protocol op is idempotent — writes
+	// store, reads fetch — so reissue is always safe. 0 disables
+	// retries.
+	MaxRetries int
+	// RetryBase and RetryMax shape the jittered exponential backoff
+	// between retries (defaults: 1ms base, 200ms cap).
+	RetryBase, RetryMax time.Duration
+	// Seed makes the backoff jitter schedule deterministic.
+	Seed uint64
+}
+
 // Client is a synchronous line-store protocol client: one request in
 // flight at a time, request and response frames built in reusable
-// buffers (steady-state round trips allocate nothing). Not safe for
-// concurrent use — loadgen concurrency comes from one Client per
-// simulated client goroutine.
+// buffers (steady-state round trips allocate nothing). With ClientOpts
+// it layers per-op deadlines, jittered-backoff retries and transparent
+// reconnect (re-dial plus tenant re-bind) over the same wire calls.
+// Not safe for concurrent use — loadgen concurrency comes from one
+// Client per simulated client goroutine.
 type Client struct {
 	nc    net.Conn
 	br    *bufio.Reader
@@ -35,49 +57,180 @@ type Client struct {
 	req   []byte
 	resp  []byte
 	batch []byte
+
+	addr   string // dial target for reconnects ("" = wrapped conn, no reconnect)
+	opts   ClientOpts
+	bo     *Backoff
+	tenant int // bound tenant to restore after reconnect (-1 = unbound)
+
+	retries      int64 // ops reissued
+	reconnects   int64 // successful re-dials
+	busySeen     int64 // StatusBusy responses observed
+	devErrSeen   int64 // StatusDeviceError responses observed
+	transportErr int64 // transport-level failures observed
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection. A wrapped client cannot
+// reconnect (it does not know its dial address).
 func NewClient(nc net.Conn) *Client {
 	return &Client{
-		nc: nc,
-		br: bufio.NewReader(nc),
-		bw: bufio.NewWriter(nc),
+		nc:     nc,
+		br:     bufio.NewReader(nc),
+		bw:     bufio.NewWriter(nc),
+		tenant: -1,
 	}
 }
 
-// Dial connects to a line-store server.
+// Dial connects to a line-store server with zero (fail-fast) options.
 func Dial(addr string) (*Client, error) {
+	return DialOpts(addr, ClientOpts{})
+}
+
+// DialOpts connects with explicit resilience options.
+func DialOpts(addr string, opts ClientOpts) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(nc), nil
+	c := NewClient(nc)
+	c.addr = addr
+	c.opts = opts
+	if opts.MaxRetries > 0 {
+		c.bo = NewBackoff(opts.RetryBase, opts.RetryMax, opts.Seed)
+	}
+	return c, nil
 }
 
 // DialRetry dials until the server accepts or the window elapses —
 // for harnesses that race client startup against the server's bind.
+// Attempts back off exponentially with jitter instead of polling at a
+// fixed period.
 func DialRetry(addr string, wait time.Duration) (*Client, error) {
+	return DialRetryOpts(addr, wait, ClientOpts{})
+}
+
+// DialRetryOpts is DialRetry with explicit resilience options for the
+// returned client; opts.Seed also seeds the dial backoff.
+func DialRetryOpts(addr string, wait time.Duration, opts ClientOpts) (*Client, error) {
+	bo := NewBackoff(opts.RetryBase, opts.RetryMax, opts.Seed)
 	deadline := time.Now().Add(wait)
-	for {
-		c, err := Dial(addr)
+	for attempt := 0; ; attempt++ {
+		c, err := DialOpts(addr, opts)
 		if err == nil {
 			return c, nil
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("server: dial %s: gave up after %v: %w", addr, wait, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(bo.Delay(attempt))
 	}
 }
 
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.nc.Close() }
 
+// Retries returns how many ops were reissued after retryable failures.
+func (c *Client) Retries() int64 { return c.retries }
+
+// Reconnects returns how many transparent re-dials succeeded.
+func (c *Client) Reconnects() int64 { return c.reconnects }
+
+// BusyResponses returns how many StatusBusy responses were observed
+// (including ones that later succeeded on retry).
+func (c *Client) BusyResponses() int64 { return c.busySeen }
+
+// DeviceErrorResponses returns how many StatusDeviceError responses
+// were observed (including ones that later succeeded on retry).
+func (c *Client) DeviceErrorResponses() int64 { return c.devErrSeen }
+
+// TransportErrors returns how many transport-level failures (broken
+// connection, deadline expiry) were observed.
+func (c *Client) TransportErrors() int64 { return c.transportErr }
+
+// observe classifies one round-trip error into the client's counters.
+func (c *Client) observe(err error) {
+	if err == nil {
+		return
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case StatusBusy:
+			c.busySeen++
+		case StatusDeviceError:
+			c.devErrSeen++
+		}
+		return
+	}
+	c.transportErr++
+}
+
+// retryable reports whether err is worth reissuing the op for: busy
+// and device-error statuses always, transport errors only when the
+// client can reconnect.
+func (c *Client) retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == StatusBusy || se.Status == StatusDeviceError
+	}
+	return c.addr != ""
+}
+
+// reconnect replaces a broken connection: re-dial, fresh buffers, and
+// a re-bind to the previously bound tenant.
+func (c *Client) reconnect() error {
+	c.nc.Close()
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.nc = nc
+	c.br.Reset(nc)
+	c.bw.Reset(nc)
+	c.reconnects++
+	if c.tenant >= 0 {
+		var body [4]byte
+		binary.BigEndian.PutUint32(body[:], uint32(c.tenant))
+		if _, err := c.roundTrip(VerbHello, body[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// do is roundTrip plus the retry policy: reissue on retryable failure
+// up to MaxRetries times, backing off with jitter and reconnecting
+// across transport errors. Safe for every protocol op — they are all
+// idempotent.
+func (c *Client) do(verb byte, body []byte) ([]byte, error) {
+	rb, err := c.roundTrip(verb, body)
+	c.observe(err)
+	for attempt := 0; err != nil && attempt < c.opts.MaxRetries && c.retryable(err); attempt++ {
+		time.Sleep(c.bo.Delay(attempt))
+		var se *StatusError
+		if !errors.As(err, &se) {
+			// Transport failure: the connection is suspect; rebuild it
+			// before reissuing. A failed reconnect consumes the attempt.
+			if rerr := c.reconnect(); rerr != nil {
+				err = rerr
+				c.observe(err)
+				continue
+			}
+		}
+		c.retries++
+		rb, err = c.roundTrip(verb, body)
+		c.observe(err)
+	}
+	return rb, err
+}
+
 // roundTrip sends verb+body and returns the OK response body, valid
 // until the next call. A non-OK status comes back as *StatusError.
 func (c *Client) roundTrip(verb byte, body []byte) ([]byte, error) {
 	c.id++
+	if c.opts.OpTimeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	}
 	c.req = append(c.req[:0], verb)
 	c.req = binary.BigEndian.AppendUint32(c.req, c.id)
 	c.req = append(c.req, body...)
@@ -110,13 +263,14 @@ func (c *Client) roundTrip(verb byte, body []byte) ([]byte, error) {
 func (c *Client) Hello(tenant int) (uint64, error) {
 	var body [4]byte
 	binary.BigEndian.PutUint32(body[:], uint32(tenant))
-	rb, err := c.roundTrip(VerbHello, body[:])
+	rb, err := c.do(VerbHello, body[:])
 	if err != nil {
 		return 0, err
 	}
 	if len(rb) != 8 {
 		return 0, fmt.Errorf("server: hello response body is %d bytes, want 8", len(rb))
 	}
+	c.tenant = tenant // restored transparently after a reconnect
 	return binary.BigEndian.Uint64(rb), nil
 }
 
@@ -129,7 +283,7 @@ func (c *Client) Write(line uint64, data []byte) (int, error) {
 	var body [8 + LineSize]byte
 	binary.BigEndian.PutUint64(body[:8], line)
 	copy(body[8:], data)
-	rb, err := c.roundTrip(VerbWrite, body[:])
+	rb, err := c.do(VerbWrite, body[:])
 	if err != nil {
 		return 0, err
 	}
@@ -144,7 +298,7 @@ func (c *Client) Write(line uint64, data []byte) (int, error) {
 func (c *Client) Read(line uint64, dst []byte) ([]byte, error) {
 	var body [8]byte
 	binary.BigEndian.PutUint64(body[:], line)
-	rb, err := c.roundTrip(VerbRead, body[:])
+	rb, err := c.do(VerbRead, body[:])
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +340,7 @@ type BatchResult struct {
 // res is reused when it has the capacity (like vcc outcome slices).
 func (c *Client) Batch(ops []BatchOp, res []BatchResult) ([]BatchResult, error) {
 	body := c.batchBody(ops)
-	rb, err := c.roundTrip(VerbBatch, body)
+	rb, err := c.do(VerbBatch, body)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +416,7 @@ func (c *Client) batchBody(ops []BatchOp) []byte {
 
 // Stats fetches the connection's tenant statistics snapshot.
 func (c *Client) Stats() (TenantStats, error) {
-	rb, err := c.roundTrip(VerbStats, nil)
+	rb, err := c.do(VerbStats, nil)
 	if err != nil {
 		return TenantStats{}, err
 	}
@@ -272,6 +426,6 @@ func (c *Client) Stats() (TenantStats, error) {
 // Flush forces deferred write-back state down to the devices, covering
 // everything this connection submitted before it.
 func (c *Client) Flush() error {
-	_, err := c.roundTrip(VerbFlush, nil)
+	_, err := c.do(VerbFlush, nil)
 	return err
 }

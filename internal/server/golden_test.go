@@ -111,25 +111,67 @@ func goldenScript() []struct {
 	}
 }
 
+// goldenDegradedConfig is goldenConfig under deterministic failure:
+// chaos at rate 1 fails every engine op even after the backend's
+// retries, and a 2-op in-flight budget sheds any larger batch. Both
+// degradations are timing-independent on a single synchronous
+// connection, so their responses are recordable byte-for-byte.
+func goldenDegradedConfig(t *testing.T) *vcc.ShardedMemory {
+	t.Helper()
+	mem, err := vcc.NewShardedMemory(vcc.ShardedMemoryConfig{
+		Lines:  256,
+		Shards: 2,
+		Seed:   7,
+		Chaos:  &vcc.ChaosSpec{ReadErrRate: 1, WriteErrRate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// goldenDegradedScript records the resilience statuses: device-error
+// responses for failing ops and a busy response for a shed batch.
+func goldenDegradedScript() []struct {
+	name string
+	req  []byte
+} {
+	be64 := binary.BigEndian.AppendUint64
+	batch := func() []byte {
+		b := binary.BigEndian.AppendUint32(nil, 4)
+		for i := 0; i < 4; i++ {
+			b = append(b, BatchRead)
+			b = be64(b, uint64(i))
+		}
+		return b
+	}
+	return []struct {
+		name string
+		req  []byte
+	}{
+		{"hello-degraded", goldenRequest(VerbHello, 1, []byte{0, 0, 0, 0})},
+		{"write-device-error", goldenRequest(VerbWrite, 2,
+			append(be64(nil, 3), goldenLine(0x10)...))},
+		{"read-device-error", goldenRequest(VerbRead, 3, be64(nil, 3))},
+		{"batch-busy", goldenRequest(VerbBatch, 4, batch())},
+	}
+}
+
 const goldenPath = "testdata/golden_wire.txt"
 
-// TestGoldenWire replays the recorded request bytes of every verb and
-// error class against an in-process server over a real TCP connection
-// and requires byte-identical responses. Run with -update after a
-// deliberate protocol change.
-func TestGoldenWire(t *testing.T) {
-	mem := goldenConfig(t)
-	defer mem.Close()
-	_, addr := startServer(t, Config{Mem: mem, Tenants: 2, MaxBatchOps: 8})
-
+// replayScript writes each request frame and collects the response
+// frames over one connection.
+func replayScript(t *testing.T, addr string, script []struct {
+	name string
+	req  []byte
+}) [][]byte {
+	t.Helper()
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer nc.Close()
 	br := bufio.NewReader(nc)
-
-	script := goldenScript()
 	got := make([][]byte, len(script))
 	for i, step := range script {
 		if err := writeFrame(nc, step.req); err != nil {
@@ -141,6 +183,26 @@ func TestGoldenWire(t *testing.T) {
 		}
 		got[i] = append([]byte(nil), resp...)
 	}
+	return got
+}
+
+// TestGoldenWire replays the recorded request bytes of every verb and
+// error class against an in-process server over a real TCP connection
+// and requires byte-identical responses. Run with -update after a
+// deliberate protocol change.
+func TestGoldenWire(t *testing.T) {
+	mem := goldenConfig(t)
+	defer mem.Close()
+	_, addr := startServer(t, Config{Mem: mem, Tenants: 2, MaxBatchOps: 8})
+	script := goldenScript()
+	got := replayScript(t, addr, script)
+
+	dmem := goldenDegradedConfig(t)
+	defer dmem.Close()
+	_, daddr := startServer(t, Config{Mem: dmem, Tenants: 2, MaxBatchOps: 8,
+		MaxInflightOps: 2})
+	script = append(script, goldenDegradedScript()...)
+	got = append(got, replayScript(t, daddr, goldenDegradedScript())...)
 
 	if *updateGolden {
 		var sb strings.Builder
@@ -232,20 +294,23 @@ func readGolden(t *testing.T) map[string]goldenEntry {
 // server (over TCP, via the Client) and directly through an identical
 // second engine, and requires bit-identical outcomes: SAW counts,
 // read plaintexts, and the full engine statistics including the
-// floating-point energy accumulator.
+// floating-point energy accumulator. The served engine carries a
+// rate-0 chaos decorator the direct engine lacks — a healthy chaos
+// layer must be observationally invisible end to end.
 func TestLoopbackOracle(t *testing.T) {
-	mkMem := func() *vcc.ShardedMemory {
+	mkMem := func(spec *vcc.ChaosSpec) *vcc.ShardedMemory {
 		mem, err := vcc.NewShardedMemory(vcc.ShardedMemoryConfig{
 			Lines:  512,
 			Shards: 4,
 			Seed:   99,
+			Chaos:  spec,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return mem
 	}
-	served, direct := mkMem(), mkMem()
+	served, direct := mkMem(&vcc.ChaosSpec{}), mkMem(nil)
 	defer served.Close()
 	defer direct.Close()
 	srv, addr := startServer(t, Config{Mem: served})

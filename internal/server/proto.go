@@ -91,6 +91,16 @@ const (
 	// StatusTooLarge reports a frame exceeding MaxFrame or a batch
 	// exceeding the server's op bound.
 	StatusTooLarge = byte(7)
+	// StatusDeviceError reports a request whose engine ops still failed
+	// after the controller's bounded retries. The device work happened
+	// (and is accounted to the tenant); the data must not be trusted.
+	// The connection stays alive and writes may be safely reissued.
+	StatusDeviceError = byte(8)
+	// StatusBusy reports a request shed by admission control: the
+	// server's in-flight op budget is exhausted and nothing was
+	// submitted to the engine. Retry after a backoff; the connection
+	// stays alive.
+	StatusBusy = byte(9)
 )
 
 // StatusName returns a stable mnemonic for a response status code.
@@ -112,6 +122,10 @@ func StatusName(s byte) string {
 		return "shutdown"
 	case StatusTooLarge:
 		return "too-large"
+	case StatusDeviceError:
+		return "device-error"
+	case StatusBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("status-%d", s)
 	}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	vcc "repro"
+)
+
+// TestBackoffDeterministic: the jitter schedule is a pure function of
+// the seed, every delay sits in [d/2, d) of its exponential step, and
+// the cap holds.
+func TestBackoffDeterministic(t *testing.T) {
+	const base, max = time.Millisecond, 16 * time.Millisecond
+	a := NewBackoff(base, max, 42)
+	b := NewBackoff(base, max, 42)
+	other := NewBackoff(base, max, 43)
+	var diverged bool
+	for attempt := 0; attempt < 12; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		if da != other.Delay(attempt) {
+			diverged = true
+		}
+		step := base << attempt
+		if step > max || step <= 0 {
+			step = max
+		}
+		if da < step/2 || da >= step {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, da, step/2, step)
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical schedules; jitter inert")
+	}
+}
+
+func TestBackoffDefaultsAndClamp(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if d := b.Delay(0); d < 500*time.Microsecond || d >= time.Millisecond {
+		t.Errorf("default base delay %v outside [0.5ms, 1ms)", d)
+	}
+	// max < base is raised to base.
+	b = NewBackoff(10*time.Millisecond, time.Millisecond, 1)
+	if d := b.Delay(5); d < 5*time.Millisecond || d >= 10*time.Millisecond {
+		t.Errorf("clamped delay %v outside [5ms, 10ms)", d)
+	}
+}
+
+// chaosMem builds a served engine with the given fault rates.
+func chaosMem(t *testing.T, spec *vcc.ChaosSpec) *vcc.ShardedMemory {
+	t.Helper()
+	mem, err := vcc.NewShardedMemory(vcc.ShardedMemoryConfig{
+		Lines:  256,
+		Shards: 2,
+		Seed:   11,
+		Chaos:  spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// TestClientRetriesDeviceErrors: against a server whose device fails
+// half its ops even after engine retries, a retrying client completes
+// every op and its counters show the recovered failures.
+func TestClientRetriesDeviceErrors(t *testing.T) {
+	mem := chaosMem(t, &vcc.ChaosSpec{ReadErrRate: 0.4, WriteErrRate: 0.4})
+	defer mem.Close()
+	_, addr := startServer(t, Config{Mem: mem})
+
+	c, err := DialOpts(addr, ClientOpts{
+		MaxRetries: 30,
+		RetryBase:  100 * time.Microsecond,
+		RetryMax:   time.Millisecond,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello(0); err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]byte{}
+	for i := 0; i < 60; i++ {
+		line := uint64(i % 32)
+		data := goldenLine(byte(i))
+		if _, err := c.Write(line, data); err != nil {
+			t.Fatalf("write %d failed through retries: %v", i, err)
+		}
+		want[line] = data
+	}
+	for line, data := range want {
+		got, err := c.Read(line, nil)
+		if err != nil {
+			t.Fatalf("read %d failed through retries: %v", line, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("line %d read back wrong data after retried writes", line)
+		}
+	}
+	if c.Retries() == 0 || c.DeviceErrorResponses() == 0 {
+		t.Errorf("no failures recovered (retries=%d, device-errors=%d); chaos inert?",
+			c.Retries(), c.DeviceErrorResponses())
+	}
+}
+
+// TestClientBusyExhaustsRetries: a batch larger than the server's
+// in-flight budget is shed every time; the client retries its full
+// budget and surfaces the typed busy error.
+func TestClientBusyExhaustsRetries(t *testing.T) {
+	mem := chaosMem(t, nil)
+	defer mem.Close()
+	srv, addr := startServer(t, Config{Mem: mem, MaxInflightOps: 2})
+
+	const retries = 3
+	c, err := DialOpts(addr, ClientOpts{
+		MaxRetries: retries,
+		RetryBase:  100 * time.Microsecond,
+		RetryMax:   time.Millisecond,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello(0); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]BatchOp, 4)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: BatchRead, Line: uint64(i)}
+	}
+	_, err = c.Batch(ops, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusBusy {
+		t.Fatalf("want StatusBusy, got %v", err)
+	}
+	if c.BusyResponses() != retries+1 || c.Retries() != retries {
+		t.Errorf("busy=%d retries=%d, want %d/%d",
+			c.BusyResponses(), c.Retries(), retries+1, retries)
+	}
+	if srv.ShedRequests() != retries+1 {
+		t.Errorf("server shed %d requests, want %d", srv.ShedRequests(), retries+1)
+	}
+	// The connection survived the sheds: a within-budget op succeeds.
+	if _, err := c.Read(0, nil); err != nil {
+		t.Errorf("connection dead after busy responses: %v", err)
+	}
+}
+
+// TestClientTransparentReconnect: when the connection drops under the
+// client, the next op re-dials, re-binds the tenant and completes.
+func TestClientTransparentReconnect(t *testing.T) {
+	mem := chaosMem(t, nil)
+	defer mem.Close()
+	_, addr := startServer(t, Config{Mem: mem, Tenants: 2})
+
+	c, err := DialOpts(addr, ClientOpts{
+		MaxRetries: 3,
+		RetryBase:  100 * time.Microsecond,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello(1); err != nil {
+		t.Fatal(err)
+	}
+	data := goldenLine(0x33)
+	if _, err := c.Write(7, data); err != nil {
+		t.Fatal(err)
+	}
+	c.nc.Close() // sever the transport under the client
+	got, err := c.Read(7, nil)
+	if err != nil {
+		t.Fatalf("read after severed connection: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("reconnected read returned wrong data (tenant binding lost?)")
+	}
+	if c.Reconnects() != 1 {
+		t.Errorf("Reconnects = %d, want 1", c.Reconnects())
+	}
+}
+
+// TestTenantReconcileUnderFaults is the -race workhorse: N concurrent
+// tenants hammer a faulty, admission-limited server through retrying
+// clients; afterwards every tenant's server-side Ops count must equal
+// exactly the ops the server admitted for it — OK responses plus
+// device-error responses, with busy sheds charged to nobody.
+func TestTenantReconcileUnderFaults(t *testing.T) {
+	mem := chaosMem(t, &vcc.ChaosSpec{ReadErrRate: 0.25, WriteErrRate: 0.25})
+	defer mem.Close()
+	_, addr := startServer(t, Config{Mem: mem, Tenants: 4, MaxInflightOps: 2})
+
+	const opsPerTenant = 150
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for tenant := 0; tenant < 4; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			c, err := DialOpts(addr, ClientOpts{
+				MaxRetries: 200,
+				RetryBase:  50 * time.Microsecond,
+				RetryMax:   2 * time.Millisecond,
+				Seed:       uint64(tenant),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Hello(tenant); err != nil {
+				errs <- err
+				return
+			}
+			written := map[uint64][]byte{}
+			succeeded := int64(0)
+			for i := 0; i < opsPerTenant; i++ {
+				line := uint64((i * 7) % 64)
+				if i%3 == 2 && written[line] != nil {
+					got, err := c.Read(line, nil)
+					if err != nil {
+						errs <- fmt.Errorf("tenant %d read %d: %w", tenant, i, err)
+						return
+					}
+					if !bytes.Equal(got, written[line]) {
+						errs <- fmt.Errorf("tenant %d line %d: silent corruption", tenant, line)
+						return
+					}
+				} else {
+					data := goldenLine(byte(tenant*50 + i))
+					if _, err := c.Write(line, data); err != nil {
+						errs <- fmt.Errorf("tenant %d write %d: %w", tenant, i, err)
+						return
+					}
+					written[line] = data
+				}
+				succeeded++
+			}
+			st, err := c.Stats()
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Every admitted op is accounted exactly once: the ones that
+			// came back OK plus the ones that came back device-error.
+			want := succeeded + c.DeviceErrorResponses()
+			if st.Ops != want {
+				errs <- fmt.Errorf("tenant %d: server Ops=%d, want %d (ok=%d, device-errors=%d, busy=%d)",
+					tenant, st.Ops, want, succeeded, c.DeviceErrorResponses(), c.BusyResponses())
+				return
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

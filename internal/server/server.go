@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	vcc "repro"
 	"repro/internal/memctrl"
@@ -35,6 +37,18 @@ type Config struct {
 	// engine's completion callbacks before the reader stops pulling
 	// frames. 0 defaults to 64.
 	Window int
+	// MaxInflightOps bounds engine ops in flight across all connections.
+	// A data request that would exceed it is shed with StatusBusy before
+	// touching the engine — graceful degradation instead of unbounded
+	// queueing. 0 disables admission control.
+	MaxInflightOps int
+	// WriteTimeout bounds each response frame write. A client too slow
+	// to drain its responses has its connection closed, reclaiming the
+	// Window slots its requests occupy. 0 disables the deadline.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds the wait for the next request frame on an
+	// idle connection. 0 (the default) keeps connections open forever.
+	IdleTimeout time.Duration
 }
 
 // tenantCounter accumulates one tenant's TenantStats under its own
@@ -57,6 +71,14 @@ type Server struct {
 	linesPer int
 	maxBatch int
 	window   int
+
+	maxInflightOps int64
+	inflightOps    atomic.Int64 // engine ops admitted but not yet completed
+	shed           atomic.Int64 // requests refused with StatusBusy
+	deviceErrors   atomic.Int64 // requests answered with StatusDeviceError
+
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
 
 	tstats []tenantCounter
 
@@ -105,17 +127,28 @@ func New(cfg Config) (*Server, error) {
 		window = 64
 	}
 	return &Server{
-		mem:       cfg.Mem,
-		sess:      cfg.Mem.Session(),
-		tenants:   tenants,
-		linesPer:  linesPer,
-		maxBatch:  maxBatch,
-		window:    window,
-		tstats:    make([]tenantCounter, tenants),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		mem:            cfg.Mem,
+		sess:           cfg.Mem.Session(),
+		tenants:        tenants,
+		linesPer:       linesPer,
+		maxBatch:       maxBatch,
+		window:         window,
+		maxInflightOps: int64(cfg.MaxInflightOps),
+		writeTimeout:   cfg.WriteTimeout,
+		idleTimeout:    cfg.IdleTimeout,
+		tstats:         make([]tenantCounter, tenants),
+		listeners:      make(map[net.Listener]struct{}),
+		conns:          make(map[net.Conn]struct{}),
 	}, nil
 }
+
+// ShedRequests returns how many data requests admission control has
+// refused with StatusBusy.
+func (s *Server) ShedRequests() int64 { return s.shed.Load() }
+
+// DeviceErrorResponses returns how many data requests were answered
+// with StatusDeviceError.
+func (s *Server) DeviceErrorResponses() int64 { return s.deviceErrors.Load() }
 
 // Tenants returns the tenant count.
 func (s *Server) Tenants() int { return s.tenants }
@@ -284,9 +317,12 @@ func (s *Server) handleConn(nc net.Conn) {
 		for sl := range pending {
 			<-sl.ready
 			if !broken {
+				if s.writeTimeout > 0 {
+					nc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+				}
 				if err := writeFrame(bw, sl.resp); err != nil {
 					broken = true
-					nc.Close() // unblock the reader
+					nc.Close() // unblock the reader, reclaim its slots
 				} else if len(pending) == 0 {
 					if err := bw.Flush(); err != nil {
 						broken = true
@@ -305,6 +341,9 @@ func (s *Server) handleConn(nc net.Conn) {
 	cs := &connState{tenant: -1}
 	for {
 		sl := <-free
+		if s.idleTimeout > 0 {
+			nc.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		payload, err := readFrame(br, sl.req)
 		if err != nil {
 			if errors.Is(err, errFrameTooLarge) {
@@ -551,14 +590,49 @@ func (s *Server) handleData(cs *connState, sess *vcc.Session, sl *slot, verb byt
 		return
 	}
 	tenant, nops := cs.tenant, len(sl.ops)
+	// Admission control: shed instead of queueing once the engine-wide
+	// op budget is spent. Nothing was submitted, so the tenant is not
+	// charged and the client may retry after a backoff.
+	if s.maxInflightOps > 0 && s.inflightOps.Add(int64(nops)) > s.maxInflightOps {
+		s.inflightOps.Add(int64(-nops))
+		s.inflight.Done()
+		s.shed.Add(1)
+		s.respondError(sl, id, StatusBusy,
+			fmt.Sprintf("in-flight op budget (%d) exhausted", s.maxInflightOps))
+		return
+	}
 	if cap(sl.out) < nops {
 		sl.out = make([]shard.Outcome, nops)
 	}
 	err := sess.SubmitFuncStats(sl.ops, sl.out[:nops], func(out []shard.Outcome, d memctrl.Stats, err error) {
 		// Runs on an engine drainer goroutine; must not block. ready is
 		// buffered and the tenant counter is only held for the fold.
+		if s.maxInflightOps > 0 {
+			s.inflightOps.Add(int64(-nops))
+		}
 		if err != nil {
 			s.respondError(sl, id, StatusShutdown, err.Error())
+			s.inflight.Done()
+			return
+		}
+		var opErr error
+		failed := 0
+		for i := range out[:nops] {
+			if out[i].Err != nil {
+				failed++
+				if opErr == nil {
+					opErr = out[i].Err
+				}
+			}
+		}
+		if opErr != nil {
+			// The engine did the work (and possibly left corrupted
+			// cells), so the tenant is charged exactly as on success —
+			// reconciliation counts every admitted op once.
+			s.account(tenant, nops, d)
+			s.deviceErrors.Add(1)
+			s.respondError(sl, id, StatusDeviceError,
+				fmt.Sprintf("%d/%d ops failed: %v", failed, nops, opErr))
 		} else {
 			for i, off := range sl.sawOff {
 				if off >= 0 {
@@ -573,6 +647,9 @@ func (s *Server) handleData(cs *connState, sess *vcc.Session, sl *slot, verb byt
 	if err != nil {
 		// Submission itself failed (engine closed under us): the
 		// callback never fires.
+		if s.maxInflightOps > 0 {
+			s.inflightOps.Add(int64(-nops))
+		}
 		s.inflight.Done()
 		status := byte(StatusMalformed)
 		if errors.Is(err, vcc.ErrClosed) {
@@ -595,9 +672,16 @@ func (s *Server) do(tenant int, ops []shard.Op, out []shard.Outcome) error {
 		return err
 	}
 	done := make(chan error, 1)
-	err := s.sess.SubmitFuncStats(ops, out, func(_ []shard.Outcome, d memctrl.Stats, err error) {
+	err := s.sess.SubmitFuncStats(ops, out, func(o []shard.Outcome, d memctrl.Stats, err error) {
 		if err == nil {
 			s.account(tenant, len(ops), d)
+			for i := range o {
+				if o[i].Err != nil {
+					err = o[i].Err
+					s.deviceErrors.Add(1)
+					break
+				}
+			}
 		}
 		done <- err
 		s.inflight.Done()
@@ -670,7 +754,11 @@ func (s *Server) HTTPHandler() http.Handler {
 			ops := []shard.Op{{Kind: shard.OpRead, Line: base + int(line), Data: buf[:]}}
 			out := make([]shard.Outcome, 1)
 			if err := s.do(tenant, ops, out); err != nil {
-				httpError(w, http.StatusServiceUnavailable, StatusShutdown, err.Error())
+				if memctrl.IsTransient(err) {
+					httpError(w, http.StatusInternalServerError, StatusDeviceError, err.Error())
+				} else {
+					httpError(w, http.StatusServiceUnavailable, StatusShutdown, err.Error())
+				}
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
@@ -695,7 +783,11 @@ func (s *Server) HTTPHandler() http.Handler {
 			ops := []shard.Op{{Kind: shard.OpWrite, Line: base + int(line), Data: data}}
 			out := make([]shard.Outcome, 1)
 			if err := s.do(tenant, ops, out); err != nil {
-				httpError(w, http.StatusServiceUnavailable, StatusShutdown, err.Error())
+				if memctrl.IsTransient(err) {
+					httpError(w, http.StatusInternalServerError, StatusDeviceError, err.Error())
+				} else {
+					httpError(w, http.StatusServiceUnavailable, StatusShutdown, err.Error())
+				}
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")

@@ -47,6 +47,10 @@ func TestApplySteadyStateAllocsSlicedEncoders(t *testing.T) {
 				Objective: coset.ObjEnergySAW,
 				FaultRate: 1e-2, // stuck cells keep the SAW terms live
 				Seed:      7,
+				// A rate-0 chaos decorator on the stack must stay inert:
+				// the error-free fast path through the fault-injection and
+				// retry layers is part of the 0-alloc contract.
+				Chaos: &ChaosSpec{},
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -121,17 +121,19 @@ func (t *Ticket) Wait() ([]Outcome, error) {
 func (t *Ticket) runShard(s int) {
 	e := t.e
 	b := e.backends[s]
-	before := b.Store.Stats()
+	before := b.StackStats()
 	for _, i := range t.byShard[s] {
 		op := &t.ops[i]
 		local := e.part.LocalOf(op.Line)
 		if op.Kind == OpWrite {
-			t.out[i] = Outcome{SAWCells: b.WriteLine(local, op.Data)}
+			saw, err := b.WriteLine(local, op.Data)
+			t.out[i] = Outcome{SAWCells: saw, Err: err}
 		} else {
-			t.out[i] = Outcome{Data: b.Store.ReadLine(local, op.Data)}
+			data, err := b.ReadLine(local, op.Data)
+			t.out[i] = Outcome{Data: data, Err: err}
 		}
 	}
-	delta := b.Store.Stats().Delta(before)
+	delta := b.StackStats().Delta(before)
 	e.live.add(delta)
 	if t.track {
 		t.statsMu.Lock()
@@ -361,9 +363,18 @@ func (e *Engine) drain(s int) {
 		switch {
 		case t.flush:
 			b := e.backends[s]
-			before := b.Store.Stats()
-			b.Store.Flush()
-			e.live.add(b.Store.Stats().Delta(before))
+			before := b.StackStats()
+			ferr := b.Store.Flush()
+			e.live.add(b.StackStats().Delta(before))
+			if ferr != nil {
+				// First failing shard wins; statsMu doubles as the guard
+				// since a barrier ticket never tracks stats.
+				t.statsMu.Lock()
+				if t.err == nil {
+					t.err = ferr
+				}
+				t.statsMu.Unlock()
+			}
 		case t.inval:
 			if c := e.backends[s].Cache; c != nil {
 				c.Invalidate()
@@ -402,16 +413,20 @@ func (e *Engine) flushBarrier() *Ticket { return e.barrier(false) }
 // live counters. It is a no-op on uncached and write-through engines,
 // and on closed engines (Close already flushed). Safe for concurrent
 // use; the flush rides the issue queues as a barrier, so it covers
-// everything submitted before it and nothing submitted after.
-func (e *Engine) Flush() {
+// everything submitted before it and nothing submitted after. On a
+// device error the first failing shard's error is returned; the
+// affected lines stay dirty in their caches and a later Flush retries
+// them.
+func (e *Engine) Flush() error {
 	e.qmu.RLock()
 	if e.closed {
 		e.qmu.RUnlock()
-		return
+		return nil
 	}
 	t := e.flushBarrier()
 	e.qmu.RUnlock()
-	t.Wait()
+	_, err := t.Wait()
+	return err
 }
 
 // DropCaches simulates a power loss of the volatile layer: every

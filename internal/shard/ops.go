@@ -64,6 +64,12 @@ type Outcome struct {
 	// op's Data buffer when one was provided, otherwise it is freshly
 	// allocated.
 	Data []byte
+	// Err is the per-op device error, set when the op still failed
+	// after the backend's bounded in-place retries (a
+	// *memctrl.DeviceError). A failed write may have left corrupted
+	// cells behind; a failed read's Data must not be trusted. Other
+	// ops of the same batch complete independently.
+	Err error
 }
 
 // validateOps rejects malformed ops before anything is enqueued.

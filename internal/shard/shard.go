@@ -47,7 +47,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/coset"
 	"repro/internal/cryptmem"
 	"repro/internal/faultrepo"
@@ -138,7 +140,42 @@ type BackendConfig struct {
 	// FaultRepoCache sizes the repository's descriptor cache in words
 	// when UseFaultRepo is set; 0 defaults to 256.
 	FaultRepoCache int
+	// Chaos, when non-nil, installs a deterministic fault-injecting
+	// decorator (internal/chaos) at the top of this shard's stack,
+	// seeded from the shard seed. A spec with all rates zero still
+	// installs the (inert) decorator — useful for proving the healthy
+	// path costs nothing.
+	Chaos *ChaosSpec
+	// OpRetries bounds the backend's in-place retries of an op that
+	// failed with a transient device error before the error surfaces in
+	// its Outcome. 0 defaults to DefaultOpRetries; negative disables
+	// retries.
+	OpRetries int
 }
+
+// ChaosSpec carries the fault-injection rates of the chaos decorator
+// without its assembly details (the inner store and seed are supplied
+// by the backend). See internal/chaos for the fault taxonomy.
+type ChaosSpec struct {
+	// ReadErrRate is the transient read-error probability per read.
+	ReadErrRate float64
+	// WriteErrRate is the transient write-error probability per write.
+	WriteErrRate float64
+	// TornWriteRate is the torn-write probability per write (corrupted
+	// image stored, typed error returned).
+	TornWriteRate float64
+	// ReadCorruptRate is the corrupted-read probability per read
+	// (bit-flipped data returned alongside a typed error).
+	ReadCorruptRate float64
+	// StallRate is the latency-stall probability per op.
+	StallRate float64
+	// StallDelay is the stall duration (default 100µs).
+	StallDelay time.Duration
+}
+
+// DefaultOpRetries is the bounded in-place retry budget a backend
+// spends on a transiently-faulted op before surfacing the error.
+const DefaultOpRetries = 2
 
 // Backend is one shard's fully-assembled pipeline, a LineStore stack.
 // It is not safe for concurrent use; the Engine serializes access per
@@ -161,6 +198,14 @@ type Backend struct {
 	// Cache is the decoded-line cache at the top of the stack (nil when
 	// CacheLines was 0).
 	Cache *linecache.Cache
+	// Chaos is the fault-injecting decorator at the very top of the
+	// stack (nil when no ChaosSpec was configured).
+	Chaos *chaos.Store
+	// opRetries is the bounded in-place retry budget for transiently
+	// faulted ops; errorRetries counts retries actually spent. Both are
+	// only touched by the owning shard's drainer (or under its lock).
+	opRetries    int
+	errorRetries int64
 }
 
 // NewBackend builds one pipeline from cfg. The PRNG stream labels are
@@ -251,6 +296,32 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 		b.Cache = cache
 		b.Store = cache
 	}
+	if cfg.Chaos != nil {
+		// Top of the stack: injected faults are visible to the backend's
+		// retry (and past it, to clients) regardless of cache state, and
+		// deferred cache writebacks below are never re-faulted.
+		cs, err := chaos.New(chaos.Config{
+			Inner:           b.Store,
+			Seed:            cfg.Seed,
+			ReadErrRate:     cfg.Chaos.ReadErrRate,
+			WriteErrRate:    cfg.Chaos.WriteErrRate,
+			TornWriteRate:   cfg.Chaos.TornWriteRate,
+			ReadCorruptRate: cfg.Chaos.ReadCorruptRate,
+			StallRate:       cfg.Chaos.StallRate,
+			StallDelay:      cfg.Chaos.StallDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Chaos = cs
+		b.Store = cs
+	}
+	b.opRetries = cfg.OpRetries
+	if b.opRetries == 0 {
+		b.opRetries = DefaultOpRetries
+	} else if b.opRetries < 0 {
+		b.opRetries = 0
+	}
 	return b, nil
 }
 
@@ -258,12 +329,47 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 // stuck-at-wrong cell count of the stored result. Under a write-back
 // cache a deferred write returns 0: its SAW cells materialize on
 // eviction or Flush and are visible through Stats only.
-func (b *Backend) WriteLine(local int, data []byte) int {
+//
+// A transient device fault is retried in place up to the configured
+// OpRetries budget — a retry re-runs the whole store-stack write, so
+// the line is re-encoded against current device state (the same
+// informed-retry discipline the Remapper uses for SAW failures). The
+// error surfaces only once the budget is spent.
+func (b *Backend) WriteLine(local int, data []byte) (int, error) {
+	outs, err := b.Store.WriteLine(local, data)
+	for attempt := 0; err != nil && memctrl.IsTransient(err) && attempt < b.opRetries; attempt++ {
+		b.errorRetries++
+		outs, err = b.Store.WriteLine(local, data)
+	}
+	if err != nil {
+		return 0, err
+	}
 	saw := 0
-	for _, o := range b.Store.WriteLine(local, data) {
+	for _, o := range outs {
 		saw += o.SAWCells
 	}
-	return saw
+	return saw, nil
+}
+
+// ReadLine reads one line at a shard-local index into dst (allocated
+// when nil), with the same bounded in-place retry as WriteLine.
+func (b *Backend) ReadLine(local int, dst []byte) ([]byte, error) {
+	out, err := b.Store.ReadLine(local, dst)
+	for attempt := 0; err != nil && memctrl.IsTransient(err) && attempt < b.opRetries; attempt++ {
+		b.errorRetries++
+		out, err = b.Store.ReadLine(local, dst)
+	}
+	return out, err
+}
+
+// StackStats returns the store stack's statistics plus the backend's
+// own retry counter — the per-shard statistics currency the engine
+// snapshots and deltas. The caller must hold the shard's lock (or be
+// its drainer).
+func (b *Backend) StackStats() memctrl.Stats {
+	s := b.Store.Stats()
+	s.ErrorRetries += b.errorRetries
+	return s
 }
 
 // FailedCells returns the endurance-exhausted cell count (0 without
@@ -322,6 +428,14 @@ type Config struct {
 	// FaultRepoCache sizes each shard's repository descriptor cache in
 	// words; 0 defaults to 256.
 	FaultRepoCache int
+	// Chaos, when non-nil, installs the fault-injecting decorator at
+	// the top of every shard's stack (see BackendConfig.Chaos). Each
+	// shard's injection schedule derives from its own shard seed, so
+	// the streams are decorrelated.
+	Chaos *ChaosSpec
+	// OpRetries bounds per-op in-place retries on transient device
+	// errors (see BackendConfig.OpRetries).
+	OpRetries int
 }
 
 // ShardSeed returns the seed for shard i of n derived from the master
@@ -386,6 +500,8 @@ type Counters struct {
 	CoalescedWrites int64
 	RemappedLines   int64
 	RepairFailures  int64
+	DeviceErrors    int64
+	ErrorRetries    int64
 }
 
 // counters is the atomic accumulator behind Counters. Integer fields
@@ -404,6 +520,8 @@ type counters struct {
 	coalesced   atomic.Int64
 	remapped    atomic.Int64
 	repairFails atomic.Int64
+	devErrors   atomic.Int64
+	errRetries  atomic.Int64
 	energyBits  atomic.Uint64
 }
 
@@ -420,6 +538,8 @@ func (c *counters) add(d memctrl.Stats) {
 	c.coalesced.Add(d.CoalescedWrites)
 	c.remapped.Add(d.RemappedLines)
 	c.repairFails.Add(d.RepairFailures)
+	c.devErrors.Add(d.DeviceErrors)
+	c.errRetries.Add(d.ErrorRetries)
 	for {
 		old := c.energyBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + d.EnergyPJ)
@@ -444,6 +564,8 @@ func (c *counters) snapshot() Counters {
 		CoalescedWrites: c.coalesced.Load(),
 		RemappedLines:   c.remapped.Load(),
 		RepairFailures:  c.repairFails.Load(),
+		DeviceErrors:    c.devErrors.Load(),
+		ErrorRetries:    c.errRetries.Load(),
 	}
 }
 
@@ -460,6 +582,8 @@ func (c *counters) reset() {
 	c.coalesced.Store(0)
 	c.remapped.Store(0)
 	c.repairFails.Store(0)
+	c.devErrors.Store(0)
+	c.errRetries.Store(0)
 	c.energyBits.Store(0)
 }
 
@@ -533,6 +657,8 @@ func New(cfg Config) (*Engine, error) {
 			RemapSpares:       cfg.RemapSpares,
 			UseFaultRepo:      cfg.UseFaultRepo,
 			FaultRepoCache:    cfg.FaultRepoCache,
+			Chaos:             cfg.Chaos,
+			OpRetries:         cfg.OpRetries,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -597,7 +723,7 @@ func (e *Engine) Write(line int, data []byte) (int, error) {
 	if _, err := e.Apply(ops[:], outs[:]); err != nil {
 		return 0, err
 	}
-	return outs[0].SAWCells, nil
+	return outs[0].SAWCells, outs[0].Err
 }
 
 // Read retrieves one line into dst (allocated when nil). Like Write it
@@ -608,11 +734,13 @@ func (e *Engine) Read(line int, dst []byte) ([]byte, error) {
 	if _, err := e.Apply(ops[:], outs[:]); err != nil {
 		return nil, err
 	}
-	return outs[0].Data, nil
+	return outs[0].Data, outs[0].Err
 }
 
 // WriteBatch stores every request and returns the per-request
-// stuck-at-wrong cell counts, indexed like reqs. It is a thin wrapper
+// stuck-at-wrong cell counts, indexed like reqs. When individual ops
+// failed with device errors the counts are still returned alongside
+// the first such error (use Apply for per-op errors). It is a thin wrapper
 // over Apply (which see for ordering and determinism guarantees);
 // callers that mix reads and writes, or that need allocation-free
 // dispatch, should use Apply directly.
@@ -628,12 +756,17 @@ func (e *Engine) WriteBatch(reqs []WriteReq) ([]int, error) {
 	saw := make([]int, len(outs))
 	for i := range outs {
 		saw[i] = outs[i].SAWCells
+		if outs[i].Err != nil && err == nil {
+			err = outs[i].Err
+		}
 	}
-	return saw, nil
+	return saw, err
 }
 
 // ReadBatch serves every read and returns the plaintexts, indexed like
-// reqs. out[i] aliases reqs[i].Dst when a destination buffer was
+// reqs; per-op device errors surface as the first failed op's error
+// alongside the data (a failed op's bytes must not be trusted — use
+// Apply for per-op errors). out[i] aliases reqs[i].Dst when a destination buffer was
 // provided (no per-request allocation) and is freshly allocated
 // otherwise; either way out[i] is only valid to reuse once the caller
 // is done with the previous contents of reqs[i].Dst. It is a thin
@@ -650,8 +783,11 @@ func (e *Engine) ReadBatch(reqs []ReadReq) ([][]byte, error) {
 	out := make([][]byte, len(outs))
 	for i := range outs {
 		out[i] = outs[i].Data
+		if outs[i].Err != nil && err == nil {
+			err = outs[i].Err
+		}
 	}
-	return out, nil
+	return out, err
 }
 
 // Stats returns the exact merged store-stack statistics across shards,
@@ -661,7 +797,7 @@ func (e *Engine) Stats() memctrl.Stats {
 	var total memctrl.Stats
 	for i, b := range e.backends {
 		e.mu[i].Lock()
-		s := b.Store.Stats()
+		s := b.StackStats()
 		e.mu[i].Unlock()
 		total.Add(s)
 	}
@@ -672,7 +808,7 @@ func (e *Engine) Stats() memctrl.Stats {
 func (e *Engine) ShardStats(s int) memctrl.Stats {
 	e.mu[s].Lock()
 	defer e.mu[s].Unlock()
-	return e.backends[s].Store.Stats()
+	return e.backends[s].StackStats()
 }
 
 // Counters returns the live lock-free totals. Unlike Stats it never
@@ -770,6 +906,7 @@ func (e *Engine) ResetStats() {
 	for i, b := range e.backends {
 		e.mu[i].Lock()
 		b.Store.ResetStats()
+		b.errorRetries = 0
 		e.mu[i].Unlock()
 	}
 	e.live.reset()

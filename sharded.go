@@ -4,6 +4,7 @@ import (
 	"repro/internal/coset"
 	"repro/internal/faultrepo"
 	"repro/internal/linecache"
+	"repro/internal/memctrl"
 	"repro/internal/shard"
 )
 
@@ -52,6 +53,15 @@ var ErrClosed = shard.ErrClosed
 // CachePolicy selects how the optional decoded-line cache handles
 // writes (see ShardedMemoryConfig.CacheLines).
 type CachePolicy = linecache.Policy
+
+// ChaosSpec carries the fault-injection rates of the deterministic
+// chaos decorator (see ShardedMemoryConfig.Chaos and internal/chaos
+// for the fault taxonomy).
+type ChaosSpec = shard.ChaosSpec
+
+// IsDeviceError reports whether err is a typed transient device error
+// surfaced by the engine (retryable: the op may succeed if reissued).
+func IsDeviceError(err error) bool { return memctrl.IsTransient(err) }
 
 // Cache write policies.
 const (
@@ -131,6 +141,19 @@ type ShardedMemoryConfig struct {
 	// FaultRepoCache sizes each shard's repository descriptor cache in
 	// words when UseFaultRepo is set; 0 defaults to 256.
 	FaultRepoCache int
+	// Chaos, when non-nil, installs a deterministic fault-injecting
+	// decorator at the top of every shard's pipeline: transient
+	// read/write errors, torn writes, corrupted reads and latency
+	// stalls at the configured rates, seeded per shard from the master
+	// seed. Faulted ops are retried in place up to OpRetries times and
+	// then surface typed errors (see Outcome.Err, IsDeviceError). A
+	// spec with all rates zero installs an inert decorator that changes
+	// nothing — bit-identical results, no allocations.
+	Chaos *ChaosSpec
+	// OpRetries bounds the engine's in-place retries of a
+	// transiently-faulted op before its error surfaces. 0 defaults to
+	// shard.DefaultOpRetries (2); negative disables retries.
+	OpRetries int
 }
 
 // ShardedMemory is the concurrent variant of Memory: the line address
@@ -173,6 +196,8 @@ func NewShardedMemory(cfg ShardedMemoryConfig) (*ShardedMemory, error) {
 		RemapSpares:       cfg.RemapSpares,
 		UseFaultRepo:      cfg.UseFaultRepo,
 		FaultRepoCache:    cfg.FaultRepoCache,
+		Chaos:             cfg.Chaos,
+		OpRetries:         cfg.OpRetries,
 	})
 	if err != nil {
 		return nil, err
@@ -249,8 +274,10 @@ func (m *ShardedMemory) ReadBatch(reqs []ReadRequest) ([][]byte, error) {
 // after Close; with WriteBack the device state only reflects every
 // submitted write after a Flush (or Close). Safe for concurrent use: it
 // rides the issue queues as a barrier, covering everything submitted
-// before it.
-func (m *ShardedMemory) Flush() { m.eng.Flush() }
+// before it. On a device error during writeback the first failing
+// shard's error is returned; affected lines stay dirty and a later
+// Flush retries them.
+func (m *ShardedMemory) Flush() error { return m.eng.Flush() }
 
 // Close drains in-flight tickets, flushes deferred writes, and shuts
 // down the issue queues. It is idempotent and safe for concurrent use.
@@ -279,6 +306,8 @@ func (m *ShardedMemory) Stats() Stats {
 		CoalescedWrites: s.CoalescedWrites,
 		RemappedLines:   s.RemappedLines,
 		RepairFailures:  s.RepairFailures,
+		DeviceErrors:    s.DeviceErrors,
+		ErrorRetries:    s.ErrorRetries,
 	}
 }
 
@@ -300,6 +329,8 @@ func (m *ShardedMemory) ShardStats(s int) Stats {
 		CoalescedWrites: st.CoalescedWrites,
 		RemappedLines:   st.RemappedLines,
 		RepairFailures:  st.RepairFailures,
+		DeviceErrors:    st.DeviceErrors,
+		ErrorRetries:    st.ErrorRetries,
 	}
 }
 

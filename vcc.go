@@ -171,6 +171,12 @@ type Stats struct {
 	// RepairFailures counts writes left stuck-at-wrong because the spare
 	// pool was exhausted.
 	RepairFailures int64
+	// DeviceErrors counts transient device faults surfaced by the stack
+	// (injected by the chaos decorator; see ShardedMemoryConfig.Chaos).
+	DeviceErrors int64
+	// ErrorRetries counts in-engine retries of transiently-faulted ops
+	// before they succeeded or surfaced an error.
+	ErrorRetries int64
 }
 
 // Add folds o into s field-wise. Together with Delta it supports
@@ -192,6 +198,8 @@ func (s *Stats) Add(o Stats) {
 	s.CoalescedWrites += o.CoalescedWrites
 	s.RemappedLines += o.RemappedLines
 	s.RepairFailures += o.RepairFailures
+	s.DeviceErrors += o.DeviceErrors
+	s.ErrorRetries += o.ErrorRetries
 }
 
 // Delta returns s - o field-wise: the statistics accumulated between
@@ -214,6 +222,8 @@ func (s Stats) Delta(o Stats) Stats {
 		CoalescedWrites: s.CoalescedWrites - o.CoalescedWrites,
 		RemappedLines:   s.RemappedLines - o.RemappedLines,
 		RepairFailures:  s.RepairFailures - o.RepairFailures,
+		DeviceErrors:    s.DeviceErrors - o.DeviceErrors,
+		ErrorRetries:    s.ErrorRetries - o.ErrorRetries,
 	}
 }
 
@@ -260,7 +270,11 @@ func (m *Memory) Write(line int, data []byte) (sawCells int, err error) {
 	if len(data) != LineSize {
 		return 0, fmt.Errorf("vcc: Write needs %d bytes, got %d", LineSize, len(data))
 	}
-	for _, o := range m.ctrl.WriteLine(line, data) {
+	outc, err := m.ctrl.WriteLine(line, data)
+	if err != nil {
+		return 0, err
+	}
+	for _, o := range outc {
 		sawCells += o.SAWCells
 	}
 	return sawCells, nil
@@ -276,7 +290,7 @@ func (m *Memory) Read(line int, dst []byte) ([]byte, error) {
 	if dst != nil && len(dst) != LineSize {
 		return nil, fmt.Errorf("vcc: Read needs a %d-byte buffer", LineSize)
 	}
-	return m.ctrl.ReadLine(line, dst), nil
+	return m.ctrl.ReadLine(line, dst)
 }
 
 // Stats returns accumulated statistics.
